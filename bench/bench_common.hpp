@@ -1,0 +1,79 @@
+// Shared machinery for the bench binaries: size tiers, result printing in a
+// gnuplot-friendly layout, and convergence summary tables.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/flags.hpp"
+#include "common/table.hpp"
+#include "core/experiment.hpp"
+
+namespace bsvc::bench {
+
+/// Network sizes and repetitions for one figure.
+struct Tier {
+  std::vector<std::size_t> sizes;
+  std::vector<std::size_t> repeats;  // per size, mirroring the paper's 50/10/4
+};
+
+/// Default tier keeps the whole bench suite to minutes; --full (or env
+/// REPRO_FULL=1) runs the paper's exact sizes 2^14 / 2^16 / 2^18.
+inline Tier pick_tier(const Flags& flags) {
+  const bool full = flags.get_bool("full", std::getenv("REPRO_FULL") != nullptr);
+  if (full) return {{1u << 14, 1u << 16, 1u << 18}, {4, 2, 1}};
+  return {{1u << 10, 1u << 12, 1u << 14}, {3, 2, 1}};
+}
+
+/// One experiment's curves, labelled.
+struct LabelledRun {
+  std::string label;
+  ExperimentResult result;
+};
+
+/// Prints `column` of every run against the cycle axis, in gnuplot "plot ...
+/// using 1:2" blocks separated by blank lines, then a summary table.
+inline void print_runs(const std::string& figure, const std::vector<LabelledRun>& runs,
+                       const std::string& leaf_caption = "proportion of missing leaf set entries",
+                       const std::string& prefix_caption =
+                           "proportion of missing prefix table entries") {
+  for (const char* metric : {"leaf", "prefix"}) {
+    const std::size_t col = metric == std::string("leaf") ? 1 : 2;
+    std::printf("# %s — %s\n", figure.c_str(),
+                col == 1 ? leaf_caption.c_str() : prefix_caption.c_str());
+    std::printf("# columns: cycle  missing_fraction  (one block per run)\n");
+    for (const auto& run : runs) {
+      std::printf("# run: %s\n", run.label.c_str());
+      for (std::size_t r = 0; r < run.result.series.rows(); ++r) {
+        std::printf("%3.0f  %.9g\n", run.result.series.at(r, 0), run.result.series.at(r, col));
+      }
+      std::printf("\n");
+    }
+  }
+
+  Table summary({"run", "cycles_to_perfect_leaf", "cycles_to_perfect_prefix",
+                 "cycles_to_perfect_both", "msgs/node/cycle", "avg_msg_bytes",
+                 "max_msg_bytes"});
+  for (const auto& run : runs) {
+    const auto& r = run.result;
+    const double cycles = r.series.rows() == 0 ? 1.0 : static_cast<double>(r.series.rows());
+    const double mpnc = static_cast<double>(r.traffic_during_bootstrap.messages_sent) /
+                        (static_cast<double>(r.n) * cycles);
+    summary.add_row({run.label, std::to_string(r.leaf_converged_cycle),
+                     std::to_string(r.prefix_converged_cycle),
+                     std::to_string(r.converged_cycle), Table::num(mpnc, 3),
+                     Table::num(r.avg_message_bytes, 4),
+                     std::to_string(r.max_message_bytes)});
+  }
+  std::printf("%s\n", summary.render().c_str());
+}
+
+/// Runs one experiment with progress logging suppressed.
+inline ExperimentResult run_experiment(ExperimentConfig cfg) {
+  BootstrapExperiment exp(std::move(cfg));
+  return exp.run();
+}
+
+}  // namespace bsvc::bench

@@ -1,0 +1,93 @@
+// §1 motivating scenario: "massive joins to a large overlay network are not
+// supported by known protocols very well".
+//
+// A converged overlay of N0 nodes is hit by N0 new nodes arriving within a
+// single cycle (the "allocation of a pool of resources" event). Two ways to
+// absorb them:
+//   gossip   — the architecture's answer: joiners simply run the
+//              bootstrapping service; the running gossip re-converges the
+//              doubled membership in a logarithmic number of cycles.
+//   seq-join — the conventional answer: each newcomer performs a serialized
+//              Pastry join through the existing network (the join must
+//              complete before the next starts to keep tables consistent).
+// Reported: time to perfect/near-perfect tables over the doubled
+// membership, and message cost.
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "overlay/join_protocol.hpp"
+
+using namespace bsvc;
+using namespace bsvc::bench;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const bool full = flags.get_bool("full", std::getenv("REPRO_FULL") != nullptr);
+  const std::size_t n0 =
+      static_cast<std::size_t>(flags.get_int("n", full ? (1 << 13) : (1 << 11)));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  flags.finish();
+
+  std::printf("=== Massive join: %zu nodes flood a converged %zu-node overlay ===\n", n0, n0);
+
+  // --- gossip absorption ---------------------------------------------------
+  {
+    ExperimentConfig cfg;
+    cfg.n = n0;
+    cfg.seed = seed;
+    cfg.max_cycles = 60;
+    BootstrapExperiment exp(cfg);
+    const auto initial = exp.run();
+    std::printf("initial overlay perfect at cycle %d\n", initial.converged_cycle);
+
+    Engine& engine = exp.engine();
+    engine.reset_traffic();
+    const SimTime join_epoch = engine.now();
+    for (std::size_t i = 0; i < n0; ++i) {
+      const Address addr = exp.make_node();
+      engine.start_node(addr, engine.rng().below(kDelta));  // all within one cycle
+    }
+
+    int absorbed = -1;
+    for (int cycle = 0; cycle < 60; ++cycle) {
+      engine.run_until(join_epoch + (static_cast<SimTime>(cycle) + 1) * kDelta);
+      const ConvergenceOracle oracle(engine, cfg.bootstrap, exp.bootstrap_slot());
+      const auto m = oracle.measure();
+      if (cycle % 4 == 0 || m.converged()) {
+        std::printf("  +%2d cycles: missing leaf %.3e, prefix %.3e\n", cycle,
+                    m.missing_leaf_fraction(), m.missing_prefix_fraction());
+      }
+      if (m.converged()) {
+        absorbed = cycle;
+        break;
+      }
+    }
+    const auto& t = engine.traffic();
+    std::printf("gossip: doubled membership perfect %d cycles after the flood; "
+                "%.1f msgs/node, %.1f kB/node\n\n",
+                absorbed, static_cast<double>(t.messages_sent) / static_cast<double>(2 * n0),
+                static_cast<double>(t.bytes_sent) / static_cast<double>(2 * n0) / 1024.0);
+  }
+
+  // --- serialized conventional joins --------------------------------------
+  {
+    SequentialJoinNetwork net(BootstrapConfig{}, seed);
+    net.grow(n0);  // the pre-existing network
+    const auto base = net.costs();
+    net.grow(n0);  // the massive join, serialized
+    const auto after = net.costs();
+    auto quality = net.measure_quality(500);
+    std::printf("seq-join: %llu messages, makespan %.0f cycle-equivalents "
+                "(%.1f msgs/node); final missing leaf %.3e, prefix %.3e, lookups %.3f\n",
+                static_cast<unsigned long long>(after.messages - base.messages),
+                static_cast<double>(after.critical_time - base.critical_time) /
+                    static_cast<double>(kDelta),
+                static_cast<double>(after.messages - base.messages) /
+                    static_cast<double>(2 * n0),
+                quality.missing_leaf_fraction, quality.missing_prefix_fraction,
+                quality.lookup_success_rate);
+    std::printf("# the serialized makespan grows linearly with the burst size, the gossip\n"
+                "# absorption logarithmically — the motivating gap of the paper.\n");
+  }
+  return 0;
+}

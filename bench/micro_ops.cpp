@@ -1,0 +1,123 @@
+// Data-structure level microbenchmarks (google-benchmark): the per-message
+// costs that dominate a simulated cycle — UPDATELEAFSET, UPDATEPREFIXTABLE,
+// CREATEMESSAGE — plus the convergence oracle build that the experiment
+// harness amortizes across cycles.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "core/leaf_set.hpp"
+#include "core/perfect_tables.hpp"
+#include "core/prefix_table.hpp"
+#include "id/id_generator.hpp"
+#include "tests/test_util.hpp"
+
+namespace bsvc {
+namespace {
+
+std::vector<NodeDescriptor> members(std::size_t n) { return test::random_descriptors(n, 42); }
+
+void BM_UpdateLeafSet(benchmark::State& state) {
+  const auto batch_size = static_cast<std::size_t>(state.range(0));
+  const auto pool = members(4096);
+  Rng rng(7);
+  LeafSet ls(pool[0].id, 20);
+  // Pre-warm with one batch so updates exercise the merge path.
+  ls.update(std::span(pool.data() + 1, 20));
+  std::vector<NodeDescriptor> batch(batch_size);
+  for (auto _ : state) {
+    for (auto& d : batch) d = pool[1 + rng.below(pool.size() - 1)];
+    ls.update(batch);
+    benchmark::DoNotOptimize(ls.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch_size));
+}
+BENCHMARK(BM_UpdateLeafSet)->Arg(20)->Arg(60)->Arg(120);
+
+void BM_UpdatePrefixTable(benchmark::State& state) {
+  const auto batch_size = static_cast<std::size_t>(state.range(0));
+  const auto pool = members(4096);
+  Rng rng(8);
+  PrefixTable table(pool[0].id, DigitConfig{4}, 3);
+  std::vector<NodeDescriptor> batch(batch_size);
+  for (auto _ : state) {
+    state.PauseTiming();
+    PrefixTable fresh(pool[0].id, DigitConfig{4}, 3);
+    for (auto& d : batch) d = pool[1 + rng.below(pool.size() - 1)];
+    state.ResumeTiming();
+    DescriptorList list(batch.begin(), batch.end());
+    benchmark::DoNotOptimize(fresh.insert_all(list));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch_size));
+}
+BENCHMARK(BM_UpdatePrefixTable)->Arg(60)->Arg(200);
+
+void BM_PrefixTableInsertSaturated(benchmark::State& state) {
+  // Inserts into a saturated table: the common steady-state case where most
+  // inserts are rejected after the cell-range binary search.
+  const auto pool = members(8192);
+  PrefixTable table(pool[0].id, DigitConfig{4}, 3);
+  DescriptorList all(pool.begin() + 1, pool.end());
+  table.insert_all(all);
+  Rng rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.insert(pool[1 + rng.below(pool.size() - 1)]));
+  }
+}
+BENCHMARK(BM_PrefixTableInsertSaturated);
+
+void BM_RingSortByDistance(benchmark::State& state) {
+  // The dominant kernel of CREATEMESSAGE: ordering the candidate union by
+  // directed distance around a pivot.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto pool = members(n + 1);
+  std::vector<NodeDescriptor> scratch(pool.begin() + 1, pool.end());
+  const NodeId pivot = pool[0].id;
+  for (auto _ : state) {
+    std::vector<NodeDescriptor> copy = scratch;
+    std::sort(copy.begin(), copy.end(), [pivot](const NodeDescriptor& a, const NodeDescriptor& b) {
+      return successor_distance(pivot, a.id) < successor_distance(pivot, b.id);
+    });
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_RingSortByDistance)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_PerfectTablesBuild(benchmark::State& state) {
+  // The oracle's trie walk over the sorted ID set (built once per membership
+  // epoch in experiments).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto pool = members(n);
+  BootstrapConfig cfg;
+  for (auto _ : state) {
+    PerfectTables truth(pool, cfg);
+    benchmark::DoNotOptimize(truth.perfect_prefix_sum());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_PerfectTablesBuild)->Arg(1 << 12)->Arg(1 << 14)->Arg(1 << 16);
+
+void BM_CommonPrefixDigits(benchmark::State& state) {
+  Rng rng(10);
+  const DigitConfig cfg{4};
+  NodeId x = rng.next_u64();
+  for (auto _ : state) {
+    const NodeId y = rng.next_u64();
+    benchmark::DoNotOptimize(common_prefix_digits(x, y, cfg));
+    x ^= y;
+  }
+}
+BENCHMARK(BM_CommonPrefixDigits);
+
+void BM_IdGeneration(benchmark::State& state) {
+  IdGenerator gen{Rng(11)};
+  for (auto _ : state) benchmark::DoNotOptimize(gen.next());
+}
+BENCHMARK(BM_IdGeneration);
+
+}  // namespace
+}  // namespace bsvc

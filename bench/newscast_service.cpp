@@ -1,0 +1,100 @@
+// §3 claims about the peer sampling layer (Newscast):
+//   - cost: one small UDP message per node per interval;
+//   - self-healing: sufficiently random samples quickly after catastrophic
+//     failures of up to 70% of the nodes;
+//   - fast randomization even from degenerate (identical) initial views.
+//
+// Prints view-graph quality (components, in-degree balance, clustering,
+// dead-entry fraction) per cycle across three scenarios.
+#include <cstdio>
+#include <memory>
+
+#include "common/flags.hpp"
+#include "common/table.hpp"
+#include "sampling/graph_metrics.hpp"
+#include "sampling/newscast.hpp"
+#include "sim/scenario.hpp"
+
+using namespace bsvc;
+
+namespace {
+
+struct Net {
+  std::unique_ptr<Engine> engine;
+  std::size_t n;
+
+  Net(std::size_t n, std::uint64_t seed, bool degenerate_init) : n(n) {
+    engine = std::make_unique<Engine>(seed);
+    for (std::size_t i = 0; i < n; ++i) {
+      const Address a = engine->add_node(static_cast<NodeId>(i * 2654435761u + 17));
+      engine->attach(a, std::make_unique<NewscastProtocol>(NewscastConfig{}));
+    }
+    for (Address a = 0; a < n; ++a) {
+      auto& nc = dynamic_cast<NewscastProtocol&>(engine->protocol(a, 0));
+      DescriptorList seeds;
+      if (degenerate_init) {
+        if (a != 0) seeds.push_back(engine->descriptor_of(0));  // everyone knows only node 0
+      } else {
+        for (int s = 0; s < 10; ++s) {
+          const auto peer = static_cast<Address>(engine->rng().below(n));
+          if (peer != a) seeds.push_back(engine->descriptor_of(peer));
+        }
+      }
+      nc.init_view(std::move(seeds));
+      engine->start_node(a);
+    }
+  }
+
+  void report(const char* scenario, std::size_t cycles, Table& table) {
+    for (std::size_t c = 0; c < cycles; ++c) {
+      engine->run_until(engine->now() + kDelta);
+      const auto s = measure_view_graph(*engine, 0);
+      table.add_row({scenario, std::to_string(c), std::to_string(s.alive_nodes),
+                     std::to_string(s.components), Table::num(s.indegree_mean, 3),
+                     Table::num(s.indegree_stddev, 3), std::to_string(s.indegree_max),
+                     Table::num(s.dead_entry_fraction, 3), Table::num(s.clustering, 3)});
+    }
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const bool full = flags.get_bool("full", std::getenv("REPRO_FULL") != nullptr);
+  const std::size_t n =
+      static_cast<std::size_t>(flags.get_int("n", full ? (1 << 14) : (1 << 12)));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  flags.finish();
+
+  std::printf("=== Newscast peer sampling service (N=%zu, view=30, Δ period) ===\n", n);
+  Table table({"scenario", "cycle", "alive", "components", "indeg_mean", "indeg_std",
+               "indeg_max", "dead_frac", "clustering"});
+
+  {
+    Net net(n, seed, /*degenerate_init=*/false);
+    net.report("steady", 10, table);
+    // Message cost check: ~2 transmissions (request+answer) per node/cycle,
+    // each a small UDP datagram.
+    const auto& t = net.engine->traffic();
+    std::printf("# steady cost: %.2f msgs/node/cycle, %.0f bytes/msg avg\n",
+                static_cast<double>(t.messages_sent) / (static_cast<double>(n) * 10.0),
+                static_cast<double>(t.bytes_sent) / static_cast<double>(t.messages_sent));
+  }
+  {
+    Net net(n, seed + 1, /*degenerate_init=*/false);
+    net.engine->run_until(10 * kDelta);
+    schedule_catastrophe(*net.engine, net.engine->now(), 0.7);
+    net.report("kill70%", 15, table);
+  }
+  {
+    Net net(n, seed + 2, /*degenerate_init=*/true);
+    net.report("star-init", 15, table);
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf("# expectations: components stays 1; after the 70%% kill the dead-entry\n"
+              "# fraction decays to ~0 within a few cycles (self-healing); from the\n"
+              "# degenerate star the in-degree max collapses toward the mean quickly.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// §5/§7 scalability claim: "the time required to reach a desired quality of
+// the leaf sets increases by an additive constant despite a four-fold
+// increase in the network size ... the time needed for convergence is
+// logarithmic in network size", plus per-node cost accounting (the protocol
+// is "cheap": ~2 bootstrap messages per node per cycle, small UDP payloads).
+//
+// Sweeps N over powers of two and prints cycles-to-perfect against log2(N),
+// alongside message and byte costs per node.
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+
+using namespace bsvc;
+using namespace bsvc::bench;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const bool full = flags.get_bool("full", std::getenv("REPRO_FULL") != nullptr);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  flags.finish();
+
+  std::vector<std::size_t> sizes{1u << 10, 1u << 11, 1u << 12, 1u << 13, 1u << 14};
+  if (full) {
+    sizes.push_back(1u << 16);
+    sizes.push_back(1u << 18);
+  }
+
+  std::printf("=== Scalability: convergence time vs network size ===\n");
+  Table table({"N", "log2(N)", "leaf_cycles", "prefix_cycles", "both_cycles",
+               "bootstrap_msgs/node", "bootstrap_kB/node", "avg_msg_B"});
+  int prev_cycles = -1;
+  std::size_t prev_n = 0;
+  std::vector<std::pair<double, double>> points;  // (log2 N, cycles)
+  for (const std::size_t n : sizes) {
+    ExperimentConfig cfg;
+    cfg.n = n;
+    cfg.seed = seed;
+    cfg.max_cycles = 80;
+    std::fprintf(stderr, "running N=%zu...\n", n);
+    BootstrapExperiment exp(cfg);
+    const auto r = exp.run();
+    const auto& s = r.bootstrap_stats;
+    const double msgs_per_node =
+        static_cast<double>(s.requests_sent + s.replies_sent) / static_cast<double>(n);
+    const double kb_per_node =
+        static_cast<double>(s.payload_bytes_sent) / static_cast<double>(n) / 1024.0;
+    table.add_row({std::to_string(n), Table::num(std::log2(static_cast<double>(n)), 3),
+                   std::to_string(r.leaf_converged_cycle),
+                   std::to_string(r.prefix_converged_cycle),
+                   std::to_string(r.converged_cycle), Table::num(msgs_per_node, 4),
+                   Table::num(kb_per_node, 4), Table::num(r.avg_message_bytes, 4)});
+    if (r.converged_cycle >= 0) points.emplace_back(std::log2(static_cast<double>(n)),
+                                                    static_cast<double>(r.converged_cycle));
+    if (prev_cycles >= 0 && n == prev_n * 4 && r.converged_cycle >= 0) {
+      std::printf("# 4x growth %zu -> %zu: +%d cycles (paper: additive constant)\n", prev_n, n,
+                  r.converged_cycle - prev_cycles);
+    }
+    prev_cycles = r.converged_cycle;
+    prev_n = n;
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // Least-squares fit cycles = a*log2(N) + b as the scaling summary.
+  if (points.size() >= 2) {
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    for (const auto& [x, y] : points) {
+      sx += x;
+      sy += y;
+      sxx += x * x;
+      sxy += x * y;
+    }
+    const double m = static_cast<double>(points.size());
+    const double a = (m * sxy - sx * sy) / (m * sxx - sx * sx);
+    const double b = (sy - a * sx) / m;
+    std::printf("# fit: cycles_to_perfect ~ %.2f * log2(N) + %.2f\n", a, b);
+  }
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Multiplexing short-lived applications over a shared pool (paper §1: "admit
+// allocation ... of pools of resources for relatively short periods to users
+// who could then build their own infrastructures on demand and abandon them
+// when they are done").
+//
+// The pool's only persistent layer is Newscast. Each time slice:
+//   1. the administrator floods a START signal via gossip broadcast;
+//   2. nodes estimate the pool size with gossip aggregation (to know how
+//      many cycles suffice for convergence);
+//   3. the bootstrapping service builds a fresh DHT (the per-tenant
+//      parameters differ per slice!);
+//   4. the tenant application routes lookups over its private overlay;
+//   5. the slice ends and the overlay is simply abandoned — the next tenant
+//      re-bootstraps from the liquid pool.
+//
+//   $ ./timeslice_multiplexing [--n 2048] [--seed 1]
+#include <cmath>
+#include <cstdio>
+
+#include "common/flags.hpp"
+#include "core/experiment.hpp"
+#include "gossip/aggregation.hpp"
+#include "gossip/broadcast.hpp"
+#include "overlay/pastry_router.hpp"
+#include "sampling/oracle_sampler.hpp"
+
+using namespace bsvc;
+
+namespace {
+
+// One tenant slice: bootstrap with tenant-specific parameters, run lookups,
+// abandon. Returns cycles used.
+int run_slice(const char* tenant, std::size_t n, std::uint64_t seed, BootstrapConfig params) {
+  ExperimentConfig cfg;
+  cfg.n = n;
+  cfg.seed = seed;
+  cfg.bootstrap = params;
+  cfg.max_cycles = 80;
+  BootstrapExperiment exp(cfg);
+  const auto result = exp.run();
+  if (result.converged_cycle < 0) {
+    std::printf("  [%s] did not converge!\n", tenant);
+    return -1;
+  }
+  const ConvergenceOracle oracle(exp.engine(), cfg.bootstrap, exp.bootstrap_slot());
+  const PastryRouter router(exp.engine(), exp.bootstrap_slot());
+  Rng rng(seed + 5);
+  const auto lookups = router.run_lookups(oracle, rng, 500);
+  std::printf("  [%s] overlay (b=%d, k=%d, c=%zu) perfect in %d cycles; 500 lookups: "
+              "%.1f%% correct, %.2f hops avg; slice abandoned.\n",
+              tenant, params.digits.bits_per_digit, params.k, params.c,
+              result.converged_cycle + 1, 100.0 * lookups.success_rate(), lookups.avg_hops);
+  return result.converged_cycle;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const std::size_t n = static_cast<std::size_t>(flags.get_int("n", 2048));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  flags.finish();
+
+  std::printf("A pool of %zu nodes; only the sampling service persists between tenants.\n\n",
+              n);
+
+  // --- Step 1+2 on the persistent layer: broadcast START, estimate size ---
+  {
+    Engine engine(seed);
+    for (std::size_t i = 0; i < n; ++i) {
+      const Address a = engine.add_node(static_cast<NodeId>(i * 2654435761u + 3));
+      auto sampler = std::make_unique<OracleSamplerProtocol>(engine, a);
+      auto* sp = sampler.get();
+      engine.attach(a, std::move(sampler));
+      engine.attach(a, std::make_unique<BroadcastProtocol>(BroadcastConfig{}, sp));
+      engine.attach(a, std::make_unique<AggregationProtocol>(AggregationConfig{}, sp,
+                                                             a == 0 ? 1.0 : 0.0));
+      engine.start_node(a);
+    }
+    engine.schedule_call(0, [](Engine& e) {
+      Context ctx(e, 0, 1);
+      dynamic_cast<BroadcastProtocol&>(e.protocol(0, 1)).seed(ctx, /*tag=*/1);
+    });
+    engine.run_until(30 * kDelta);
+    SimTime last_infection = 0;
+    for (Address a = 0; a < n; ++a) {
+      const auto& b = dynamic_cast<const BroadcastProtocol&>(engine.protocol(a, 1));
+      if (b.infected()) last_infection = std::max(last_infection, b.infected_at());
+    }
+    const auto& agg = dynamic_cast<const AggregationProtocol&>(engine.protocol(5, 2));
+    std::printf("START signal reached all nodes within %.1f cycles via gossip broadcast.\n",
+                static_cast<double>(last_infection) / static_cast<double>(kDelta));
+    std::printf("Gossip aggregation estimates pool size ~%.0f (true %zu) -> run "
+                "~%.0f cycles per slice.\n\n",
+                agg.size_estimate(), n,
+                2.0 * std::log2(agg.size_estimate()) + 5.0);
+  }
+
+  // --- Tenants with different overlay needs, one per time slice -----------
+  std::printf("Time slice 1: tenant 'index' wants a Pastry-style overlay (b=4).\n");
+  BootstrapConfig pastry_like;  // defaults: b=4, k=3, c=20
+  run_slice("index", n, seed + 1, pastry_like);
+
+  std::printf("\nTime slice 2: tenant 'kv' wants Kademlia-style redundancy (b=2, k=5).\n");
+  BootstrapConfig kad_like;
+  kad_like.digits = DigitConfig{2};
+  kad_like.k = 5;
+  run_slice("kv", n, seed + 2, kad_like);
+
+  std::printf("\nTime slice 3: tenant 'cache' wants slim tables (b=4, k=1, c=8).\n");
+  BootstrapConfig slim;
+  slim.k = 1;
+  slim.c = 8;
+  run_slice("cache", n, seed + 3, slim);
+
+  std::printf("\nThree tenants served back-to-back; each overlay was built from scratch in\n"
+              "a logarithmic number of cycles and discarded afterwards — no long-lived\n"
+              "structured state, exactly the paper's time-slice vision.\n");
+  return 0;
+}

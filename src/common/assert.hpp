@@ -1,0 +1,32 @@
+// Lightweight always-on invariant checking.
+//
+// BSVC_CHECK is active in all build types: simulation correctness depends on
+// data-structure invariants, and the cost of the checks used on hot paths is
+// negligible next to the work they guard. Failures abort with a location and
+// message, which is the right behaviour for a simulator (a violated invariant
+// makes every downstream number meaningless).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace bsvc {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const char* msg) {
+  std::fprintf(stderr, "BSVC_CHECK failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg == nullptr ? "" : msg);
+  std::abort();
+}
+
+}  // namespace bsvc
+
+#define BSVC_CHECK(expr)                                                  \
+  do {                                                                    \
+    if (!(expr)) ::bsvc::check_failed(#expr, __FILE__, __LINE__, nullptr); \
+  } while (false)
+
+#define BSVC_CHECK_MSG(expr, msg)                                      \
+  do {                                                                 \
+    if (!(expr)) ::bsvc::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (false)

@@ -1,0 +1,83 @@
+#include "common/flags.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace bsvc {
+
+namespace {
+[[noreturn]] void usage_error(const std::string& msg) {
+  std::fprintf(stderr, "flag error: %s\n", msg.c_str());
+  std::exit(2);
+}
+}  // namespace
+
+Flags::Flags(int argc, char** argv) {
+  program_ = argc > 0 ? argv[0] : "";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) usage_error("expected --flag, got '" + arg + "'");
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "";  // bare boolean
+    }
+  }
+}
+
+bool Flags::has(const std::string& name) const {
+  recognized_.push_back(name);
+  return values_.count(name) > 0;
+}
+
+std::string Flags::get_string(const std::string& name, const std::string& def) const {
+  recognized_.push_back(name);
+  const auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+std::int64_t Flags::get_int(const std::string& name, std::int64_t def) const {
+  recognized_.push_back(name);
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  char* end = nullptr;
+  const auto v = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') usage_error("--" + name + " expects an integer");
+  return v;
+}
+
+double Flags::get_double(const std::string& name, double def) const {
+  recognized_.push_back(name);
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (end == nullptr || *end != '\0') usage_error("--" + name + " expects a number");
+  return v;
+}
+
+bool Flags::get_bool(const std::string& name, bool def) const {
+  recognized_.push_back(name);
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  const std::string& v = it->second;
+  if (v.empty() || v == "true" || v == "1") return true;
+  if (v == "false" || v == "0") return false;
+  usage_error("--" + name + " expects true/false");
+}
+
+void Flags::finish() const {
+  for (const auto& [name, value] : values_) {
+    (void)value;
+    if (std::find(recognized_.begin(), recognized_.end(), name) == recognized_.end()) {
+      usage_error("unknown flag --" + name);
+    }
+  }
+}
+
+}  // namespace bsvc

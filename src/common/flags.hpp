@@ -1,0 +1,45 @@
+// Minimal command-line flag parsing for benches and examples.
+//
+// Syntax: --name=value, --name value, or bare --name for booleans.
+// Unknown flags are an error (benches should not silently ignore typos).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace bsvc {
+
+/// Parses flags once in main() and hands out typed lookups with defaults.
+class Flags {
+ public:
+  /// Parses argv; aborts with a message on malformed input.
+  Flags(int argc, char** argv);
+
+  /// True if --name was present at all.
+  bool has(const std::string& name) const;
+
+  /// String flag with default.
+  std::string get_string(const std::string& name, const std::string& def) const;
+  /// Integer flag with default (accepts 2^k suffix-free decimal only).
+  std::int64_t get_int(const std::string& name, std::int64_t def) const;
+  /// Floating-point flag with default.
+  double get_double(const std::string& name, double def) const;
+  /// Boolean flag: bare --name, or --name=true/false/1/0.
+  bool get_bool(const std::string& name, bool def) const;
+
+  /// Marks a flag as recognized; call for every flag the binary supports,
+  /// then finish() rejects anything the user passed that was never declared.
+  void finish() const;
+
+  /// Program name (argv[0]).
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  mutable std::vector<std::string> recognized_;
+};
+
+}  // namespace bsvc

@@ -1,0 +1,37 @@
+// Leveled logging with printf-style formatting.
+//
+// Benches run with logging at Warn; tests and examples may raise it. The
+// logger is a process-wide singleton because log level is genuinely global
+// configuration, and the simulator is single-threaded by design.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace bsvc {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Sets the global log threshold.
+void set_log_level(LogLevel level);
+/// Current global log threshold.
+LogLevel log_level();
+/// Parses "debug"/"info"/"warn"/"error"/"off"; unknown strings map to Info.
+LogLevel parse_log_level(const std::string& s);
+
+/// Emits a message if `level` passes the threshold. Prefer the macros below,
+/// which avoid evaluating arguments when disabled.
+void log_message(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+}  // namespace bsvc
+
+#define BSVC_LOG(level, ...)                                         \
+  do {                                                               \
+    if (static_cast<int>(level) >= static_cast<int>(::bsvc::log_level())) \
+      ::bsvc::log_message(level, __VA_ARGS__);                       \
+  } while (false)
+
+#define BSVC_DEBUG(...) BSVC_LOG(::bsvc::LogLevel::Debug, __VA_ARGS__)
+#define BSVC_INFO(...) BSVC_LOG(::bsvc::LogLevel::Info, __VA_ARGS__)
+#define BSVC_WARN(...) BSVC_LOG(::bsvc::LogLevel::Warn, __VA_ARGS__)
+#define BSVC_ERROR(...) BSVC_LOG(::bsvc::LogLevel::Error, __VA_ARGS__)

@@ -1,0 +1,103 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace bsvc {
+
+void Accumulator::add(double x) {
+  ++n_;
+  sum_ += x;
+  const double d = x - m_;
+  m_ += d / static_cast<double>(n_);
+  m2_ += d * (x - m_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double Accumulator::variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+double Samples::quantile(double q) {
+  if (xs_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(xs_.begin(), xs_.end());
+    sorted_ = true;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::size_t>(q * static_cast<double>(xs_.size() - 1) + 0.5);
+  return xs_[rank];
+}
+
+double Samples::mean() const {
+  if (xs_.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs_) s += x;
+  return s / static_cast<double>(xs_.size());
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0) {
+  BSVC_CHECK(hi > lo);
+  BSVC_CHECK(buckets > 0);
+}
+
+void Histogram::add(double x) {
+  const double frac = (x - lo_) / (hi_ - lo_);
+  auto b = static_cast<std::int64_t>(frac * static_cast<double>(counts_.size()));
+  b = std::clamp<std::int64_t>(b, 0, static_cast<std::int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(b)];
+  ++total_;
+}
+
+double Histogram::bucket_lo(std::size_t b) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(b) / static_cast<double>(counts_.size());
+}
+
+std::string Histogram::ascii(std::size_t max_width) const {
+  std::uint64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const auto width =
+        static_cast<std::size_t>(static_cast<double>(counts_[b]) / static_cast<double>(peak) *
+                                 static_cast<double>(max_width));
+    os << "[" << bucket_lo(b) << ", " << bucket_lo(b + 1) << ") " << counts_[b] << " "
+       << std::string(width, '#') << "\n";
+  }
+  return os.str();
+}
+
+TimeSeries::TimeSeries(std::vector<std::string> columns) : columns_(std::move(columns)) {
+  BSVC_CHECK(!columns_.empty());
+}
+
+void TimeSeries::add_row(const std::vector<double>& row) {
+  BSVC_CHECK(row.size() == columns_.size());
+  rows_.push_back(row);
+}
+
+std::string TimeSeries::to_csv() const {
+  std::ostringstream os;
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (c != 0) os << ",";
+    os << columns_[c];
+  }
+  os << "\n";
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) os << ",";
+      os << row[c];
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace bsvc

@@ -1,0 +1,108 @@
+// Small statistics toolkit used by metrics collection, benches and tests:
+// running moments, order statistics, fixed-bucket histograms, and per-cycle
+// time series with CSV export.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace bsvc {
+
+/// Running mean / variance / extrema (Welford). O(1) space.
+class Accumulator {
+ public:
+  /// Adds one observation.
+  void add(double x);
+
+  /// Number of observations so far.
+  std::uint64_t count() const { return n_; }
+  /// Sum of observations.
+  double sum() const { return sum_; }
+  /// Mean; 0 if empty.
+  double mean() const { return n_ == 0 ? 0.0 : m_; }
+  /// Unbiased sample variance; 0 with fewer than two observations.
+  double variance() const;
+  /// Sample standard deviation.
+  double stddev() const;
+  /// Minimum; +inf if empty.
+  double min() const { return min_; }
+  /// Maximum; -inf if empty.
+  double max() const { return max_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double m_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Stores all samples; provides exact quantiles. Use for per-node metrics
+/// where N is at most a few hundred thousand.
+class Samples {
+ public:
+  /// Adds one observation.
+  void add(double x) {
+    xs_.push_back(x);
+    sorted_ = false;
+  }
+  /// Number of observations.
+  std::size_t count() const { return xs_.size(); }
+  /// Exact q-quantile (nearest-rank, q in [0,1]); 0 if empty. Sorts lazily.
+  double quantile(double q);
+  /// Mean of all samples; 0 if empty.
+  double mean() const;
+
+ private:
+  std::vector<double> xs_;
+  bool sorted_ = false;
+};
+
+/// Fixed-width bucket histogram over [lo, hi); out-of-range values are
+/// clamped into the first/last bucket.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  std::uint64_t bucket_count(std::size_t b) const { return counts_.at(b); }
+  std::size_t buckets() const { return counts_.size(); }
+  std::uint64_t total() const { return total_; }
+  /// Lower edge of bucket b.
+  double bucket_lo(std::size_t b) const;
+  /// Renders a compact ASCII bar chart (for bench logs).
+  std::string ascii(std::size_t max_width = 50) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// A named collection of aligned per-cycle series; renders CSV and
+/// gnuplot-ready columns. Rows are appended one cycle at a time.
+class TimeSeries {
+ public:
+  /// Declares the column layout. First column is typically "cycle".
+  explicit TimeSeries(std::vector<std::string> columns);
+
+  /// Appends one row; must match the column count.
+  void add_row(const std::vector<double>& row);
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return columns_.size(); }
+  double at(std::size_t row, std::size_t col) const { return rows_.at(row).at(col); }
+  const std::string& column_name(std::size_t col) const { return columns_.at(col); }
+
+  /// CSV with a header line.
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<double>> rows_;
+};
+
+}  // namespace bsvc

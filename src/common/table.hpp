@@ -1,0 +1,30 @@
+// ASCII table rendering for bench output. Benches print the same rows the
+// paper's tables/figures report; this keeps the formatting in one place.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bsvc {
+
+/// Column-aligned ASCII table with a header row.
+class Table {
+ public:
+  /// Declares the header.
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row of pre-formatted cells; must match the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with `precision` significant digits.
+  static std::string num(double v, int precision = 6);
+
+  /// Renders with column padding and a separator under the header.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace bsvc

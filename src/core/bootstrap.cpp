@@ -1,0 +1,386 @@
+#include "core/bootstrap.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/logging.hpp"
+#include "net/codec.hpp"
+
+namespace bsvc {
+
+namespace {
+constexpr std::uint64_t kInitTimer = BootstrapProtocol::kRestartTimer;
+constexpr std::uint64_t kActiveTimer = 2;
+}  // namespace
+
+std::size_t BootstrapMessage::wire_bytes() const {
+  // sender descriptor + flag byte + the two length-prefixed lists + the
+  // length-prefixed tombstone list (id u64 + coarse expiry u32 each),
+  // matching the binary codec (tests assert the equivalence).
+  return kDescriptorWireBytes + 1 + descriptor_list_wire_bytes(ring_part.size()) +
+         descriptor_list_wire_bytes(prefix_part.size()) + 2 + tombstones.size() * 12;
+}
+
+BootstrapProtocol::BootstrapProtocol(BootstrapConfig config, PeerSampler* sampler,
+                                     BootstrapStats* stats, SimTime start_delay)
+    : config_(config), sampler_(sampler), stats_(stats), start_delay_(start_delay) {
+  BSVC_CHECK(sampler_ != nullptr);
+  BSVC_CHECK(config_.c >= 2);
+  BSVC_CHECK(config_.k >= 1);
+  config_.digits.validate<NodeId>();
+}
+
+void BootstrapProtocol::on_start(Context& ctx) {
+  self_ = {ctx.self_id(), ctx.self()};
+  ctx.schedule_timer(start_delay_, kInitTimer);
+}
+
+void BootstrapProtocol::on_timer(Context& ctx, std::uint64_t timer_id) {
+  switch (timer_id) {
+    case kInitTimer:
+      init_tables(ctx);
+      active_step(ctx);
+      // A restart re-initializes tables but must not spawn a second
+      // periodic chain.
+      if (!chain_started_) {
+        chain_started_ = true;
+        ctx.schedule_timer(config_.delta, kActiveTimer);
+      }
+      break;
+    case kActiveTimer:
+      active_step(ctx);
+      ctx.schedule_timer(config_.delta, kActiveTimer);
+      break;
+    default:
+      BSVC_CHECK_MSG(false, "unknown timer");
+  }
+}
+
+void BootstrapProtocol::init_tables(Context& /*ctx*/) {
+  leaf_.emplace(self_.id, config_.c);
+  prefix_.emplace(self_.id, config_.digits, config_.k);
+  const DescriptorList seeds = sampler_->sample(config_.c);
+  leaf_->update(seeds);
+}
+
+void BootstrapProtocol::active_step(Context& ctx) {
+  now_ = ctx.now();
+  if (config_.evict_unresponsive) {
+    maintenance_step(ctx);
+  }
+  probe_peer_ = {0, kNullAddress};
+  if (leaf_->empty()) {
+    // The sampling service had nothing for us at init (or everything we knew
+    // died); retry initialization — the paper's "last resort" role of the
+    // sampling layer.
+    leaf_->update(sampler_->sample(config_.c));
+    if (leaf_->empty()) {
+      if (stats_ != nullptr) ++stats_->select_peer_empty;
+      return;
+    }
+  }
+  const auto peer = select_peer(ctx);
+  if (!peer) {
+    if (stats_ != nullptr) ++stats_->select_peer_empty;
+    return;
+  }
+  auto msg = create_message(peer->id, /*is_request=*/true);
+  if (stats_ != nullptr) ++stats_->requests_sent;
+  probe_peer_ = *peer;
+  probe_answered_ = false;
+  ctx.send(peer->addr, std::move(msg));
+}
+
+void BootstrapProtocol::maintenance_step(Context& ctx) {
+  // 1. Probes unanswered for a full cycle are retried; only kProbeAttempts
+  // consecutive silences condemn the target (a single lost datagram must
+  // not spawn a death certificate — spread certificates amplify mistakes).
+  const SimTime now = ctx.now();
+  for (auto it = outstanding_probes_.begin(); it != outstanding_probes_.end();) {
+    if (now - it->sent > config_.delta) {
+      if (it->attempts >= kProbeAttempts) {
+        condemn(it->target.id, now);
+        last_heard_.erase(it->target.addr);
+        it = outstanding_probes_.erase(it);
+        continue;
+      }
+      ++it->attempts;
+      it->sent = now;
+      ctx.send(it->target.addr, std::make_unique<ProbeMessage>(/*is_reply=*/false));
+    }
+    ++it;
+  }
+  // Lazily drop expired certificates so the map stays bounded.
+  for (auto it = tombstones_.begin(); it != tombstones_.end();) {
+    it = it->second <= now ? tombstones_.erase(it) : std::next(it);
+  }
+  const auto already_probing = [this](Address addr) {
+    for (const auto& p : outstanding_probes_) {
+      if (p.target.addr == addr) return true;
+    }
+    return false;
+  };
+  const auto send_probe = [&](const NodeDescriptor& target) {
+    if (target.addr == kNullAddress || already_probing(target.addr)) return;
+    outstanding_probes_.push_back({target, now, 1});
+    ctx.send(target.addr, std::make_unique<ProbeMessage>(/*is_reply=*/false));
+  };
+
+  // 1b. An unanswered gossip exchange is a liveness hint: verify via the
+  // retrying probe path instead of condemning outright.
+  if (!probe_answered_ && probe_peer_.addr != kNullAddress) send_probe(probe_peer_);
+
+  // 2. Ping the least-recently-heard leaf entry (never-heard first) — this
+  // sweeps the whole leaf set within ~c cycles.
+  {
+    NodeDescriptor lru{0, kNullAddress};
+    SimTime oldest = ~SimTime{0};
+    for (const auto& d : leaf_->all()) {
+      const auto it = last_heard_.find(d.addr);
+      const SimTime heard = it == last_heard_.end() ? 0 : it->second;
+      if (heard < oldest) {
+        oldest = heard;
+        lru = d;
+      }
+    }
+    if (lru.addr != kNullAddress && now - oldest >= config_.delta) send_probe(lru);
+  }
+
+  // 3. Sweep a few prefix entries per cycle (round-robin cursor), so stale
+  // far-region entries are eventually cleared too.
+  const auto& entries = prefix_->entries();
+  constexpr std::size_t kPrefixProbesPerCycle = 3;
+  for (std::size_t i = 0; i < kPrefixProbesPerCycle && !entries.empty(); ++i) {
+    prefix_probe_cursor_ = (prefix_probe_cursor_ + 1) % entries.size();
+    const NodeDescriptor& d = entries[prefix_probe_cursor_];
+    const auto it = last_heard_.find(d.addr);
+    if (it == last_heard_.end() || now - it->second >= 2 * config_.delta) send_probe(d);
+  }
+}
+
+std::optional<NodeDescriptor> BootstrapProtocol::select_peer(Context& ctx) {
+  // Random element of the near half of the leaf set, taken per direction:
+  // the closest half of the successors plus the closest half of the
+  // predecessors. A single distance-sorted cut would, wherever the local ID
+  // density is lopsided, consist entirely of one direction — the two nodes
+  // flanking such a gap would then never exchange across it and the
+  // outermost far-side leaf entries could only arrive via lucky random
+  // samples (convergence would stall at a handful of missing entries).
+  const auto& succ = leaf_->successors();
+  const auto& pred = leaf_->predecessors();
+  const std::size_t ns = succ.empty() ? 0 : std::max<std::size_t>(1, succ.size() / 2);
+  const std::size_t np = pred.empty() ? 0 : std::max<std::size_t>(1, pred.size() / 2);
+  if (ns + np == 0) return std::nullopt;
+  const std::size_t pick = ctx.rng().below(ns + np);
+  return pick < ns ? succ[pick] : pred[pick - ns];
+}
+
+std::unique_ptr<BootstrapMessage> BootstrapProtocol::create_message(NodeId peer_id,
+                                                                    bool is_request) {
+  // Union of all locally available information: leaf set, cr fresh samples,
+  // the prefix table, and the own descriptor.
+  DescriptorList& un = union_buf_;
+  un.clear();
+  {
+    const auto& succ = leaf_->successors();
+    const auto& pred = leaf_->predecessors();
+    un.insert(un.end(), succ.begin(), succ.end());
+    un.insert(un.end(), pred.begin(), pred.end());
+  }
+  if (config_.use_random_samples) {
+    const DescriptorList samples = sampler_->sample(config_.cr);
+    un.insert(un.end(), samples.begin(), samples.end());
+  }
+  if (config_.prefix_entries_in_union) {
+    const auto& tbl = prefix_->entries();
+    un.insert(un.end(), tbl.begin(), tbl.end());
+  }
+  un.push_back(self_);
+
+  // Dedupe by ID; drop the peer's own descriptor (useless to send back).
+  std::sort(un.begin(), un.end(),
+            [](const NodeDescriptor& a, const NodeDescriptor& b) { return a.id < b.id; });
+  un.erase(std::unique(un.begin(), un.end(),
+                       [](const NodeDescriptor& a, const NodeDescriptor& b) {
+                         return a.id == b.id;
+                       }),
+           un.end());
+  un.erase(std::remove_if(un.begin(), un.end(),
+                          [peer_id](const NodeDescriptor& d) { return d.id == peer_id; }),
+           un.end());
+
+  // Ring part: the c entries closest to the peer in the leaf-set sense —
+  // c/2 closest successors and c/2 closest predecessors of the peer, with
+  // the same top-up rule UPDATELEAFSET uses. A symmetric min-distance cut
+  // would starve the outermost directional entries wherever the ID
+  // distribution is locally lopsided, and the last few leaf entries would
+  // never converge.
+  DescriptorList& succ = succ_buf_;
+  DescriptorList& pred = pred_buf_;
+  succ.clear();
+  pred.clear();
+  for (const auto& d : un) (is_successor(peer_id, d.id) ? succ : pred).push_back(d);
+  std::sort(succ.begin(), succ.end(),
+            [peer_id](const NodeDescriptor& a, const NodeDescriptor& b) {
+              return successor_distance(peer_id, a.id) < successor_distance(peer_id, b.id);
+            });
+  std::sort(pred.begin(), pred.end(),
+            [peer_id](const NodeDescriptor& a, const NodeDescriptor& b) {
+              return predecessor_distance(peer_id, a.id) < predecessor_distance(peer_id, b.id);
+            });
+  const std::size_t half = config_.c / 2;
+  std::size_t take_s = std::min(succ.size(), half);
+  std::size_t take_p = std::min(pred.size(), half);
+  std::size_t spare = config_.c - take_s - take_p;
+  const std::size_t extra_s = std::min(succ.size() - take_s, spare);
+  take_s += extra_s;
+  spare -= extra_s;
+  take_p += std::min(pred.size() - take_p, spare);
+
+  DescriptorList ring_part;
+  ring_part.reserve(take_s + take_p);
+  ring_part.insert(ring_part.end(), succ.begin(), succ.begin() + static_cast<std::ptrdiff_t>(take_s));
+  ring_part.insert(ring_part.end(), pred.begin(), pred.begin() + static_cast<std::ptrdiff_t>(take_p));
+
+  // Leftovers feed the prefix part below.
+  un.clear();
+  un.insert(un.end(), succ.begin() + static_cast<std::ptrdiff_t>(take_s), succ.end());
+  un.insert(un.end(), pred.begin() + static_cast<std::ptrdiff_t>(take_p), pred.end());
+  const std::size_t ring_n = 0;  // un now holds only unselected descriptors
+
+  // Prefix part: everything else that is potentially useful for the peer's
+  // prefix table — shares at least one digit of prefix with the peer — with
+  // at most k entries per (i, j) cell, so the part is bounded by the size of
+  // a full prefix table.
+  DescriptorList prefix_part;
+  if (config_.send_prefix_part) {
+    const int rows = config_.digits.num_digits<NodeId>();
+    const int radix = config_.digits.radix();
+    cell_fill_buf_.assign(static_cast<std::size_t>(rows) * static_cast<std::size_t>(radix), 0);
+    for (std::size_t idx = ring_n; idx < un.size(); ++idx) {
+      const NodeDescriptor& d = un[idx];
+      // Every candidate is potentially useful for exactly one (i, j) cell of
+      // the peer's table; ship up to k per cell (row 0 included — without it
+      // the first-digit cells would starve once leaf sets localize), so the
+      // additional part stays bounded by the size of the full prefix table.
+      const int i = common_prefix_digits(peer_id, d.id, config_.digits);
+      const int j = digit(d.id, i, config_.digits);
+      auto& fill = cell_fill_buf_[static_cast<std::size_t>(i) * static_cast<std::size_t>(radix) +
+                                  static_cast<std::size_t>(j)];
+      if (fill >= config_.k) continue;
+      ++fill;
+      prefix_part.push_back(d);
+    }
+  }
+
+  auto msg = std::make_unique<BootstrapMessage>(self_, std::move(ring_part),
+                                                std::move(prefix_part), is_request);
+  if (config_.evict_unresponsive && !tombstones_.empty()) {
+    for (const auto& [id, expiry] : tombstones_) {
+      if (expiry <= now_) continue;
+      msg->tombstones.push_back({id, expiry});
+      if (msg->tombstones.size() >= BootstrapMessage::kMaxTombstonesPerMessage) break;
+    }
+  }
+  if (stats_ != nullptr) {
+    stats_->entries_sent += msg->entries();
+    const auto bytes = static_cast<std::uint64_t>(msg->wire_bytes());
+    stats_->payload_bytes_sent += bytes;
+    stats_->max_message_bytes = std::max(stats_->max_message_bytes, bytes);
+  }
+  return msg;
+}
+
+void BootstrapProtocol::on_message(Context& ctx, Address from, const Payload& payload) {
+  if (config_.evict_unresponsive) {
+    // Anything heard from a peer proves liveness.
+    last_heard_[from] = ctx.now();
+    for (auto it = outstanding_probes_.begin(); it != outstanding_probes_.end(); ++it) {
+      if (it->target.addr == from) {
+        outstanding_probes_.erase(it);
+        break;
+      }
+    }
+  }
+  now_ = ctx.now();
+  if (const auto* probe = dynamic_cast<const ProbeMessage*>(&payload)) {
+    if (!probe->is_reply) ctx.send(from, std::make_unique<ProbeMessage>(/*is_reply=*/true));
+    return;
+  }
+  const auto* msg = dynamic_cast<const BootstrapMessage*>(&payload);
+  if (msg == nullptr) {
+    BSVC_WARN("bootstrap: unexpected payload type %s", payload.type_name());
+    return;
+  }
+  if (!active()) {
+    // Not yet initialized (start is loosely synchronized, a neighbour may be
+    // ahead of us). A real node would buffer; dropping is equivalent here
+    // because the sender retries every cycle.
+    return;
+  }
+  if (from == probe_peer_.addr) probe_answered_ = true;
+  if (msg->is_request) {
+    auto reply = create_message(msg->sender.id, /*is_request=*/false);
+    if (stats_ != nullptr) ++stats_->replies_sent;
+    ctx.send(from, std::move(reply));
+  }
+  if (stats_ != nullptr) ++stats_->messages_received;
+  if (config_.evict_unresponsive) adopt_tombstones(msg->tombstones, ctx.now());
+  update_from(*msg);
+}
+
+void BootstrapProtocol::condemn(NodeId id, SimTime now) {
+  leaf_->remove(id);
+  prefix_->remove(id);
+  const SimTime expiry = now + config_.tombstone_ttl_cycles * config_.delta;
+  auto& slot = tombstones_[id];
+  slot = std::max(slot, expiry);
+}
+
+bool BootstrapProtocol::is_tombstoned(NodeId id, SimTime now) const {
+  const auto it = tombstones_.find(id);
+  return it != tombstones_.end() && it->second > now;
+}
+
+void BootstrapProtocol::adopt_tombstones(const std::vector<Tombstone>& incoming, SimTime now) {
+  for (const auto& ts : incoming) {
+    if (ts.expiry <= now || ts.id == self_.id) continue;
+    auto& slot = tombstones_[ts.id];
+    if (ts.expiry > slot) {
+      slot = ts.expiry;
+      if (leaf_) leaf_->remove(ts.id);
+      if (prefix_) prefix_->remove(ts.id);
+    }
+  }
+}
+
+void BootstrapProtocol::update_from(const BootstrapMessage& msg) {
+  // One combined pass: both methods take "a set of node descriptors", and a
+  // single leaf-set rebuild is cheaper than three.
+  DescriptorList combined;
+  combined.reserve(msg.entries() + 1);
+  combined.insert(combined.end(), msg.ring_part.begin(), msg.ring_part.end());
+  combined.insert(combined.end(), msg.prefix_part.begin(), msg.prefix_part.end());
+  combined.push_back(msg.sender);
+  if (config_.evict_unresponsive && !tombstones_.empty()) {
+    combined.erase(std::remove_if(combined.begin(), combined.end(),
+                                  [this](const NodeDescriptor& d) {
+                                    return is_tombstoned(d.id, now_);
+                                  }),
+                   combined.end());
+  }
+  leaf_->update(combined);
+  prefix_->insert_all(combined);
+}
+
+const LeafSet& BootstrapProtocol::leaf_set() const {
+  BSVC_CHECK_MSG(leaf_.has_value(), "protocol not yet activated");
+  return *leaf_;
+}
+
+const PrefixTable& BootstrapProtocol::prefix_table() const {
+  BSVC_CHECK_MSG(prefix_.has_value(), "protocol not yet activated");
+  return *prefix_;
+}
+
+}  // namespace bsvc

@@ -1,0 +1,184 @@
+// The bootstrapping service protocol (paper §4, Figure 2).
+//
+// Every Δ ticks the active side picks a peer from the near half of its leaf
+// set (SELECTPEER), builds a message optimized for that peer
+// (CREATEMESSAGE), and sends it; the passive side answers with a message
+// built the same way, and both sides merge what they received into their
+// leaf set (UPDATELEAFSET) and prefix table (UPDATEPREFIXTABLE). The ring
+// construction and the prefix tables feed each other: prefix entries join
+// the ring candidate set, and the ring gossip carries targeted prefix
+// entries, so the half-built routing structure already "routes" descriptors
+// toward the nodes that need them.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "common/stats.hpp"
+#include "core/config.hpp"
+#include "core/leaf_set.hpp"
+#include "core/prefix_table.hpp"
+#include "sampling/peer_sampler.hpp"
+#include "sim/engine.hpp"
+#include "sim/protocol.hpp"
+
+namespace bsvc {
+
+/// A death certificate: `id` was observed unresponsive; suppress it until
+/// `expiry` (absolute virtual time). Spread epidemically with the gossip.
+struct Tombstone {
+  NodeId id = 0;
+  SimTime expiry = 0;
+};
+
+/// One push or pull message of the protocol: the ring-building part (the c
+/// locally known descriptors closest to the peer), the targeted prefix part
+/// (descriptors that fit the peer's prefix table), and — with the liveness
+/// extension — piggybacked death certificates.
+class BootstrapMessage final : public Payload {
+ public:
+  BootstrapMessage(NodeDescriptor sender, DescriptorList ring_part,
+                   DescriptorList prefix_part, bool is_request)
+      : sender(sender),
+        ring_part(std::move(ring_part)),
+        prefix_part(std::move(prefix_part)),
+        is_request(is_request) {}
+
+  std::size_t wire_bytes() const override;
+  const char* type_name() const override { return "bootstrap"; }
+
+  /// Total descriptors carried (excluding the sender descriptor).
+  std::size_t entries() const { return ring_part.size() + prefix_part.size(); }
+
+  NodeDescriptor sender;
+  DescriptorList ring_part;
+  DescriptorList prefix_part;
+  /// Death certificates piggybacked by the evict_unresponsive extension
+  /// (empty when the extension is off). Bounded by kMaxTombstonesPerMessage.
+  std::vector<Tombstone> tombstones;
+  bool is_request;
+
+  static constexpr std::size_t kMaxTombstonesPerMessage = 64;
+};
+
+/// Tiny liveness probe (and its echo) used by the evict_unresponsive
+/// extension's maintenance loop.
+class ProbeMessage final : public Payload {
+ public:
+  explicit ProbeMessage(bool is_reply) : is_reply(is_reply) {}
+  std::size_t wire_bytes() const override { return 1; }
+  const char* type_name() const override { return "probe"; }
+  bool is_reply;
+};
+
+/// Shared per-experiment counters (owned by the harness, written by every
+/// node's protocol instance; the simulation is single-threaded).
+struct BootstrapStats {
+  std::uint64_t requests_sent = 0;
+  std::uint64_t replies_sent = 0;
+  std::uint64_t messages_received = 0;
+  std::uint64_t entries_sent = 0;       // descriptors across all messages
+  std::uint64_t payload_bytes_sent = 0; // codec bytes, excl. UDP/IP headers
+  std::uint64_t max_message_bytes = 0;
+  std::uint64_t select_peer_empty = 0;  // active steps skipped: empty leaf set
+};
+
+/// Per-node protocol instance.
+class BootstrapProtocol final : public Protocol {
+ public:
+  /// `sampler` is the co-located peer sampling service (never null);
+  /// `stats` may be null. The protocol activates `start_delay` ticks after
+  /// node start — the harness draws these delays from the paper's "within
+  /// an interval of length Δ" to model the loosely synchronized start.
+  BootstrapProtocol(BootstrapConfig config, PeerSampler* sampler, BootstrapStats* stats,
+                    SimTime start_delay);
+
+  void on_start(Context& ctx) override;
+  void on_timer(Context& ctx, std::uint64_t timer_id) override;
+  void on_message(Context& ctx, Address from, const Payload& payload) override;
+
+  /// The evolving leaf set (valid after activation).
+  const LeafSet& leaf_set() const;
+  /// The evolving prefix table (valid after activation).
+  const PrefixTable& prefix_table() const;
+  /// Whether the protocol has initialized its tables yet.
+  bool active() const { return leaf_.has_value(); }
+
+  const BootstrapConfig& config() const { return config_; }
+
+  /// Timer id that (re)initializes the tables from the sampling service and
+  /// performs an immediate active step — the "bootstrap on demand" entry
+  /// point used by the recovery and merge scenarios. Schedule it with
+  /// Engine::schedule_timer(addr, slot, delay, kRestartTimer); the periodic
+  /// gossip chain is unaffected (it is started once and keeps running).
+  static constexpr std::uint64_t kRestartTimer = 1;
+
+  /// CREATEMESSAGE(q): see file comment. Public because tests assert its
+  /// invariants directly and the micro benches time it in isolation; the
+  /// protocol itself calls it from the active and passive paths.
+  std::unique_ptr<BootstrapMessage> create_message(NodeId peer_id, bool is_request);
+
+ private:
+  /// Initializes the leaf set from the sampling service and clears the
+  /// prefix table (the paper's start-time step).
+  void init_tables(Context& ctx);
+
+  /// One iteration of the active thread.
+  void active_step(Context& ctx);
+
+  /// SELECTPEER: random element of the first half of the leaf set sorted by
+  /// ring distance from the own ID.
+  std::optional<NodeDescriptor> select_peer(Context& ctx);
+
+  /// UPDATELEAFSET + UPDATEPREFIXTABLE over one received message.
+  void update_from(const BootstrapMessage& msg);
+
+  BootstrapConfig config_;
+  PeerSampler* sampler_;
+  BootstrapStats* stats_;
+  SimTime start_delay_;
+  NodeDescriptor self_{};
+  std::optional<LeafSet> leaf_;
+  std::optional<PrefixTable> prefix_;
+  bool chain_started_ = false;
+  // Liveness probe state for the evict_unresponsive extension: the peer the
+  // last request went to, and whether anything has been heard from it since.
+  NodeDescriptor probe_peer_{0, kNullAddress};
+  bool probe_answered_ = true;
+  // Maintenance loop state (extension): when each table entry was last
+  // heard from, probes awaiting an echo, and the prefix-sweep cursor.
+  std::unordered_map<Address, SimTime> last_heard_;
+  struct OutstandingProbe {
+    NodeDescriptor target;
+    SimTime sent = 0;
+    int attempts = 1;  // condemned only after kProbeAttempts failures
+  };
+  static constexpr int kProbeAttempts = 3;
+  std::vector<OutstandingProbe> outstanding_probes_;
+  std::size_t prefix_probe_cursor_ = 0;
+  // Active death certificates (id -> expiry), pruned lazily.
+  std::unordered_map<NodeId, SimTime> tombstones_;
+  // Virtual time at the latest callback (create_message has no Context).
+  SimTime now_ = 0;
+
+  /// One round of the maintenance loop: evict timed-out probe targets, then
+  /// ping the least-recently-heard leaf entry and a few prefix entries.
+  void maintenance_step(Context& ctx);
+
+  /// Records a certificate for an unresponsive peer and removes it locally.
+  void condemn(NodeId id, SimTime now);
+  /// True if `id` is currently tombstoned.
+  bool is_tombstoned(NodeId id, SimTime now) const;
+  /// Adopts certificates received from a peer.
+  void adopt_tombstones(const std::vector<Tombstone>& incoming, SimTime now);
+  // Scratch buffers reused across create_message calls to avoid per-message
+  // allocations on the hot path.
+  DescriptorList union_buf_;
+  DescriptorList succ_buf_;
+  DescriptorList pred_buf_;
+  std::vector<std::uint8_t> cell_fill_buf_;
+};
+
+}  // namespace bsvc

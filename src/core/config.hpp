@@ -1,0 +1,56 @@
+// Parameters of the bootstrapping service (paper §4, last paragraph).
+#pragma once
+
+#include <cstddef>
+
+#include "id/digits.hpp"
+#include "sim/engine.hpp"
+
+namespace bsvc {
+
+/// All protocol parameters, defaulted to the paper's simulation settings
+/// (§5: b = 4, k = 3, c = 20, cr = 30).
+struct BootstrapConfig {
+  /// Digit width in bits (the paper's b). Prefix table has 2^b columns.
+  DigitConfig digits{4};
+  /// Entries kept per (prefix length, differing digit) cell (the paper's k).
+  int k = 3;
+  /// Leaf set capacity: c/2 closest successors + c/2 closest predecessors.
+  std::size_t c = 20;
+  /// Random samples taken from the peer sampling service per message.
+  std::size_t cr = 30;
+  /// Communication period Δ in ticks.
+  SimTime delta = kDelta;
+
+  // --- ablation switches (all true = the paper's protocol) --------------
+
+  /// Feed prefix-table entries into the ring-building candidate set
+  /// (CREATEMESSAGE's union). Disabling isolates one direction of the
+  /// paper's "the two components mutually boost each other".
+  bool prefix_entries_in_union = true;
+  /// Append the targeted prefix part (descriptors useful for the peer's
+  /// table) to outgoing messages. Disabling degrades the protocol toward
+  /// plain T-Man ring building with passive table filling.
+  bool send_prefix_part = true;
+  /// Mix cr fresh random samples into every message.
+  bool use_random_samples = true;
+
+  // --- extension beyond the paper ----------------------------------------
+
+  /// Evict a peer from both tables when a request to it goes unanswered for
+  /// a full cycle, run a probing maintenance loop (LRU leaf probe + prefix
+  /// sweep), and spread death certificates: an evicted ID is tombstoned and
+  /// the tombstone piggybacks on outgoing messages, so the whole network
+  /// stops resurrecting the dead entry (without certificates, gossip
+  /// re-infects tables faster than local eviction cleans them — the classic
+  /// SIS-epidemic persistence). The paper's Fig. 2 protocol has no liveness
+  /// handling (deployed DHTs layer their own maintenance on top), so this
+  /// defaults to off; churn and recovery scenarios enable it. Under message
+  /// loss this can temporarily suppress live peers (they return after the
+  /// tombstone expires).
+  bool evict_unresponsive = false;
+  /// Tombstone lifetime, in cycles (only with evict_unresponsive).
+  std::size_t tombstone_ttl_cycles = 20;
+};
+
+}  // namespace bsvc

@@ -1,0 +1,161 @@
+#include "core/experiment.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/logging.hpp"
+#include "sampling/oracle_sampler.hpp"
+
+namespace bsvc {
+
+BootstrapExperiment::BootstrapExperiment(ExperimentConfig config) : config_(std::move(config)) {
+  BSVC_CHECK(config_.n >= 2);
+  TransportConfig transport;
+  transport.drop_probability = config_.drop_probability;
+  engine_ = std::make_unique<Engine>(config_.seed, transport);
+  ids_ = std::make_unique<IdGenerator>(Rng(config_.seed ^ 0x1D8AF066EF5E2D3Cull));
+  build_network();
+}
+
+Address BootstrapExperiment::make_node() {
+  Engine& engine = *engine_;
+  const Address addr = engine.add_node(ids_->next());
+
+  PeerSampler* sampler = nullptr;
+  if (config_.sampler == SamplerKind::Newscast) {
+    auto newscast = std::make_unique<NewscastProtocol>(config_.newscast);
+    sampler = newscast.get();
+    engine.attach(addr, std::move(newscast));
+  } else {
+    auto oracle = std::make_unique<OracleSamplerProtocol>(engine, addr);
+    sampler = oracle.get();
+    engine.attach(addr, std::move(oracle));
+  }
+
+  // Initial network construction staggers bootstrap starts after the warmup;
+  // later joiners (churn, merges) start within one cycle of being created.
+  const SimTime window =
+      std::max<SimTime>(1, static_cast<SimTime>(config_.start_window_cycles *
+                                                static_cast<double>(config_.bootstrap.delta)));
+  const SimTime start_delay =
+      built_ ? engine.rng().below(config_.bootstrap.delta)
+             : config_.warmup_cycles * config_.bootstrap.delta + engine.rng().below(window);
+  auto proto = std::make_unique<BootstrapProtocol>(config_.bootstrap, sampler, &stats_,
+                                                   start_delay);
+  bootstrap_slot_ = engine.attach(addr, std::move(proto));
+
+  // Joiners seed their Newscast view from random alive contacts (a joining
+  // node knows some existing members, as in any deployment).
+  if (built_ && config_.sampler == SamplerKind::Newscast) {
+    OracleSampler contacts(engine, addr);
+    auto& nc = dynamic_cast<NewscastProtocol&>(engine.protocol(addr, newscast_slot()));
+    nc.init_view(contacts.sample(config_.bootstrap_contacts));
+  }
+  return addr;
+}
+
+void BootstrapExperiment::build_network() {
+  Engine& engine = *engine_;
+  for (std::size_t i = 0; i < config_.n; ++i) make_node();
+
+  // Seed every Newscast view with random contacts (a functional-but-
+  // arbitrary starting overlay; warmup randomizes it). With an initial
+  // partition, contacts come from the node's own group only and a link
+  // filter isolates the groups — independent pools from the first tick.
+  const bool partitioned = !config_.initial_groups.empty();
+  if (partitioned) {
+    BSVC_CHECK_MSG(config_.initial_groups.size() == config_.n,
+                   "initial_groups must cover every node");
+    apply_partition(engine, config_.initial_groups);
+  }
+  if (config_.sampler == SamplerKind::Newscast) {
+    const auto group_of = [&](Address a) {
+      return partitioned ? config_.initial_groups[a] : 0u;
+    };
+    for (Address addr = 0; addr < config_.n; ++addr) {
+      DescriptorList seeds;
+      seeds.reserve(config_.bootstrap_contacts);
+      std::size_t guard = 0;
+      while (seeds.size() < config_.bootstrap_contacts && guard < 64 * config_.bootstrap_contacts) {
+        ++guard;
+        const auto peer = static_cast<Address>(engine.rng().below(config_.n));
+        if (peer != addr && group_of(peer) == group_of(addr)) {
+          seeds.push_back(engine.descriptor_of(peer));
+        }
+      }
+      auto& nc = dynamic_cast<NewscastProtocol&>(engine.protocol(addr, newscast_slot()));
+      nc.init_view(std::move(seeds));
+    }
+  }
+  for (Address addr = 0; addr < config_.n; ++addr) engine.start_node(addr);
+  bootstrap_epoch_ = config_.warmup_cycles * config_.bootstrap.delta;
+  built_ = true;
+}
+
+ExperimentResult BootstrapExperiment::run(
+    std::function<void(std::size_t, const ConvergenceMetrics&)> on_cycle) {
+  Engine& engine = *engine_;
+  const SimTime delta = config_.bootstrap.delta;
+
+  engine.run_until(bootstrap_epoch_);
+  engine.reset_traffic();
+  stats_ = {};
+
+  const bool churn =
+      config_.churn_fail_rate > 0.0 || config_.churn_join_rate > 0.0;
+  if (churn) {
+    ChurnConfig cc;
+    cc.from = bootstrap_epoch_;
+    cc.to = bootstrap_epoch_ + config_.max_cycles * delta;
+    cc.period = delta;
+    cc.fail_rate = config_.churn_fail_rate;
+    cc.join_rate = config_.churn_join_rate;
+    schedule_churn(engine, cc, [this](Engine&) { return make_node(); });
+  }
+
+  ExperimentResult result;
+  result.n = config_.n;
+
+  std::optional<ConvergenceOracle> oracle;
+  oracle.emplace(engine, config_.bootstrap, bootstrap_slot_);
+
+  for (std::size_t cycle = 0; cycle < config_.max_cycles; ++cycle) {
+    engine.run_until(bootstrap_epoch_ + (cycle + 1) * delta);
+    if (churn) oracle.emplace(engine, config_.bootstrap, bootstrap_slot_);
+    const ConvergenceMetrics metrics = oracle->measure(churn);
+    result.final_metrics = metrics;
+    const auto& traffic = engine.traffic();
+    result.series.add_row({static_cast<double>(cycle), metrics.missing_leaf_fraction(),
+                           metrics.missing_prefix_fraction(),
+                           static_cast<double>(engine.alive_count()),
+                           static_cast<double>(traffic.messages_sent),
+                           static_cast<double>(traffic.bytes_sent)});
+    if (on_cycle) on_cycle(cycle, metrics);
+
+    if (result.leaf_converged_cycle < 0 && metrics.leaf_converged()) {
+      result.leaf_converged_cycle = static_cast<int>(cycle);
+    }
+    if (result.prefix_converged_cycle < 0 && metrics.prefix_converged()) {
+      result.prefix_converged_cycle = static_cast<int>(cycle);
+    }
+    if (metrics.converged()) {
+      result.converged_cycle = static_cast<int>(cycle);
+      if (config_.stop_at_convergence && !churn) break;
+    }
+  }
+
+  result.bootstrap_stats = stats_;
+  result.traffic_during_bootstrap = engine.traffic();
+  const auto msgs = stats_.requests_sent + stats_.replies_sent;
+  result.avg_message_bytes =
+      msgs == 0 ? 0.0
+                : static_cast<double>(stats_.payload_bytes_sent) / static_cast<double>(msgs);
+  result.max_message_bytes = stats_.max_message_bytes;
+  return result;
+}
+
+const BootstrapProtocol& BootstrapExperiment::bootstrap_of(Address addr) const {
+  return dynamic_cast<const BootstrapProtocol&>(engine_->protocol(addr, bootstrap_slot_));
+}
+
+}  // namespace bsvc

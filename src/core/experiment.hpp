@@ -1,0 +1,112 @@
+// Experiment harness: assembles a complete network (simulation engine +
+// Newscast sampling layer + bootstrapping service on every node), drives it
+// cycle by cycle, measures the paper's convergence metrics against the
+// oracle, and reports traffic costs. All benches and most examples reuse it.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "common/stats.hpp"
+#include "core/bootstrap.hpp"
+#include "core/config.hpp"
+#include "core/oracle.hpp"
+#include "id/id_generator.hpp"
+#include "sampling/newscast.hpp"
+#include "sim/engine.hpp"
+#include "sim/scenario.hpp"
+
+namespace bsvc {
+
+/// Which peer sampling implementation backs the bootstrapping service.
+enum class SamplerKind {
+  Newscast,  // the paper's architecture: gossip sampling layer underneath
+  Oracle,    // idealized uniform sampling (isolation / ablation)
+};
+
+struct ExperimentConfig {
+  std::size_t n = std::size_t{1} << 12;
+  std::uint64_t seed = 1;
+  BootstrapConfig bootstrap;
+  NewscastConfig newscast;
+  SamplerKind sampler = SamplerKind::Newscast;
+  /// Transport loss (paper Fig. 4: 0.2).
+  double drop_probability = 0.0;
+  /// Newscast runs alone for this many cycles before the bootstrap starts
+  /// ("we are given a network where the sampling service is already
+  /// functional").
+  std::size_t warmup_cycles = 10;
+  /// Nodes start the bootstrap protocol at a uniformly random time within
+  /// this many Δ (paper: 1 — "within an interval of length Δ").
+  double start_window_cycles = 1.0;
+  /// Hard stop if not converged earlier.
+  std::size_t max_cycles = 150;
+  bool stop_at_convergence = true;
+  /// Optional continuous churn during the bootstrap phase (rates are per
+  /// cycle; enabled when fail_rate or join_rate > 0).
+  double churn_fail_rate = 0.0;
+  double churn_join_rate = 0.0;
+  /// Initial Newscast view seeds per node.
+  std::size_t bootstrap_contacts = 10;
+  /// Optional initial partition: group id per node address (empty = one
+  /// network). When set, a link filter blocks cross-group traffic from t=0
+  /// and Newscast views are seeded within groups only — two genuinely
+  /// independent pools, as in the merge scenarios. Heal with
+  /// heal_partition(engine) when the pools "merge".
+  std::vector<std::uint32_t> initial_groups;
+};
+
+struct ExperimentResult {
+  /// Columns: cycle, missing_leaf, missing_prefix, alive, msgs_sent_total,
+  /// bytes_sent_total (cumulative engine traffic at end of cycle).
+  TimeSeries series{{"cycle", "missing_leaf", "missing_prefix", "alive", "msgs", "bytes"}};
+  int leaf_converged_cycle = -1;    // -1: not within max_cycles
+  int prefix_converged_cycle = -1;
+  int converged_cycle = -1;
+  std::size_t n = 0;
+  BootstrapStats bootstrap_stats;
+  TrafficStats traffic_during_bootstrap;
+  /// Mean/max wire bytes per bootstrap message.
+  double avg_message_bytes = 0.0;
+  std::uint64_t max_message_bytes = 0;
+  /// Final metrics at the last measured cycle.
+  ConvergenceMetrics final_metrics;
+};
+
+/// Builds and runs one bootstrap experiment. The object stays alive after
+/// run() so examples can keep using the converged network (routing, etc.).
+class BootstrapExperiment {
+ public:
+  explicit BootstrapExperiment(ExperimentConfig config);
+
+  /// Runs warmup + bootstrap until convergence or max_cycles.
+  /// `on_cycle` (optional) observes (cycle, metrics) after each cycle.
+  ExperimentResult run(
+      std::function<void(std::size_t, const ConvergenceMetrics&)> on_cycle = nullptr);
+
+  Engine& engine() { return *engine_; }
+  const ExperimentConfig& config() const { return config_; }
+  ProtocolSlot newscast_slot() const { return 0; }
+  ProtocolSlot bootstrap_slot() const { return bootstrap_slot_; }
+
+  /// The bootstrap protocol instance of a node.
+  const BootstrapProtocol& bootstrap_of(Address addr) const;
+
+  /// Creates one more fully-stacked node (used by churn joins and the merge/
+  /// split examples); the caller starts it.
+  Address make_node();
+
+ private:
+  void build_network();
+
+  ExperimentConfig config_;
+  std::unique_ptr<Engine> engine_;
+  std::unique_ptr<IdGenerator> ids_;
+  BootstrapStats stats_;
+  ProtocolSlot bootstrap_slot_ = 1;
+  SimTime bootstrap_epoch_ = 0;
+  bool built_ = false;
+};
+
+}  // namespace bsvc

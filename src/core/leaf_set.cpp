@@ -1,0 +1,99 @@
+#include "core/leaf_set.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace bsvc {
+
+LeafSet::LeafSet(NodeId own, std::size_t capacity) : own_(own), capacity_(capacity) {
+  BSVC_CHECK(capacity >= 2);
+}
+
+void LeafSet::update(std::span<const NodeDescriptor> incoming) {
+  // Merge current content and the parameter set, then rebuild both sides.
+  std::vector<NodeDescriptor> candidates;
+  candidates.reserve(succs_.size() + preds_.size() + incoming.size());
+  candidates.insert(candidates.end(), succs_.begin(), succs_.end());
+  candidates.insert(candidates.end(), preds_.begin(), preds_.end());
+  for (const auto& d : incoming) {
+    if (d.id == own_ || d.addr == kNullAddress) continue;
+    candidates.push_back(d);
+  }
+  rebuild(std::move(candidates));
+}
+
+bool LeafSet::remove(NodeId id) {
+  const auto erase_from = [id](std::vector<NodeDescriptor>& v) {
+    const auto it = std::find_if(v.begin(), v.end(),
+                                 [id](const NodeDescriptor& d) { return d.id == id; });
+    if (it == v.end()) return false;
+    v.erase(it);
+    return true;
+  };
+  return erase_from(succs_) || erase_from(preds_);
+}
+
+void LeafSet::rebuild(std::vector<NodeDescriptor> candidates) {
+  // Dedupe by ID. Sorting by ID first makes the dedupe deterministic.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const NodeDescriptor& a, const NodeDescriptor& b) { return a.id < b.id; });
+  candidates.erase(std::unique(candidates.begin(), candidates.end(),
+                               [](const NodeDescriptor& a, const NodeDescriptor& b) {
+                                 return a.id == b.id;
+                               }),
+                   candidates.end());
+
+  std::vector<NodeDescriptor> succ, pred;
+  for (const auto& d : candidates) {
+    (is_successor(own_, d.id) ? succ : pred).push_back(d);
+  }
+  std::sort(succ.begin(), succ.end(), [this](const NodeDescriptor& a, const NodeDescriptor& b) {
+    return successor_distance(own_, a.id) < successor_distance(own_, b.id);
+  });
+  std::sort(pred.begin(), pred.end(), [this](const NodeDescriptor& a, const NodeDescriptor& b) {
+    return predecessor_distance(own_, a.id) < predecessor_distance(own_, b.id);
+  });
+
+  // Keep c/2 closest per direction; spare capacity from a short side tops up
+  // the other ("filled with the closest elements in the other direction").
+  const std::size_t half = capacity_ / 2;
+  std::size_t take_s = std::min(succ.size(), half);
+  std::size_t take_p = std::min(pred.size(), half);
+  std::size_t spare = capacity_ - take_s - take_p;
+  const std::size_t extra_s = std::min(succ.size() - take_s, spare);
+  take_s += extra_s;
+  spare -= extra_s;
+  take_p += std::min(pred.size() - take_p, spare);
+
+  succ.resize(take_s);
+  pred.resize(take_p);
+  succs_ = std::move(succ);
+  preds_ = std::move(pred);
+}
+
+DescriptorList LeafSet::all() const {
+  DescriptorList out;
+  out.reserve(size());
+  out.insert(out.end(), succs_.begin(), succs_.end());
+  out.insert(out.end(), preds_.begin(), preds_.end());
+  return out;
+}
+
+DescriptorList LeafSet::sorted_by_ring_distance() const {
+  DescriptorList out = all();
+  std::sort(out.begin(), out.end(), [this](const NodeDescriptor& a, const NodeDescriptor& b) {
+    return closer_on_ring(own_, a.id, b.id);
+  });
+  return out;
+}
+
+bool LeafSet::contains(NodeId id) const {
+  const auto in = [id](const std::vector<NodeDescriptor>& v) {
+    return std::any_of(v.begin(), v.end(),
+                       [id](const NodeDescriptor& d) { return d.id == id; });
+  };
+  return in(succs_) || in(preds_);
+}
+
+}  // namespace bsvc

@@ -1,0 +1,60 @@
+// The leaf set: a node's closest neighbours on the sorted ring of IDs.
+//
+// Semantics follow the paper's UPDATELEAFSET: merge new descriptors with the
+// current content, classify every ID as successor or predecessor of the own
+// ID on the ring of all possible IDs, and keep the c/2 closest in each
+// direction — topping up from the other direction when one side runs short
+// (only relevant when fewer than c other nodes are known to exist).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "id/descriptor.hpp"
+#include "id/ring.hpp"
+
+namespace bsvc {
+
+class LeafSet {
+ public:
+  /// `capacity` is the paper's c; it need not be even, the odd slot floats
+  /// to whichever direction has more candidates.
+  LeafSet(NodeId own, std::size_t capacity);
+
+  /// UPDATELEAFSET: tries to improve the set with the given descriptors.
+  /// Descriptors equal to the own ID and null addresses are ignored.
+  void update(std::span<const NodeDescriptor> incoming);
+
+  /// Removes an entry (used when a peer is detected dead). Returns whether
+  /// it was present.
+  bool remove(NodeId id);
+
+  /// Successors sorted by increasing successor-direction distance.
+  const std::vector<NodeDescriptor>& successors() const { return succs_; }
+  /// Predecessors sorted by increasing predecessor-direction distance.
+  const std::vector<NodeDescriptor>& predecessors() const { return preds_; }
+
+  /// All entries (successors then predecessors; no duplicates).
+  DescriptorList all() const;
+
+  /// Entries sorted by shortest ring distance from the own ID — the order
+  /// SELECTPEER draws from.
+  DescriptorList sorted_by_ring_distance() const;
+
+  bool contains(NodeId id) const;
+  std::size_t size() const { return succs_.size() + preds_.size(); }
+  bool empty() const { return size() == 0; }
+  std::size_t capacity() const { return capacity_; }
+  NodeId own_id() const { return own_; }
+
+ private:
+  void rebuild(std::vector<NodeDescriptor> candidates);
+
+  NodeId own_;
+  std::size_t capacity_;
+  std::vector<NodeDescriptor> succs_;
+  std::vector<NodeDescriptor> preds_;
+};
+
+}  // namespace bsvc

@@ -1,0 +1,152 @@
+#include "core/perfect_tables.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "id/ring.hpp"
+
+namespace bsvc {
+
+namespace {
+constexpr NodeId kHalfRing = NodeId{1} << 63;
+
+bool id_less(const NodeDescriptor& d, NodeId id) { return d.id < id; }
+}  // namespace
+
+PerfectTables::PerfectTables(std::vector<NodeDescriptor> members, const BootstrapConfig& config)
+    : members_(std::move(members)), config_(config) {
+  std::sort(members_.begin(), members_.end(),
+            [](const NodeDescriptor& a, const NodeDescriptor& b) { return a.id < b.id; });
+  for (std::size_t i = 1; i < members_.size(); ++i) {
+    BSVC_CHECK_MSG(members_[i - 1].id != members_[i].id, "duplicate node IDs");
+  }
+  perfect_prefix_.assign(members_.size(), 0);
+  if (members_.size() > 1) compute_perfect_prefix(0, members_.size(), 0, 0);
+}
+
+std::size_t PerfectTables::rank_of_id(NodeId id) const {
+  const auto it = std::lower_bound(members_.begin(), members_.end(), id, id_less);
+  BSVC_CHECK_MSG(it != members_.end() && it->id == id, "ID is not a member");
+  return static_cast<std::size_t>(it - members_.begin());
+}
+
+void PerfectTables::compute_perfect_prefix(std::size_t lo, std::size_t hi, int depth,
+                                           std::uint64_t acc) {
+  if (hi - lo == 1) {
+    // Alone at this prefix depth: all deeper rows have zero perfect entries.
+    perfect_prefix_[lo] = acc;
+    return;
+  }
+  BSVC_CHECK_MSG(depth < config_.digits.num_digits<NodeId>(),
+                 "non-unique IDs reached the bottom of the trie");
+  const int radix = config_.digits.radix();
+  const NodeId base = members_[lo].id;
+
+  // Child boundaries: bounds[j] = first index whose digit at `depth` is >= j.
+  std::vector<std::size_t> bounds(static_cast<std::size_t>(radix) + 1);
+  bounds[0] = lo;
+  bounds[static_cast<std::size_t>(radix)] = hi;
+  if (hi - lo < static_cast<std::size_t>(2 * radix)) {
+    // Small range: one linear scan beats 2^b binary searches.
+    std::size_t pos = lo;
+    for (int j = 0; j < radix; ++j) {
+      bounds[static_cast<std::size_t>(j)] = pos;
+      while (pos < hi && digit(members_[pos].id, depth, config_.digits) == j) ++pos;
+    }
+  } else {
+    for (int j = 1; j < radix; ++j) {
+      const NodeId lo_val = prefix_range_lo(base, depth, j, config_.digits);
+      bounds[static_cast<std::size_t>(j)] = static_cast<std::size_t>(
+          std::lower_bound(members_.begin() + static_cast<std::ptrdiff_t>(lo),
+                           members_.begin() + static_cast<std::ptrdiff_t>(hi), lo_val, id_less) -
+          members_.begin());
+    }
+  }
+
+  const auto capped = [this](std::size_t cnt) {
+    return std::min<std::uint64_t>(cnt, static_cast<std::uint64_t>(config_.k));
+  };
+  std::uint64_t sum_all = 0;
+  for (int j = 0; j < radix; ++j) {
+    sum_all +=
+        capped(bounds[static_cast<std::size_t>(j) + 1] - bounds[static_cast<std::size_t>(j)]);
+  }
+  for (int j = 0; j < radix; ++j) {
+    const std::size_t clo = bounds[static_cast<std::size_t>(j)];
+    const std::size_t chi = bounds[static_cast<std::size_t>(j) + 1];
+    if (clo == chi) continue;
+    // Row `depth` perfect count for every node in this child: all siblings,
+    // capped at k per cell.
+    compute_perfect_prefix(clo, chi, depth + 1, acc + sum_all - capped(chi - clo));
+  }
+}
+
+PerfectTables::LeafSpan PerfectTables::leaf_span(std::size_t rank) const {
+  const std::size_t n = members_.size();
+  LeafSpan span;
+  if (n <= 1) return span;
+  const NodeId p = members_[rank].id;
+  // Count members classified as successors: ids in (p, p + 2^63] on the ring
+  // (the tie at exactly half the ring counts as successor).
+  const NodeId hi_val = p + kHalfRing;  // wraps
+  const auto upper_rank = [this](NodeId v) {
+    return static_cast<std::size_t>(
+        std::upper_bound(members_.begin(), members_.end(), v,
+                         [](NodeId id, const NodeDescriptor& d) { return id < d.id; }) -
+        members_.begin());
+  };
+  std::size_t ns;
+  if (hi_val > p) {
+    ns = upper_rank(hi_val) - (rank + 1);
+  } else {
+    ns = (n - (rank + 1)) + upper_rank(hi_val);
+  }
+  const std::size_t np = n - 1 - ns;
+
+  const std::size_t half = config_.c / 2;
+  std::size_t take_s = std::min(ns, half);
+  std::size_t take_p = std::min(np, half);
+  std::size_t spare = config_.c - take_s - take_p;
+  const std::size_t extra_s = std::min(ns - take_s, spare);
+  take_s += extra_s;
+  spare -= extra_s;
+  take_p += std::min(np - take_p, spare);
+  span.succ_count = static_cast<std::uint32_t>(take_s);
+  span.pred_count = static_cast<std::uint32_t>(take_p);
+  return span;
+}
+
+std::vector<NodeId> PerfectTables::perfect_leaf_ids(std::size_t rank) const {
+  const std::size_t n = members_.size();
+  const LeafSpan span = leaf_span(rank);
+  std::vector<NodeId> out;
+  out.reserve(span.succ_count + span.pred_count);
+  for (std::uint32_t s = 1; s <= span.succ_count; ++s) out.push_back(members_[(rank + s) % n].id);
+  for (std::uint32_t s = 1; s <= span.pred_count; ++s) {
+    out.push_back(members_[(rank + n - s) % n].id);
+  }
+  return out;
+}
+
+std::uint64_t PerfectTables::perfect_prefix_total(std::size_t rank) const {
+  return perfect_prefix_.at(rank);
+}
+
+std::uint64_t PerfectTables::perfect_prefix_sum() const {
+  std::uint64_t sum = 0;
+  for (const auto v : perfect_prefix_) sum += v;
+  return sum;
+}
+
+NodeDescriptor PerfectTables::owner_of(NodeId key) const {
+  BSVC_CHECK(!members_.empty());
+  const std::size_t n = members_.size();
+  const auto it = std::lower_bound(members_.begin(), members_.end(), key, id_less);
+  const std::size_t up = static_cast<std::size_t>(it - members_.begin()) % n;  // first >= key, wraps
+  const std::size_t down = (up + n - 1) % n;
+  const NodeDescriptor& a = members_[up];
+  const NodeDescriptor& b = members_[down];
+  return closer_on_ring(key, a.id, b.id) ? a : b;
+}
+
+}  // namespace bsvc

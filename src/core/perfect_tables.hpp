@@ -1,0 +1,62 @@
+// Ground-truth structure computations over an explicit membership list.
+//
+// Given the set of node descriptors that currently exist, this class
+// answers: what is the perfect leaf set of each member, how many perfect
+// prefix-table entries does each member have, and which member owns a key.
+// ConvergenceOracle layers engine access on top of this; the sequential-join
+// baseline and tests use it directly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hpp"
+#include "id/descriptor.hpp"
+
+namespace bsvc {
+
+class PerfectTables {
+ public:
+  /// Directional sizes of a member's perfect leaf set.
+  struct LeafSpan {
+    std::uint32_t succ_count = 0;  // ranks rank+1 .. rank+succ_count
+    std::uint32_t pred_count = 0;  // ranks rank-1 .. rank-pred_count
+  };
+
+  /// `members` need not be sorted; IDs must be unique.
+  PerfectTables(std::vector<NodeDescriptor> members, const BootstrapConfig& config);
+
+  /// Membership sorted by ID.
+  const std::vector<NodeDescriptor>& sorted_members() const { return members_; }
+  std::size_t size() const { return members_.size(); }
+
+  /// Rank (position in the ID-sorted membership) of a member ID.
+  std::size_t rank_of_id(NodeId id) const;
+
+  /// Perfect leaf-set span of the member at `rank`.
+  LeafSpan leaf_span(std::size_t rank) const;
+
+  /// Perfect leaf-set IDs (successors ascending, then predecessors).
+  std::vector<NodeId> perfect_leaf_ids(std::size_t rank) const;
+
+  /// Perfect prefix-table entry total of the member at `rank`.
+  std::uint64_t perfect_prefix_total(std::size_t rank) const;
+
+  /// Sum of perfect prefix totals over all members.
+  std::uint64_t perfect_prefix_sum() const;
+
+  /// The member responsible for `key`: numerically closest on the ring,
+  /// successor side winning ties.
+  NodeDescriptor owner_of(NodeId key) const;
+
+  const BootstrapConfig& config() const { return config_; }
+
+ private:
+  void compute_perfect_prefix(std::size_t lo, std::size_t hi, int depth, std::uint64_t acc);
+
+  std::vector<NodeDescriptor> members_;  // sorted by id
+  BootstrapConfig config_;
+  std::vector<std::uint64_t> perfect_prefix_;  // by rank
+};
+
+}  // namespace bsvc

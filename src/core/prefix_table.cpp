@@ -1,0 +1,85 @@
+#include "core/prefix_table.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace bsvc {
+
+namespace {
+bool id_less(const NodeDescriptor& d, NodeId id) { return d.id < id; }
+}  // namespace
+
+PrefixTable::PrefixTable(NodeId own, DigitConfig digits, int k)
+    : own_(own), digits_(digits), k_(k), rows_(digits.num_digits<NodeId>()) {
+  digits_.validate<NodeId>();
+  BSVC_CHECK(k_ >= 1);
+}
+
+PrefixTable::Cell PrefixTable::cell_of(NodeId id) const {
+  BSVC_CHECK_MSG(id != own_, "cell_of is undefined for the own ID");
+  const int row = common_prefix_digits(own_, id, digits_);
+  return {row, digit(id, row, digits_)};
+}
+
+bool PrefixTable::insert(const NodeDescriptor& d) {
+  if (d.id == own_ || d.addr == kNullAddress) return false;
+  const Cell c = cell_of(d.id);
+  const auto [first, last] = cell_range(c.row, c.col);
+  if (last - first >= static_cast<std::size_t>(k_)) return false;
+  // Position within the (sorted) cell range; also detects duplicates.
+  const auto it = std::lower_bound(entries_.begin() + static_cast<std::ptrdiff_t>(first),
+                                   entries_.begin() + static_cast<std::ptrdiff_t>(last), d.id,
+                                   id_less);
+  if (it != entries_.begin() + static_cast<std::ptrdiff_t>(last) && it->id == d.id) return false;
+  entries_.insert(it, d);
+  return true;
+}
+
+std::size_t PrefixTable::insert_all(const DescriptorList& ds) {
+  std::size_t added = 0;
+  for (const auto& d : ds) {
+    if (insert(d)) ++added;
+  }
+  return added;
+}
+
+bool PrefixTable::remove(NodeId id) {
+  const auto it = std::lower_bound(entries_.begin(), entries_.end(), id, id_less);
+  if (it == entries_.end() || it->id != id) return false;
+  entries_.erase(it);
+  return true;
+}
+
+std::size_t PrefixTable::cell_count(int row, int col) const {
+  const auto [first, last] = cell_range(row, col);
+  return last - first;
+}
+
+DescriptorList PrefixTable::cell(int row, int col) const {
+  const auto [first, last] = cell_range(row, col);
+  return DescriptorList(entries_.begin() + static_cast<std::ptrdiff_t>(first),
+                        entries_.begin() + static_cast<std::ptrdiff_t>(last));
+}
+
+bool PrefixTable::contains(NodeId id) const {
+  const auto it = std::lower_bound(entries_.begin(), entries_.end(), id, id_less);
+  return it != entries_.end() && it->id == id;
+}
+
+std::pair<std::size_t, std::size_t> PrefixTable::cell_range(int row, int col) const {
+  BSVC_CHECK(row >= 0 && row < rows_);
+  BSVC_CHECK(col >= 0 && col < digits_.radix());
+  // (row, own digit) is not a cell: that interval belongs to deeper rows.
+  BSVC_CHECK_MSG(col != digit(own_, row, digits_), "queried the own-digit column");
+  const NodeId lo = prefix_range_lo(own_, row, col, digits_);
+  const NodeId hi = prefix_range_hi(own_, row, col, digits_);
+  const auto first = std::lower_bound(entries_.begin(), entries_.end(), lo, id_less);
+  // hi == 0 means the range runs to the top of the ID space.
+  const auto last = hi == 0 ? entries_.end()
+                            : std::lower_bound(first, entries_.end(), hi, id_less);
+  return {static_cast<std::size_t>(first - entries_.begin()),
+          static_cast<std::size_t>(last - entries_.begin())};
+}
+
+}  // namespace bsvc

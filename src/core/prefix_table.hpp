@@ -1,0 +1,77 @@
+// The prefix table (paper §4).
+//
+// For every pair (i, j) — i the length in digits of the longest common
+// prefix with the own ID, j the first differing digit — the table holds up
+// to k descriptors. Cell (i, j) therefore covers exactly the IDs in the
+// half-open interval [prefix_range_lo, prefix_range_hi): the first i digits
+// equal the own ID's, digit i equals j (≠ own digit i). Those intervals are
+// disjoint, so storing all entries in one ID-sorted vector keeps every cell
+// contiguous; cell lookups are two binary searches and memory stays compact
+// (12 bytes/entry), which is what makes 2^18-node simulations affordable.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/config.hpp"
+#include "id/descriptor.hpp"
+#include "id/digits.hpp"
+
+namespace bsvc {
+
+class PrefixTable {
+ public:
+  /// Coordinates of a cell.
+  struct Cell {
+    int row = 0;  // common prefix length i
+    int col = 0;  // first differing digit j
+  };
+
+  PrefixTable(NodeId own, DigitConfig digits, int k);
+
+  /// The cell a foreign ID falls into. Precondition: id != own ID.
+  Cell cell_of(NodeId id) const;
+
+  /// UPDATEPREFIXTABLE for one descriptor: fills a missing entry if the cell
+  /// has free capacity and the ID is not already present. Returns whether
+  /// the table changed. Own-ID and null-address descriptors are ignored.
+  bool insert(const NodeDescriptor& d);
+
+  /// Bulk UPDATEPREFIXTABLE. Returns the number of entries added.
+  std::size_t insert_all(const DescriptorList& ds);
+
+  /// Removes an entry by ID (dead-peer cleanup). Returns whether present.
+  bool remove(NodeId id);
+
+  /// Number of entries currently in cell (row, col).
+  std::size_t cell_count(int row, int col) const;
+
+  /// Copies the entries of one cell (at most k).
+  DescriptorList cell(int row, int col) const;
+
+  /// All entries, sorted by ID. This is the view CREATEMESSAGE unions into
+  /// its candidate set.
+  const std::vector<NodeDescriptor>& entries() const { return entries_; }
+
+  /// Total number of filled entries.
+  std::size_t filled() const { return entries_.size(); }
+
+  bool contains(NodeId id) const;
+
+  NodeId own_id() const { return own_; }
+  const DigitConfig& digits() const { return digits_; }
+  int k() const { return k_; }
+  int rows() const { return rows_; }
+
+ private:
+  /// [first, last) iterator range of a cell in entries_.
+  std::pair<std::size_t, std::size_t> cell_range(int row, int col) const;
+
+  NodeId own_;
+  DigitConfig digits_;
+  int k_;
+  int rows_;
+  std::vector<NodeDescriptor> entries_;  // sorted by id
+};
+
+}  // namespace bsvc

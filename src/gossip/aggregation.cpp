@@ -1,0 +1,47 @@
+#include "gossip/aggregation.hpp"
+
+#include "common/assert.hpp"
+#include "common/logging.hpp"
+
+namespace bsvc {
+
+namespace {
+constexpr std::uint64_t kExchangeTimer = 1;
+}
+
+AggregationProtocol::AggregationProtocol(AggregationConfig config, PeerSampler* sampler,
+                                         double initial_value)
+    : config_(config), sampler_(sampler), value_(initial_value) {
+  BSVC_CHECK(sampler_ != nullptr);
+  BSVC_CHECK(config_.period > 0);
+}
+
+void AggregationProtocol::on_start(Context& ctx) {
+  ctx.schedule_timer(ctx.rng().below(config_.period), kExchangeTimer);
+}
+
+void AggregationProtocol::on_timer(Context& ctx, std::uint64_t timer_id) {
+  BSVC_CHECK(timer_id == kExchangeTimer);
+  const auto peers = sampler_->sample(1);
+  if (!peers.empty()) {
+    ctx.send(peers.front().addr,
+             std::make_unique<AggregationMessage>(value_, /*is_request=*/true));
+  }
+  ctx.schedule_timer(config_.period, kExchangeTimer);
+}
+
+void AggregationProtocol::on_message(Context& ctx, Address from, const Payload& payload) {
+  const auto* msg = dynamic_cast<const AggregationMessage*>(&payload);
+  if (msg == nullptr) {
+    BSVC_WARN("aggregation: unexpected payload type %s", payload.type_name());
+    return;
+  }
+  if (msg->is_request) {
+    // Answer with the pre-averaging value so both sides converge to the same
+    // mean even though the messages cross.
+    ctx.send(from, std::make_unique<AggregationMessage>(value_, /*is_request=*/false));
+  }
+  value_ = (value_ + msg->value) / 2.0;
+}
+
+}  // namespace bsvc

@@ -1,0 +1,57 @@
+#include "gossip/broadcast.hpp"
+
+#include "common/assert.hpp"
+#include "common/logging.hpp"
+
+namespace bsvc {
+
+namespace {
+constexpr std::uint64_t kPushTimer = 1;
+}
+
+BroadcastProtocol::BroadcastProtocol(BroadcastConfig config, PeerSampler* sampler,
+                                     std::function<void(Context&, std::uint64_t)> on_delivery)
+    : config_(config), sampler_(sampler), on_delivery_(std::move(on_delivery)) {
+  BSVC_CHECK(sampler_ != nullptr);
+  BSVC_CHECK(config_.fanout >= 1);
+  BSVC_CHECK(config_.period > 0);
+}
+
+void BroadcastProtocol::seed(Context& ctx, std::uint64_t tag) { infect(ctx, tag); }
+
+void BroadcastProtocol::on_start(Context& /*ctx*/) {}
+
+void BroadcastProtocol::infect(Context& ctx, std::uint64_t tag) {
+  if (infected_) return;
+  infected_ = true;
+  infected_at_ = ctx.now();
+  tag_ = tag;
+  rounds_left_ = config_.hot_rounds;
+  if (on_delivery_) on_delivery_(ctx, tag);
+  push(ctx);
+  if (rounds_left_ > 0) ctx.schedule_timer(config_.period, kPushTimer);
+}
+
+void BroadcastProtocol::push(Context& ctx) {
+  for (const auto& peer : sampler_->sample(config_.fanout)) {
+    ctx.send(peer.addr, std::make_unique<RumorMessage>(tag_));
+  }
+  if (rounds_left_ > 0) --rounds_left_;
+}
+
+void BroadcastProtocol::on_timer(Context& ctx, std::uint64_t timer_id) {
+  BSVC_CHECK(timer_id == kPushTimer);
+  push(ctx);
+  if (rounds_left_ > 0) ctx.schedule_timer(config_.period, kPushTimer);
+}
+
+void BroadcastProtocol::on_message(Context& ctx, Address /*from*/, const Payload& payload) {
+  const auto* msg = dynamic_cast<const RumorMessage*>(&payload);
+  if (msg == nullptr) {
+    BSVC_WARN("broadcast: unexpected payload type %s", payload.type_name());
+    return;
+  }
+  infect(ctx, msg->tag);
+}
+
+}  // namespace bsvc

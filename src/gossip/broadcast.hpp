@@ -1,0 +1,74 @@
+// SI-model probabilistic broadcast over the peer sampling service.
+//
+// One of the architecture's "components that rely only on random samples"
+// (paper Fig. 1, [3]), and the mechanism the paper suggests for starting the
+// bootstrapping protocol "in a loosely synchronized manner ... by a system
+// administrator, using some form of broadcasting or flooding on top of the
+// peer sampling service". Infected nodes push the rumor to `fanout` random
+// peers every period; coverage reaches all nodes in O(log N) periods w.h.p.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sampling/peer_sampler.hpp"
+#include "sim/engine.hpp"
+#include "sim/protocol.hpp"
+
+namespace bsvc {
+
+/// The rumor message: an application-defined 64-bit tag (e.g. "start the
+/// bootstrap protocol at time T").
+class RumorMessage final : public Payload {
+ public:
+  explicit RumorMessage(std::uint64_t tag) : tag(tag) {}
+  std::size_t wire_bytes() const override { return 8; }
+  const char* type_name() const override { return "rumor"; }
+  std::uint64_t tag;
+};
+
+struct BroadcastConfig {
+  /// Peers pushed to per period while hot.
+  std::size_t fanout = 2;
+  /// Push period in ticks.
+  SimTime period = kDelta;
+  /// Periods a node keeps pushing after infection (bounded redundancy).
+  /// Total expected pushes per node is fanout * (hot_rounds + 1); residual
+  /// uninfected fraction ≈ exp(-fanout * (hot_rounds + 1)), so the default
+  /// leaves ~exp(-14) ≈ 1e-6 — full coverage at any practical size.
+  std::size_t hot_rounds = 6;
+};
+
+/// Per-node broadcast protocol instance.
+class BroadcastProtocol final : public Protocol {
+ public:
+  /// `on_delivery` fires exactly once per node, at infection time.
+  BroadcastProtocol(BroadcastConfig config, PeerSampler* sampler,
+                    std::function<void(Context&, std::uint64_t)> on_delivery = nullptr);
+
+  /// Injects the rumor at this node (the administrator's entry point).
+  /// Callable only via engine scheduling, e.g. schedule_call + protocol().
+  void seed(Context& ctx, std::uint64_t tag);
+
+  void on_start(Context& ctx) override;
+  void on_timer(Context& ctx, std::uint64_t timer_id) override;
+  void on_message(Context& ctx, Address from, const Payload& payload) override;
+
+  bool infected() const { return infected_; }
+  /// Time of infection (valid when infected()).
+  SimTime infected_at() const { return infected_at_; }
+
+ private:
+  void infect(Context& ctx, std::uint64_t tag);
+  void push(Context& ctx);
+
+  BroadcastConfig config_;
+  PeerSampler* sampler_;
+  std::function<void(Context&, std::uint64_t)> on_delivery_;
+  bool infected_ = false;
+  SimTime infected_at_ = 0;
+  std::uint64_t tag_ = 0;
+  std::size_t rounds_left_ = 0;
+};
+
+}  // namespace bsvc

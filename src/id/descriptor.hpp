@@ -1,0 +1,32 @@
+// Node descriptors: what protocol messages carry around.
+//
+// A descriptor pairs a logical ID with a transport address. Newscast
+// additionally timestamps descriptors; the bootstrapping service does not
+// need timestamps, so the timestamped variant lives with the sampling code.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "id/node_id.hpp"
+
+namespace bsvc {
+
+/// Identity + reachability of one node. Trivially copyable, 12 bytes packed
+/// semantics (we account 14 wire bytes: 8 id + 4 IPv4 + 2 port).
+struct NodeDescriptor {
+  NodeId id = 0;
+  Address addr = kNullAddress;
+
+  friend bool operator==(const NodeDescriptor&, const NodeDescriptor&) = default;
+};
+
+/// Estimated wire size of one descriptor (id + IPv4 + port), in bytes.
+/// Used by the transport's byte accounting; the exact binary codec in
+/// src/net encodes descriptors at this size.
+inline constexpr std::size_t kDescriptorWireBytes = 14;
+
+/// A set of descriptors as carried by one protocol message.
+using DescriptorList = std::vector<NodeDescriptor>;
+
+}  // namespace bsvc

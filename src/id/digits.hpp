@@ -1,0 +1,83 @@
+// Base-2^b digit and prefix arithmetic over IDs.
+//
+// An ID is read as a sequence of digits of b bits each, most significant
+// digit first (digit 0). The prefix table of the bootstrapping service and
+// the routing logic of Pastry/Tapestry/Bamboo are defined in terms of:
+//   - digit(id, i): the i-th digit,
+//   - common_prefix_digits(x, y): length in digits of the longest common
+//     prefix of x and y,
+//   - prefix ranges: the contiguous interval of the sorted ID space that
+//     shares a given digit prefix (used by the convergence oracle).
+#pragma once
+
+#include "common/assert.hpp"
+#include "id/node_id.hpp"
+
+namespace bsvc {
+
+/// Digit-space configuration: b bits per digit.
+struct DigitConfig {
+  int bits_per_digit = 4;
+
+  /// Number of distinct digit values (the paper's 2^b).
+  constexpr int radix() const { return 1 << bits_per_digit; }
+
+  /// Number of digits in an ID of type U.
+  template <IdUint U>
+  constexpr int num_digits() const {
+    return id_bits<U>() / bits_per_digit;
+  }
+
+  /// Validates that b divides the ID width and is in a sane range.
+  template <IdUint U>
+  void validate() const {
+    BSVC_CHECK_MSG(bits_per_digit >= 1 && bits_per_digit <= 8,
+                   "bits_per_digit must be in [1, 8]");
+    BSVC_CHECK_MSG(id_bits<U>() % bits_per_digit == 0,
+                   "bits_per_digit must divide the ID width");
+  }
+};
+
+/// The i-th digit (0 = most significant) of `id` under config `cfg`.
+template <IdUint U>
+constexpr int digit(U idv, int i, const DigitConfig& cfg) {
+  const int b = cfg.bits_per_digit;
+  const int shift = id_bits<U>() - (i + 1) * b;
+  return static_cast<int>((idv >> shift) & static_cast<U>((U{1} << b) - 1));
+}
+
+/// Length in digits of the longest common prefix of x and y.
+/// Returns num_digits if x == y.
+template <IdUint U>
+constexpr int common_prefix_digits(U x, U y, const DigitConfig& cfg) {
+  if (x == y) return cfg.num_digits<U>();
+  return count_leading_zeros<U>(x ^ y) / cfg.bits_per_digit;
+}
+
+/// Smallest ID whose first `digits` digits equal those of `idv` and whose
+/// digit `digits` is `d`; remaining bits are zero. This is the inclusive
+/// lower bound of the prefix range used by the oracle.
+/// Precondition: digits < num_digits (digit position `digits` must exist).
+template <IdUint U>
+constexpr U prefix_range_lo(U idv, int digits, int d, const DigitConfig& cfg) {
+  const int b = cfg.bits_per_digit;
+  const int kept_bits = digits * b;
+  U prefix = 0;
+  if (kept_bits > 0) {
+    // kept_bits < id_bits because digits < num_digits; the shift is valid.
+    prefix = static_cast<U>(idv >> (id_bits<U>() - kept_bits) << (id_bits<U>() - kept_bits));
+  }
+  const int shift = id_bits<U>() - kept_bits - b;
+  return static_cast<U>(prefix | (static_cast<U>(d) << shift));
+}
+
+/// Exclusive upper bound of the same prefix range; 0 means "wrapped past the
+/// top of the ID space" (i.e. the range extends to the maximum ID inclusive).
+template <IdUint U>
+constexpr U prefix_range_hi(U idv, int digits, int d, const DigitConfig& cfg) {
+  const int b = cfg.bits_per_digit;
+  const int shift = id_bits<U>() - digits * b - b;
+  return static_cast<U>(prefix_range_lo(idv, digits, d, cfg) + (U{1} << shift));
+}
+
+}  // namespace bsvc

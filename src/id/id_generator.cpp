@@ -1,0 +1,23 @@
+#include "id/id_generator.hpp"
+
+namespace bsvc {
+
+NodeId IdGenerator::next() {
+  // Collisions in a 64-bit space are vanishingly rare at simulated sizes;
+  // the loop exists for correctness, not performance.
+  for (;;) {
+    const NodeId id = rng_.next_u64();
+    if (used_.insert(id).second) return id;
+  }
+}
+
+std::vector<NodeId> IdGenerator::next_batch(std::size_t n) {
+  std::vector<NodeId> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(next());
+  return out;
+}
+
+bool IdGenerator::reserve(NodeId id) { return used_.insert(id).second; }
+
+}  // namespace bsvc

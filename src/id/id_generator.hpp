@@ -1,0 +1,37 @@
+// Generation of unique random node IDs.
+//
+// The paper assumes "all nodes have unique numeric IDs" drawn uniformly at
+// random (as produced by hashing keys/addresses in deployed DHTs). The
+// generator guarantees uniqueness, which the simulator requires: duplicate
+// IDs would make "the" perfect leaf set ill-defined.
+#pragma once
+
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "id/node_id.hpp"
+
+namespace bsvc {
+
+/// Produces unique uniformly random 64-bit node IDs.
+class IdGenerator {
+ public:
+  explicit IdGenerator(Rng rng) : rng_(rng) {}
+
+  /// Returns a fresh ID never returned before by this generator.
+  NodeId next();
+
+  /// Returns `n` fresh unique IDs.
+  std::vector<NodeId> next_batch(std::size_t n);
+
+  /// Registers an externally-chosen ID so next() will avoid it.
+  /// Returns false if it was already taken.
+  bool reserve(NodeId id);
+
+ private:
+  Rng rng_;
+  std::unordered_set<NodeId> used_;
+};
+
+}  // namespace bsvc

@@ -1,0 +1,53 @@
+// Node identifier types.
+//
+// The paper uses 64-bit IDs ("using only 64 bits ... is not limiting since
+// the length of the largest common prefix is much less than 64 bits for all
+// node pairs in networks of any practical size"). All ring and prefix
+// arithmetic in this library is generic over the unsigned ID width, so the
+// canonical 128-bit DHT ID space is available too (used in property tests).
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+
+namespace bsvc {
+
+/// Concept satisfied by valid ID representations: built-in unsigned integers
+/// including the 128-bit extension type.
+template <typename U>
+concept IdUint = std::unsigned_integral<U> || std::same_as<U, unsigned __int128>;
+
+/// The canonical ID type used by the simulator (matches the paper).
+using NodeId = std::uint64_t;
+
+/// Wide ID type for 128-bit ID spaces (Kademlia/Pastry deployments).
+using NodeId128 = unsigned __int128;
+
+/// Number of bits in an ID type.
+template <IdUint U>
+constexpr int id_bits() {
+  return static_cast<int>(sizeof(U) * 8);
+}
+
+/// Count of leading zero bits, generic over width; 128-bit aware.
+/// Returns id_bits<U>() for x == 0.
+template <IdUint U>
+constexpr int count_leading_zeros(U x) {
+  if (x == 0) return id_bits<U>();
+  if constexpr (sizeof(U) <= 8) {
+    return __builtin_clzll(static_cast<unsigned long long>(x)) -
+           (64 - id_bits<U>());
+  } else {
+    const auto hi = static_cast<std::uint64_t>(x >> 64);
+    if (hi != 0) return __builtin_clzll(hi);
+    return 64 + __builtin_clzll(static_cast<std::uint64_t>(x));
+  }
+}
+
+/// A network address: a dense handle the simulated transport can deliver to.
+/// Real deployments would hold IP:port here; the simulator uses the node's
+/// slot index. kNullAddress is "no such node".
+using Address = std::uint32_t;
+inline constexpr Address kNullAddress = 0xFFFFFFFFu;
+
+}  // namespace bsvc

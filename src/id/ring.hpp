@@ -1,0 +1,55 @@
+// Ring geometry over the full ID space (the "ring of all possible IDs").
+//
+// Distances wrap around 2^bits via unsigned arithmetic. The paper classifies
+// every ID relative to a node's own ID as a successor (closer in the
+// increasing direction) or a predecessor (otherwise); ties at exactly half
+// the ring are resolved as successor so the classification is total.
+#pragma once
+
+#include <algorithm>
+
+#include "id/node_id.hpp"
+
+namespace bsvc {
+
+/// Distance from `from` to `to` travelling in the increasing direction.
+template <IdUint U>
+constexpr U successor_distance(U from, U to) {
+  return static_cast<U>(to - from);  // wraps mod 2^bits
+}
+
+/// Distance from `from` to `to` travelling in the decreasing direction.
+template <IdUint U>
+constexpr U predecessor_distance(U from, U to) {
+  return static_cast<U>(from - to);
+}
+
+/// Shortest ring distance between two IDs (min of the two directions).
+template <IdUint U>
+constexpr U ring_distance(U a, U b) {
+  return std::min(successor_distance(a, b), predecessor_distance(a, b));
+}
+
+/// True iff `x` is a successor of `own`: strictly closer (or equally close)
+/// in the increasing direction. `x == own` is not a successor of itself.
+template <IdUint U>
+constexpr bool is_successor(U own, U x) {
+  if (x == own) return false;
+  return successor_distance(own, x) <= predecessor_distance(own, x);
+}
+
+/// Three-way helper for sorting by ring distance from a pivot with a total,
+/// deterministic order: primary key is the shortest ring distance, ties
+/// (successor vs predecessor at the same distance) prefer the successor,
+/// and equal IDs compare equal.
+template <IdUint U>
+constexpr bool closer_on_ring(U pivot, U a, U b) {
+  const U da = ring_distance(pivot, a);
+  const U db = ring_distance(pivot, b);
+  if (da != db) return da < db;
+  if (a == b) return false;
+  // Same distance, different IDs: one is the successor side, prefer it.
+  return is_successor(pivot, a) && !is_successor(pivot, b);
+}
+
+}  // namespace bsvc

@@ -1,0 +1,191 @@
+#include "overlay/tman.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/logging.hpp"
+#include "net/codec.hpp"
+
+namespace bsvc {
+
+namespace {
+constexpr std::uint64_t kInitTimer = 1;
+constexpr std::uint64_t kActiveTimer = 2;
+
+/// Best-first comparator for a pivot under a ranking, with ID tie-break so
+/// sorting is total and deterministic.
+struct RankLess {
+  const RankingFunction& ranking;
+  NodeId pivot;
+  bool operator()(const NodeDescriptor& a, const NodeDescriptor& b) const {
+    const auto ra = ranking(pivot, a.id);
+    const auto rb = ranking(pivot, b.id);
+    if (ra != rb) return ra < rb;
+    return a.id < b.id;
+  }
+};
+
+void sort_dedupe_for(DescriptorList& list, const RankingFunction& ranking, NodeId pivot) {
+  std::sort(list.begin(), list.end(),
+            [](const NodeDescriptor& a, const NodeDescriptor& b) { return a.id < b.id; });
+  list.erase(std::unique(list.begin(), list.end(),
+                         [](const NodeDescriptor& a, const NodeDescriptor& b) {
+                           return a.id == b.id;
+                         }),
+             list.end());
+  std::sort(list.begin(), list.end(), RankLess{ranking, pivot});
+}
+}  // namespace
+
+std::uint64_t ring_ranking(NodeId pivot, NodeId x) { return ring_distance(pivot, x); }
+
+std::uint64_t xor_ranking(NodeId pivot, NodeId x) { return pivot ^ x; }
+
+std::uint64_t torus_ranking(NodeId pivot, NodeId x) {
+  const auto px = static_cast<std::uint32_t>(pivot >> 32);
+  const auto py = static_cast<std::uint32_t>(pivot);
+  const auto xx = static_cast<std::uint32_t>(x >> 32);
+  const auto xy = static_cast<std::uint32_t>(x);
+  const std::uint32_t dx = std::min(xx - px, px - xx);  // wrap-around per axis
+  const std::uint32_t dy = std::min(xy - py, py - xy);
+  return static_cast<std::uint64_t>(dx) + static_cast<std::uint64_t>(dy);
+}
+
+std::size_t TManMessage::wire_bytes() const {
+  return kDescriptorWireBytes + 1 + descriptor_list_wire_bytes(entries.size());
+}
+
+TManProtocol::TManProtocol(TManConfig config, RankingFunction ranking, PeerSampler* sampler,
+                           SimTime start_delay)
+    : config_(config),
+      ranking_(std::move(ranking)),
+      sampler_(sampler),
+      start_delay_(start_delay) {
+  BSVC_CHECK(sampler_ != nullptr);
+  BSVC_CHECK(ranking_ != nullptr);
+  BSVC_CHECK(config_.m >= 1);
+  BSVC_CHECK(config_.psi >= 1);
+}
+
+void TManProtocol::on_start(Context& ctx) {
+  self_ = {ctx.self_id(), ctx.self()};
+  ctx.schedule_timer(start_delay_, kInitTimer);
+}
+
+void TManProtocol::on_timer(Context& ctx, std::uint64_t timer_id) {
+  switch (timer_id) {
+    case kInitTimer:
+      started_ = true;
+      view_.clear();
+      update_from(sampler_->sample(config_.m), self_);
+      active_step(ctx);
+      ctx.schedule_timer(config_.delta, kActiveTimer);
+      break;
+    case kActiveTimer:
+      active_step(ctx);
+      ctx.schedule_timer(config_.delta, kActiveTimer);
+      break;
+    default:
+      BSVC_CHECK_MSG(false, "unknown timer");
+  }
+}
+
+void TManProtocol::active_step(Context& ctx) {
+  if (view_.empty()) {
+    update_from(sampler_->sample(config_.m), self_);
+    if (view_.empty()) return;
+  }
+  const std::size_t span = std::min(config_.psi, view_.size());
+  const NodeDescriptor peer = view_[ctx.rng().below(span)];
+  ctx.send(peer.addr, std::make_unique<TManMessage>(self_, select_for(peer.id),
+                                                    /*is_request=*/true));
+}
+
+DescriptorList TManProtocol::select_for(NodeId peer_id) const {
+  DescriptorList candidates = view_;
+  const DescriptorList samples = sampler_->sample(config_.cr);
+  candidates.insert(candidates.end(), samples.begin(), samples.end());
+  candidates.push_back(self_);
+  candidates.erase(std::remove_if(candidates.begin(), candidates.end(),
+                                  [peer_id](const NodeDescriptor& d) {
+                                    return d.id == peer_id;
+                                  }),
+                   candidates.end());
+  sort_dedupe_for(candidates, ranking_, peer_id);
+  if (candidates.size() > config_.m) candidates.resize(config_.m);
+  return candidates;
+}
+
+void TManProtocol::update_from(const DescriptorList& entries, const NodeDescriptor& sender) {
+  DescriptorList merged = view_;
+  merged.insert(merged.end(), entries.begin(), entries.end());
+  if (sender.addr != kNullAddress && sender.id != self_.id) merged.push_back(sender);
+  merged.erase(std::remove_if(merged.begin(), merged.end(),
+                              [this](const NodeDescriptor& d) {
+                                return d.id == self_.id || d.addr == kNullAddress;
+                              }),
+               merged.end());
+  sort_dedupe_for(merged, ranking_, self_.id);
+  if (merged.size() > config_.m) merged.resize(config_.m);
+  view_ = std::move(merged);
+}
+
+void TManProtocol::on_message(Context& ctx, Address from, const Payload& payload) {
+  const auto* msg = dynamic_cast<const TManMessage*>(&payload);
+  if (msg == nullptr) {
+    BSVC_WARN("tman: unexpected payload type %s", payload.type_name());
+    return;
+  }
+  if (!started_) return;
+  if (msg->is_request) {
+    ctx.send(from, std::make_unique<TManMessage>(self_, select_for(msg->sender.id),
+                                                 /*is_request=*/false));
+  }
+  update_from(msg->entries, msg->sender);
+}
+
+TManOracle::TManOracle(const Engine& engine, ProtocolSlot slot, RankingFunction ranking,
+                       std::size_t m)
+    : engine_(engine), slot_(slot), ranking_(std::move(ranking)), m_(m) {
+  for (const Address addr : engine.alive_addresses()) {
+    members_.push_back(engine.descriptor_of(addr));
+  }
+}
+
+std::vector<NodeId> TManOracle::true_neighbours(NodeId pivot) const {
+  DescriptorList others;
+  others.reserve(members_.size());
+  for (const auto& d : members_) {
+    if (d.id != pivot) others.push_back(d);
+  }
+  std::sort(others.begin(), others.end(), RankLess{ranking_, pivot});
+  if (others.size() > m_) others.resize(m_);
+  std::vector<NodeId> out;
+  out.reserve(others.size());
+  for (const auto& d : others) out.push_back(d.id);
+  return out;
+}
+
+double TManOracle::missing_fraction() const {
+  std::uint64_t perfect = 0;
+  std::uint64_t present = 0;
+  for (const auto& member : members_) {
+    const auto& proto = dynamic_cast<const TManProtocol&>(engine_.protocol(member.addr, slot_));
+    const auto truth = true_neighbours(member.id);
+    perfect += truth.size();
+    if (!proto.active()) continue;
+    for (const NodeId want : truth) {
+      for (const auto& held : proto.view()) {
+        if (held.id == want) {
+          ++present;
+          break;
+        }
+      }
+    }
+  }
+  return perfect == 0
+             ? 0.0
+             : 1.0 - static_cast<double>(present) / static_cast<double>(perfect);
+}
+
+}  // namespace bsvc

@@ -1,0 +1,127 @@
+// T-Man: generic gossip-based topology construction (paper reference [5],
+// the mechanism underlying the bootstrapping service's ring building, and
+// the architecture's support for "other overlays, such as proximity based
+// ones" — Fig. 1).
+//
+// Every node keeps a view of the m best-ranked peers according to a
+// pluggable ranking function (lower rank value = better neighbour for the
+// pivot). Each cycle it gossips with one of its best-ranked peers; both
+// sides exchange the m entries best *for the receiver* plus fresh random
+// samples, and merge keeping their m best. The view converges to each
+// node's true m nearest neighbours in the ranking geometry.
+//
+// Rankings provided: ring distance (the bootstrap's geometry), XOR distance
+// (Kademlia's), and wrap-around Manhattan distance on a 2D torus obtained
+// by splitting the 64-bit ID into two 32-bit coordinates (a stand-in for
+// proximity/semantic profiles).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "common/rng.hpp"
+#include "id/descriptor.hpp"
+#include "id/ring.hpp"
+#include "sampling/peer_sampler.hpp"
+#include "sim/engine.hpp"
+#include "sim/protocol.hpp"
+
+namespace bsvc {
+
+/// Distance of `x` from pivot `p` in some geometry; lower is better.
+/// Must be symmetric-free (only comparisons against the same pivot matter)
+/// and total: equal values are treated as ties broken by ID.
+using RankingFunction = std::function<std::uint64_t(NodeId pivot, NodeId x)>;
+
+/// The bootstrap's ring geometry: shortest wrap-around distance.
+std::uint64_t ring_ranking(NodeId pivot, NodeId x);
+
+/// Kademlia's geometry.
+std::uint64_t xor_ranking(NodeId pivot, NodeId x);
+
+/// 2D torus: id = (x: high 32 bits, y: low 32 bits), wrap-around Manhattan
+/// distance. Models proximity/semantic profiles embedded in the ID.
+std::uint64_t torus_ranking(NodeId pivot, NodeId x);
+
+/// View exchange message.
+class TManMessage final : public Payload {
+ public:
+  TManMessage(NodeDescriptor sender, DescriptorList entries, bool is_request)
+      : sender(sender), entries(std::move(entries)), is_request(is_request) {}
+  std::size_t wire_bytes() const override;
+  const char* type_name() const override { return "tman"; }
+
+  NodeDescriptor sender;
+  DescriptorList entries;
+  bool is_request;
+};
+
+struct TManConfig {
+  /// View size m (the target neighbourhood size).
+  std::size_t m = 20;
+  /// Random samples mixed into each exchange.
+  std::size_t cr = 10;
+  /// Gossip period.
+  SimTime delta = kDelta;
+  /// Peers are selected uniformly from the best `psi` view entries
+  /// (T-Man's peer selection parameter).
+  std::size_t psi = 5;
+};
+
+/// Per-node T-Man instance for an arbitrary ranking.
+class TManProtocol final : public Protocol {
+ public:
+  /// `ranking` is shared by all nodes (stateless); `start_delay` staggers
+  /// the loosely synchronized start.
+  TManProtocol(TManConfig config, RankingFunction ranking, PeerSampler* sampler,
+               SimTime start_delay);
+
+  void on_start(Context& ctx) override;
+  void on_timer(Context& ctx, std::uint64_t timer_id) override;
+  void on_message(Context& ctx, Address from, const Payload& payload) override;
+
+  bool active() const { return started_; }
+  /// Current view, sorted best-first for the own ID.
+  const DescriptorList& view() const { return view_; }
+
+  /// The entries this node would send to `peer_id` (public for tests).
+  DescriptorList select_for(NodeId peer_id) const;
+
+ private:
+  void active_step(Context& ctx);
+  /// Merge + keep own m best.
+  void update_from(const DescriptorList& entries, const NodeDescriptor& sender);
+
+  TManConfig config_;
+  RankingFunction ranking_;
+  PeerSampler* sampler_;
+  SimTime start_delay_;
+  NodeDescriptor self_{};
+  DescriptorList view_;
+  bool started_ = false;
+};
+
+/// Ground truth and metric for a T-Man run: fraction of true m-nearest
+/// neighbours (per ranking) currently missing from the views.
+class TManOracle {
+ public:
+  TManOracle(const Engine& engine, ProtocolSlot slot, RankingFunction ranking, std::size_t m);
+
+  /// Missing-neighbour fraction over all alive nodes. O(N^2) — intended for
+  /// test/bench sizes.
+  double missing_fraction() const;
+
+  /// The true m best-ranked member IDs for `pivot` (excluding itself).
+  std::vector<NodeId> true_neighbours(NodeId pivot) const;
+
+ private:
+  const Engine& engine_;
+  ProtocolSlot slot_;
+  RankingFunction ranking_;
+  std::size_t m_;
+  std::vector<NodeDescriptor> members_;
+};
+
+}  // namespace bsvc

@@ -1,0 +1,105 @@
+#include "sampling/graph_metrics.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/assert.hpp"
+#include "common/stats.hpp"
+#include "sampling/newscast.hpp"
+
+namespace bsvc {
+
+UnionFind::UnionFind(std::size_t n) : parent_(n) {
+  for (std::size_t i = 0; i < n; ++i) parent_[i] = static_cast<std::uint32_t>(i);
+}
+
+std::size_t UnionFind::find(std::size_t x) {
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // path halving
+    x = parent_[x];
+  }
+  return x;
+}
+
+void UnionFind::unite(std::size_t a, std::size_t b) {
+  const auto ra = find(a);
+  const auto rb = find(b);
+  if (ra != rb) parent_[ra] = static_cast<std::uint32_t>(rb);
+}
+
+std::size_t UnionFind::count_components(const std::vector<std::uint32_t>& members) {
+  std::unordered_set<std::size_t> roots;
+  for (auto m : members) roots.insert(find(m));
+  return roots.size();
+}
+
+ViewGraphStats measure_view_graph(const Engine& engine, ProtocolSlot slot,
+                                  std::size_t clustering_sample) {
+  ViewGraphStats stats;
+  const auto alive = engine.alive_addresses();
+  stats.alive_nodes = alive.size();
+  if (alive.empty()) return stats;
+
+  std::vector<std::uint64_t> indegree(engine.node_count(), 0);
+  std::uint64_t total_entries = 0;
+  std::uint64_t dead_entries = 0;
+
+  UnionFind uf(engine.node_count());
+  // Undirected adjacency restricted to alive endpoints, for clustering.
+  std::vector<std::vector<Address>> adj(engine.node_count());
+
+  for (const auto addr : alive) {
+    const auto& nc = dynamic_cast<const NewscastProtocol&>(engine.protocol(addr, slot));
+    for (const auto& entry : nc.view()) {
+      const Address peer = entry.descriptor.addr;
+      ++total_entries;
+      if (!engine.is_alive(peer)) {
+        ++dead_entries;
+        continue;
+      }
+      ++indegree[peer];
+      uf.unite(addr, peer);
+      adj[addr].push_back(peer);
+      adj[peer].push_back(addr);
+    }
+  }
+
+  Accumulator acc;
+  for (const auto addr : alive) {
+    acc.add(static_cast<double>(indegree[addr]));
+    stats.indegree_max = std::max(stats.indegree_max, indegree[addr]);
+  }
+  stats.indegree_mean = acc.mean();
+  stats.indegree_stddev = acc.stddev();
+  stats.dead_entry_fraction =
+      total_entries == 0 ? 0.0
+                         : static_cast<double>(dead_entries) / static_cast<double>(total_entries);
+  stats.components = uf.count_components(alive);
+
+  // Clustering over the first `clustering_sample` alive nodes (alive order is
+  // deterministic, which keeps runs reproducible).
+  const auto sample_n = std::min(clustering_sample, alive.size());
+  double cluster_sum = 0.0;
+  std::size_t cluster_cnt = 0;
+  for (std::size_t s = 0; s < sample_n; ++s) {
+    auto& neigh = adj[alive[s]];
+    std::sort(neigh.begin(), neigh.end());
+    neigh.erase(std::unique(neigh.begin(), neigh.end()), neigh.end());
+    if (neigh.size() < 2) continue;
+    std::size_t links = 0;
+    std::unordered_set<Address> nset(neigh.begin(), neigh.end());
+    for (const auto u : neigh) {
+      for (const auto v : adj[u]) {
+        if (v != alive[s] && nset.count(v) > 0) ++links;
+      }
+    }
+    const double possible = static_cast<double>(neigh.size()) *
+                            static_cast<double>(neigh.size() - 1);
+    cluster_sum += static_cast<double>(links) / possible;
+    ++cluster_cnt;
+  }
+  stats.clustering = cluster_cnt == 0 ? 0.0 : cluster_sum / static_cast<double>(cluster_cnt);
+  return stats;
+}
+
+}  // namespace bsvc

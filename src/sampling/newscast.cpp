@@ -1,0 +1,111 @@
+#include "sampling/newscast.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/logging.hpp"
+
+namespace bsvc {
+
+namespace {
+constexpr std::uint64_t kGossipTimer = 1;
+}
+
+NewscastProtocol::NewscastProtocol(NewscastConfig config) : config_(config) {
+  BSVC_CHECK(config_.view_size > 0);
+  BSVC_CHECK(config_.period > 0);
+}
+
+void NewscastProtocol::init_view(DescriptorList seeds) { pending_seeds_ = std::move(seeds); }
+
+void NewscastProtocol::add_contact(const NodeDescriptor& contact, SimTime now) {
+  if (!started_) {
+    pending_seeds_.push_back(contact);
+    return;
+  }
+  merge({{contact, now}});
+}
+
+void NewscastProtocol::on_start(Context& ctx) {
+  self_ = {ctx.self_id(), ctx.self()};
+  rng_ = &ctx.rng();
+  started_ = true;
+  view_.clear();
+  for (const auto& seed : pending_seeds_) {
+    if (seed.addr == self_.addr) continue;
+    view_.push_back({seed, ctx.now()});
+  }
+  pending_seeds_.clear();
+  if (view_.size() > config_.view_size) view_.resize(config_.view_size);
+  // First exchange at a random offset within one period: the loosely
+  // synchronized start the paper assumes.
+  ctx.schedule_timer(ctx.rng().below(config_.period), kGossipTimer);
+}
+
+void NewscastProtocol::on_timer(Context& ctx, std::uint64_t timer_id) {
+  BSVC_CHECK(timer_id == kGossipTimer);
+  if (!view_.empty()) {
+    const auto& peer = view_[ctx.rng().below(view_.size())].descriptor;
+    ctx.send(peer.addr, std::make_unique<NewscastMessage>(outgoing(ctx), /*is_request=*/true));
+  }
+  ctx.schedule_timer(config_.period, kGossipTimer);
+}
+
+void NewscastProtocol::on_message(Context& ctx, Address from, const Payload& payload) {
+  const auto* msg = dynamic_cast<const NewscastMessage*>(&payload);
+  if (msg == nullptr) {
+    BSVC_WARN("newscast: unexpected payload type %s", payload.type_name());
+    return;
+  }
+  if (!started_) return;  // not yet initialized (staggered start): sender retries
+  if (msg->is_request) {
+    ctx.send(from, std::make_unique<NewscastMessage>(outgoing(ctx), /*is_request=*/false));
+  }
+  merge(msg->entries);
+}
+
+DescriptorList NewscastProtocol::sample(std::size_t n) {
+  DescriptorList out;
+  if (view_.empty() || n == 0) return out;
+  BSVC_CHECK_MSG(rng_ != nullptr, "sample() before protocol start");
+  const auto take = std::min(n, view_.size());
+  const auto idx =
+      rng_->distinct_indices(static_cast<std::uint32_t>(take),
+                             static_cast<std::uint32_t>(view_.size()));
+  out.reserve(take);
+  for (auto i : idx) out.push_back(view_[i].descriptor);
+  return out;
+}
+
+void NewscastProtocol::merge(const std::vector<TimestampedDescriptor>& incoming) {
+  // Union of view and incoming; per address keep the freshest timestamp.
+  std::vector<TimestampedDescriptor> merged = view_;
+  for (const auto& entry : incoming) {
+    if (entry.descriptor.addr == self_.addr || entry.descriptor.addr == kNullAddress) continue;
+    auto it = std::find_if(merged.begin(), merged.end(), [&](const TimestampedDescriptor& e) {
+      return e.descriptor.addr == entry.descriptor.addr;
+    });
+    if (it == merged.end()) {
+      merged.push_back(entry);
+    } else if (entry.timestamp > it->timestamp) {
+      *it = entry;
+    }
+  }
+  // Keep the freshest view_size entries. Stable tie-break on address keeps
+  // the merge deterministic.
+  std::sort(merged.begin(), merged.end(),
+            [](const TimestampedDescriptor& a, const TimestampedDescriptor& b) {
+              if (a.timestamp != b.timestamp) return a.timestamp > b.timestamp;
+              return a.descriptor.addr < b.descriptor.addr;
+            });
+  if (merged.size() > config_.view_size) merged.resize(config_.view_size);
+  view_ = std::move(merged);
+}
+
+std::vector<TimestampedDescriptor> NewscastProtocol::outgoing(Context& ctx) const {
+  std::vector<TimestampedDescriptor> out = view_;
+  out.push_back({self_, ctx.now()});
+  return out;
+}
+
+}  // namespace bsvc

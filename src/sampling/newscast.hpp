@@ -1,0 +1,95 @@
+// NEWSCAST: the gossip-based peer sampling protocol (paper §3, [6]).
+//
+// Each node keeps a small view of timestamped descriptors. Periodically it
+// picks a random peer from the view and sends it the view plus a fresh
+// self-descriptor; the peer answers with the same. Both sides then keep the
+// `view_size` freshest entries (deduplicated by address, freshest wins).
+// This cheap push–pull exchange keeps the view a continually reshuffled
+// random sample of the membership, self-heals after massive failures, and
+// re-randomizes quickly even from fully degenerate initial views.
+#pragma once
+
+#include <cstdint>
+
+#include "sampling/peer_sampler.hpp"
+#include "sim/engine.hpp"
+#include "sim/protocol.hpp"
+
+namespace bsvc {
+
+/// A descriptor plus the virtual time at which its node vouched for itself.
+struct TimestampedDescriptor {
+  NodeDescriptor descriptor;
+  SimTime timestamp = 0;
+};
+
+/// View exchange message (request or answer).
+class NewscastMessage final : public Payload {
+ public:
+  NewscastMessage(std::vector<TimestampedDescriptor> entries, bool is_request)
+      : entries(std::move(entries)), is_request(is_request) {}
+
+  std::size_t wire_bytes() const override {
+    // count u16 + per entry: descriptor (14) + coarse timestamp u32 + 1 flag.
+    return 2 + entries.size() * (kDescriptorWireBytes + 4) + 1;
+  }
+  const char* type_name() const override { return "newscast"; }
+
+  std::vector<TimestampedDescriptor> entries;
+  bool is_request;
+};
+
+/// Protocol parameters.
+struct NewscastConfig {
+  /// View size (the paper's implementations carry ~30 addresses).
+  std::size_t view_size = 30;
+  /// Gossip period in ticks (the paper's "typically long" interval; one
+  /// exchange per node per period).
+  SimTime period = kDelta;
+};
+
+/// The Newscast protocol instance of one node. Also implements PeerSampler
+/// for co-located higher layers.
+class NewscastProtocol final : public Protocol, public PeerSampler {
+ public:
+  explicit NewscastProtocol(NewscastConfig config);
+
+  /// Seeds the initial view (descriptors get timestamp = now at start).
+  /// Intentionally accepts degenerate seeds (e.g. every node given the same
+  /// single contact): the protocol randomizes them quickly.
+  void init_view(DescriptorList seeds);
+
+  /// Administrator-supplied contact on a running node (e.g. a member of
+  /// another organization's pool at merge time). Merged like a freshly
+  /// received entry and then spread epidemically by the normal exchanges.
+  void add_contact(const NodeDescriptor& contact, SimTime now);
+
+  // Protocol interface.
+  void on_start(Context& ctx) override;
+  void on_timer(Context& ctx, std::uint64_t timer_id) override;
+  void on_message(Context& ctx, Address from, const Payload& payload) override;
+
+  // PeerSampler interface: uniform picks from the current view.
+  DescriptorList sample(std::size_t n) override;
+
+  /// Read access for metrics and tests.
+  const std::vector<TimestampedDescriptor>& view() const { return view_; }
+
+ private:
+  /// Merges incoming entries into the view: dedupe by address keeping the
+  /// freshest, drop self, keep the `view_size` freshest overall.
+  void merge(const std::vector<TimestampedDescriptor>& incoming);
+
+  /// The view plus a fresh self-descriptor, for sending.
+  std::vector<TimestampedDescriptor> outgoing(Context& ctx) const;
+
+  NewscastConfig config_;
+  std::vector<TimestampedDescriptor> view_;
+  DescriptorList pending_seeds_;
+  NodeDescriptor self_{};
+  bool started_ = false;
+  // Cached context bits for sample(); set on first callback.
+  Rng* rng_ = nullptr;
+};
+
+}  // namespace bsvc

@@ -1,0 +1,39 @@
+// Idealized peer sampler with global knowledge.
+//
+// Draws uniformly from the engine's alive node set. Used to (a) unit-test
+// higher layers independently of Newscast and (b) run ablations that ask how
+// much sampling quality matters. One instance is shared: give each node a
+// NodeOracleSampler facade so "exclude self" works per node.
+#pragma once
+
+#include "sampling/peer_sampler.hpp"
+#include "sim/engine.hpp"
+
+namespace bsvc {
+
+/// Per-node facade over the engine's global membership.
+class OracleSampler final : public PeerSampler {
+ public:
+  /// `self` is excluded from all samples.
+  OracleSampler(Engine& engine, Address self) : engine_(engine), self_(self) {}
+
+  DescriptorList sample(std::size_t n) override;
+
+ private:
+  Engine& engine_;
+  Address self_;
+};
+
+/// Protocol-shaped adapter so an oracle-sampled node has the same stack
+/// layout (slot 0 = sampling service) as a Newscast node. Does nothing on
+/// the wire.
+class OracleSamplerProtocol final : public Protocol, public PeerSampler {
+ public:
+  OracleSamplerProtocol(Engine& engine, Address self) : impl_(engine, self) {}
+  DescriptorList sample(std::size_t n) override { return impl_.sample(n); }
+
+ private:
+  OracleSampler impl_;
+};
+
+}  // namespace bsvc

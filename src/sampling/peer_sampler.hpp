@@ -1,0 +1,29 @@
+// The peer sampling service abstraction (paper §3).
+//
+// Higher layers (the bootstrapping service, gossip broadcast, aggregation)
+// depend only on this interface: "provide random peer addresses from the set
+// of participating nodes". Two implementations exist:
+//   - NewscastProtocol: the gossip implementation the paper builds on,
+//   - OracleSampler:    an idealized uniform sampler with global knowledge,
+//     used to isolate higher layers from sampling-quality effects in tests.
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.hpp"
+#include "id/descriptor.hpp"
+
+namespace bsvc {
+
+/// Produces random peer descriptors for one node.
+class PeerSampler {
+ public:
+  virtual ~PeerSampler() = default;
+
+  /// Returns up to `n` descriptors of (believed-alive) peers, excluding the
+  /// caller itself, distinct within one call. May return fewer than `n` if
+  /// the locally known pool is small.
+  virtual DescriptorList sample(std::size_t n) = 0;
+};
+
+}  // namespace bsvc

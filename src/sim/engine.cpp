@@ -1,0 +1,226 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/logging.hpp"
+#include <cstdio>
+
+namespace bsvc {
+
+// --- Context (declared in protocol.hpp, implemented against Engine) -----
+
+NodeId Context::self_id() const { return engine_.id_of(self_); }
+std::uint64_t Context::now() const { return engine_.now(); }
+
+Rng& Context::rng() {
+  // Accessing node state through the engine keeps Context trivially small.
+  return engine_.node_rng(self_);
+}
+
+void Context::send(Address to, std::unique_ptr<Payload> payload) {
+  engine_.send_message(self_, to, slot_, std::move(payload));
+}
+
+void Context::schedule_timer(std::uint64_t delay, std::uint64_t timer_id) {
+  engine_.schedule_timer(self_, slot_, delay, timer_id);
+}
+
+// --- Engine ------------------------------------------------------------
+
+Engine::Engine(std::uint64_t seed, TransportConfig transport)
+    : rng_(seed), node_seed_state_(seed ^ 0xA24BAED4963EE407ull), transport_(transport) {
+  BSVC_CHECK(transport_.min_latency <= transport_.max_latency);
+}
+
+Address Engine::add_node(NodeId id) {
+  BSVC_CHECK_MSG(nodes_.size() < kNullAddress, "address space exhausted");
+  Node node;
+  node.id = id;
+  node.rng = Rng(splitmix64(node_seed_state_));
+  nodes_.push_back(std::move(node));
+  return static_cast<Address>(nodes_.size() - 1);
+}
+
+ProtocolSlot Engine::attach(Address addr, std::unique_ptr<Protocol> protocol) {
+  Node& node = node_at(addr);
+  BSVC_CHECK(protocol != nullptr);
+  BSVC_CHECK_MSG(node.stack.size() < 255, "protocol stack overflow");
+  node.stack.push_back(std::move(protocol));
+  return static_cast<ProtocolSlot>(node.stack.size() - 1);
+}
+
+void Engine::start_node(Address addr, SimTime delay) {
+  Node& node = node_at(addr);
+  if (!node.alive) {
+    node.alive = true;
+    ++alive_count_;
+  }
+  for (ProtocolSlot slot = 0; slot < node.stack.size(); ++slot) {
+    Event ev;
+    ev.time = now_ + delay;
+    ev.kind = EventKind::Start;
+    ev.addr = addr;
+    ev.slot = slot;
+    push(std::move(ev));
+  }
+}
+
+void Engine::kill_node(Address addr) {
+  Node& node = node_at(addr);
+  if (node.alive) {
+    node.alive = false;
+    --alive_count_;
+  }
+}
+
+Protocol& Engine::protocol(Address addr, ProtocolSlot slot) {
+  Node& node = node_at(addr);
+  BSVC_CHECK(slot < node.stack.size());
+  return *node.stack[slot];
+}
+
+const Protocol& Engine::protocol(Address addr, ProtocolSlot slot) const {
+  const Node& node = node_at(addr);
+  BSVC_CHECK(slot < node.stack.size());
+  return *node.stack[slot];
+}
+
+std::vector<Address> Engine::alive_addresses() const {
+  std::vector<Address> out;
+  out.reserve(alive_count_);
+  for (Address a = 0; a < nodes_.size(); ++a) {
+    if (nodes_[a].alive) out.push_back(a);
+  }
+  return out;
+}
+
+Rng& Engine::node_rng(Address addr) { return node_at(addr).rng; }
+
+void Engine::send_message(Address from, Address to, ProtocolSlot slot,
+                          std::unique_ptr<Payload> payload) {
+  BSVC_CHECK(payload != nullptr);
+  BSVC_CHECK_MSG(to < nodes_.size(), "send to unknown address");
+  ++traffic_.messages_sent;
+  traffic_.bytes_sent += payload->wire_bytes() + kUdpIpHeaderBytes;
+
+  if (link_filter_ && !link_filter_(from, to)) {
+    ++traffic_.messages_dropped;
+    return;
+  }
+  if (rng_.chance(transport_.drop_probability)) {
+    ++traffic_.messages_dropped;
+    return;
+  }
+  SimTime latency;
+  if (latency_model_) {
+    latency = latency_model_(from, to) + rng_.below(transport_.min_latency + 1);
+  } else {
+    latency = transport_.min_latency +
+              rng_.below(transport_.max_latency - transport_.min_latency + 1);
+  }
+
+  Event ev;
+  ev.time = now_ + latency;
+  ev.kind = EventKind::Message;
+  ev.addr = to;
+  ev.from = from;
+  ev.slot = slot;
+  ev.payload = std::move(payload);
+  push(std::move(ev));
+}
+
+void Engine::schedule_timer(Address addr, ProtocolSlot slot, SimTime delay,
+                            std::uint64_t timer_id) {
+  Event ev;
+  ev.time = now_ + delay;
+  ev.kind = EventKind::Timer;
+  ev.addr = addr;
+  ev.slot = slot;
+  ev.timer_id = timer_id;
+  push(std::move(ev));
+}
+
+void Engine::schedule_call(SimTime delay, std::function<void(Engine&)> fn) {
+  BSVC_CHECK(fn != nullptr);
+  Event ev;
+  ev.time = now_ + delay;
+  ev.kind = EventKind::Call;
+  ev.call = std::move(fn);
+  push(std::move(ev));
+}
+
+void Engine::run_until(SimTime t_end) {
+  while (!heap_.empty() && heap_.front().time <= t_end) {
+    std::pop_heap(heap_.begin(), heap_.end(), EventOrder{});
+    Event ev = std::move(heap_.back());
+    heap_.pop_back();
+    BSVC_CHECK_MSG(ev.time >= now_, "event queue time went backwards");
+    now_ = ev.time;
+    dispatch(ev);
+  }
+  now_ = std::max(now_, t_end);
+}
+
+void Engine::run_all() {
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), EventOrder{});
+    Event ev = std::move(heap_.back());
+    heap_.pop_back();
+    now_ = ev.time;
+    dispatch(ev);
+  }
+}
+
+void Engine::dispatch(Event& ev) {
+  if (ev.kind == EventKind::Call) {
+    ev.call(*this);
+    return;
+  }
+  Node& node = node_at(ev.addr);
+  if (!node.alive) {
+    if (ev.kind == EventKind::Message) ++traffic_.messages_to_dead;
+    return;  // dead nodes neither receive nor act
+  }
+  BSVC_CHECK(ev.slot < node.stack.size());
+  Context ctx(*this, ev.addr, ev.slot);
+  switch (ev.kind) {
+    case EventKind::Start:
+      node.stack[ev.slot]->on_start(ctx);
+      break;
+    case EventKind::Timer:
+      node.stack[ev.slot]->on_timer(ctx, ev.timer_id);
+      break;
+    case EventKind::Message:
+      if (transcoder_) {
+        ev.payload = transcoder_(*ev.payload);
+        if (ev.payload == nullptr) {
+          ++traffic_.messages_dropped;
+          break;
+        }
+      }
+      ++traffic_.messages_delivered;
+      node.stack[ev.slot]->on_message(ctx, ev.from, *ev.payload);
+      break;
+    case EventKind::Call:
+      break;  // handled above
+  }
+}
+
+void Engine::push(Event ev) {
+  ev.seq = next_seq_++;
+  heap_.push_back(std::move(ev));
+  std::push_heap(heap_.begin(), heap_.end(), EventOrder{});
+}
+
+Node& Engine::node_at(Address addr) {
+  BSVC_CHECK_MSG(addr < nodes_.size(), "address out of range");
+  return nodes_[addr];
+}
+
+const Node& Engine::node_at(Address addr) const {
+  BSVC_CHECK_MSG(addr < nodes_.size(), "address out of range");
+  return nodes_[addr];
+}
+
+}  // namespace bsvc

@@ -1,0 +1,209 @@
+// The discrete-event simulation engine (PeerSim equivalent).
+//
+// Single-threaded, virtual-time, deterministic given a seed. The engine owns
+// all nodes, an event queue ordered by (time, insertion sequence), and the
+// unreliable transport model (i.i.d. message drop + bounded uniform latency)
+// under which the paper evaluates the bootstrapping service.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "id/descriptor.hpp"
+#include "id/node_id.hpp"
+#include "sim/payload.hpp"
+#include "sim/protocol.hpp"
+
+namespace bsvc {
+
+/// Virtual time in abstract ticks. Experiments use kDelta ticks per protocol
+/// cycle; with the paper's Δ ≈ 10 s one tick is roughly 10 ms.
+using SimTime = std::uint64_t;
+
+/// Default cycle length Δ in ticks.
+inline constexpr SimTime kDelta = 1000;
+
+/// Transport model parameters.
+struct TransportConfig {
+  /// Probability that any single transmitted message is lost (paper Fig. 4
+  /// uses 0.2). Answers to lost requests are never transmitted at all,
+  /// which yields the paper's 28% effective loss.
+  double drop_probability = 0.0;
+  /// One-way delivery latency, uniform in [min_latency, max_latency] ticks.
+  /// Defaults keep request+answer well inside one cycle.
+  SimTime min_latency = 10;
+  SimTime max_latency = 150;
+};
+
+/// Pairwise one-way base latency between two endpoints, in ticks. When a
+/// model is installed the transport adds a small uniform jitter on top
+/// (± min_latency of the TransportConfig); used by the proximity
+/// experiments, where latency derives from synthetic network coordinates.
+using LatencyModel = std::function<SimTime(Address, Address)>;
+
+/// Aggregate traffic counters (since construction or last reset).
+struct TrafficStats {
+  std::uint64_t messages_sent = 0;       // handed to the transport
+  std::uint64_t messages_dropped = 0;    // lost by the drop model
+  std::uint64_t messages_to_dead = 0;    // addressed to a dead/removed node
+  std::uint64_t messages_delivered = 0;  // reached a live protocol
+  std::uint64_t bytes_sent = 0;          // wire bytes incl. UDP/IP headers
+};
+
+/// One simulated node: identity, liveness and its protocol stack.
+struct Node {
+  NodeId id = 0;
+  bool alive = false;
+  std::vector<std::unique_ptr<Protocol>> stack;
+  Rng rng{0};
+};
+
+/// The simulation engine. See DESIGN.md §5 for the event model.
+class Engine {
+ public:
+  explicit Engine(std::uint64_t seed, TransportConfig transport = {});
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // --- topology construction -------------------------------------------
+
+  /// Creates a node with the given ID; returns its address. The node is not
+  /// alive until start_node() is called.
+  Address add_node(NodeId id);
+
+  /// Appends a protocol to the node's stack; returns its slot.
+  ProtocolSlot attach(Address addr, std::unique_ptr<Protocol> protocol);
+
+  /// Marks the node alive and schedules on_start for every protocol in its
+  /// stack at now() + delay.
+  void start_node(Address addr, SimTime delay = 0);
+
+  /// Kills a node: pending messages to it are dropped, its timers are
+  /// discarded on fire, and it never acts again. Idempotent.
+  void kill_node(Address addr);
+
+  // --- accessors ---------------------------------------------------------
+
+  SimTime now() const { return now_; }
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t alive_count() const { return alive_count_; }
+  bool is_alive(Address addr) const { return node_at(addr).alive; }
+  NodeId id_of(Address addr) const { return node_at(addr).id; }
+  NodeDescriptor descriptor_of(Address addr) const { return {id_of(addr), addr}; }
+
+  /// Direct access to a protocol instance (observers, co-located services).
+  Protocol& protocol(Address addr, ProtocolSlot slot);
+  const Protocol& protocol(Address addr, ProtocolSlot slot) const;
+
+  /// Addresses of all currently alive nodes (O(N); for observers).
+  std::vector<Address> alive_addresses() const;
+
+  /// Engine-level RNG (transport, scenarios). Node callbacks should use
+  /// their per-node stream via Context::rng().
+  Rng& rng() { return rng_; }
+
+  /// Per-node deterministic random stream (backs Context::rng()).
+  Rng& node_rng(Address addr);
+
+  const TrafficStats& traffic() const { return traffic_; }
+  void reset_traffic() { traffic_ = {}; }
+
+  TransportConfig& transport() { return transport_; }
+
+  /// Optional link filter: when set, a message from a->b is silently dropped
+  /// unless the filter returns true. Models network partitions; clearing the
+  /// filter heals the partition (used by the merge experiments).
+  void set_link_filter(std::function<bool(Address, Address)> filter) {
+    link_filter_ = std::move(filter);
+  }
+  void clear_link_filter() { link_filter_ = nullptr; }
+
+  /// Installs a pairwise latency model (nullptr restores the uniform
+  /// default). See LatencyModel.
+  void set_latency_model(LatencyModel model) { latency_model_ = std::move(model); }
+  const LatencyModel& latency_model() const { return latency_model_; }
+
+  /// Optional payload transcoder: when set, every payload is passed through
+  /// it at delivery time (e.g. a binary encode→decode round trip from
+  /// src/wire, proving protocols depend only on what is actually on the
+  /// wire). Returning nullptr drops the message as malformed.
+  void set_transcoder(std::function<std::unique_ptr<Payload>(const Payload&)> transcoder) {
+    transcoder_ = std::move(transcoder);
+  }
+
+  // --- event injection ----------------------------------------------------
+
+  /// Sends a payload from one node's protocol through the transport model.
+  /// Used by Context; exposed for tests.
+  void send_message(Address from, Address to, ProtocolSlot slot,
+                    std::unique_ptr<Payload> payload);
+
+  /// Schedules on_timer(timer_id) on (addr, slot) at now() + delay.
+  void schedule_timer(Address addr, ProtocolSlot slot, SimTime delay,
+                      std::uint64_t timer_id);
+
+  /// Schedules an arbitrary callback (observers, scenario scripts) at
+  /// now() + delay. Callbacks run in schedule order among same-time events.
+  void schedule_call(SimTime delay, std::function<void(Engine&)> fn);
+
+  // --- execution ------------------------------------------------------
+
+  /// Runs events with time <= t_end, then sets now() = t_end.
+  void run_until(SimTime t_end);
+
+  /// Runs until the event queue is empty.
+  void run_all();
+
+ private:
+  enum class EventKind : std::uint8_t { Message, Timer, Call, Start };
+
+  struct Event {
+    SimTime time = 0;
+    std::uint64_t seq = 0;  // tie-break: FIFO among equal times; set by push()
+    EventKind kind = EventKind::Call;
+    Address addr = kNullAddress;  // destination node (Message/Timer/Start)
+    Address from = kNullAddress;  // sender (Message)
+    ProtocolSlot slot = 0;
+    std::uint64_t timer_id = 0;
+    std::unique_ptr<Payload> payload;
+    std::function<void(Engine&)> call;
+  };
+
+  // Max-heap comparator inverted so the earliest (time, seq) is on top.
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  Node& node_at(Address addr);
+  const Node& node_at(Address addr) const;
+  void dispatch(Event& ev);
+  void push(Event ev);
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  Rng rng_;
+  std::uint64_t node_seed_state_;
+  TransportConfig transport_;
+  TrafficStats traffic_;
+  // Deque, not vector: nodes can be added while the simulation runs (churn
+  // joins, merges), and protocols legitimately hold references into their
+  // node (e.g. the per-node RNG), so Node addresses must be stable.
+  std::deque<Node> nodes_;
+  std::size_t alive_count_ = 0;
+  // Manual binary heap (std::push_heap/pop_heap) so events can be moved out;
+  // std::priority_queue only exposes a const top().
+  std::vector<Event> heap_;
+  std::function<bool(Address, Address)> link_filter_;
+  std::function<std::unique_ptr<Payload>(const Payload&)> transcoder_;
+  LatencyModel latency_model_;
+};
+
+}  // namespace bsvc

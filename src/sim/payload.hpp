@@ -1,0 +1,29 @@
+// Type-erased message payloads for the simulated transport.
+#pragma once
+
+#include <cstddef>
+
+namespace bsvc {
+
+/// UDP/IPv4 header overhead added to every message's byte accounting.
+inline constexpr std::size_t kUdpIpHeaderBytes = 28;
+
+/// Base class of everything a protocol can put on the wire.
+///
+/// Payloads are heap-allocated, moved into the engine on send and handed to
+/// the receiver by const reference (the receiver copies what it keeps; in a
+/// real deployment it would deserialize from a datagram).
+class Payload {
+ public:
+  virtual ~Payload() = default;
+
+  /// Serialized size of the payload body in bytes, excluding UDP/IP headers.
+  /// Drives the engine's traffic accounting; implementations must agree with
+  /// the binary codec in src/net for message types that have one.
+  virtual std::size_t wire_bytes() const = 0;
+
+  /// Static type tag for logging and debugging.
+  virtual const char* type_name() const = 0;
+};
+
+}  // namespace bsvc

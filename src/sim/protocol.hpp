@@ -1,0 +1,75 @@
+// Per-node protocol instances and the context through which they act.
+//
+// A simulated node hosts a stack of Protocol objects (e.g. slot 0: Newscast,
+// slot 1: bootstrapping service). The engine dispatches three callbacks;
+// protocols react by sending messages and scheduling timers through the
+// Context. Everything is single-threaded and deterministic.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "id/node_id.hpp"
+#include "sim/payload.hpp"
+
+namespace bsvc {
+
+class Engine;
+
+/// Identifies a protocol slot within a node's stack.
+using ProtocolSlot = std::uint8_t;
+
+/// The capability surface a protocol sees when the engine invokes it.
+/// Valid only for the duration of the callback.
+class Context {
+ public:
+  Context(Engine& engine, Address self, ProtocolSlot slot)
+      : engine_(engine), self_(self), slot_(slot) {}
+
+  /// This node's address.
+  Address self() const { return self_; }
+  /// This node's ID.
+  NodeId self_id() const;
+  /// Current virtual time.
+  std::uint64_t now() const;
+  /// Deterministic per-node random stream.
+  Rng& rng();
+
+  /// Sends `payload` to the same protocol slot on node `to` through the
+  /// unreliable transport (may be dropped/delayed per engine config).
+  void send(Address to, std::unique_ptr<Payload> payload);
+
+  /// Fires on_timer(timer_id) on this protocol after `delay` time units.
+  void schedule_timer(std::uint64_t delay, std::uint64_t timer_id);
+
+  /// The hosting engine, for co-located service lookup (e.g. the bootstrap
+  /// protocol asking its node's sampling service for samples — a local call,
+  /// matching the paper's "samples are free" assumption).
+  Engine& engine() { return engine_; }
+
+ private:
+  Engine& engine_;
+  Address self_;
+  ProtocolSlot slot_;
+};
+
+/// One protocol instance on one node. Implementations own all per-node
+/// protocol state (views, tables, ...).
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+
+  /// Invoked once when the node (re)starts this protocol.
+  virtual void on_start(Context& /*ctx*/) {}
+
+  /// Invoked when a timer scheduled via Context fires. Timers scheduled
+  /// before a node died are silently discarded.
+  virtual void on_timer(Context& /*ctx*/, std::uint64_t /*timer_id*/) {}
+
+  /// Invoked on message delivery. `from` is the sender's address; senders
+  /// may have died since sending.
+  virtual void on_message(Context& /*ctx*/, Address /*from*/, const Payload& /*payload*/) {}
+};
+
+}  // namespace bsvc

@@ -1,0 +1,45 @@
+// Scenario scripting: the "radical events" of the paper's vision — churn,
+// catastrophic failure, massive joins, partitions and merges — expressed as
+// scheduled manipulations of the engine.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace bsvc {
+
+/// Creates one fully-stacked node (protocols attached, not yet started) and
+/// returns its address. Scenario code starts it.
+using NodeFactory = std::function<Address(Engine&)>;
+
+/// Kills a uniformly random `fraction` of the currently alive nodes at time
+/// `at` (the paper's catastrophic-failure model; Newscast tolerates up to
+/// ~70%). Returns nothing; the kill happens when the engine reaches `at`.
+void schedule_catastrophe(Engine& engine, SimTime at, double fraction);
+
+/// Continuous churn: every `period` ticks between `from` and `to`, kills
+/// `fail_rate`·alive random nodes and starts `join_rate`·alive fresh nodes
+/// built by `factory`. Fractional expectations are realized by probabilistic
+/// rounding so small rates still produce events.
+struct ChurnConfig {
+  SimTime from = 0;
+  SimTime to = 0;
+  SimTime period = kDelta;
+  double fail_rate = 0.0;  // fraction of alive nodes per period
+  double join_rate = 0.0;  // fraction of alive nodes per period
+};
+
+void schedule_churn(Engine& engine, const ChurnConfig& config, NodeFactory factory);
+
+/// Partitions the network into groups: messages crossing group boundaries
+/// are dropped until heal_partition() is called. `group_of[addr]` assigns
+/// each existing address a group id; nodes added later default to group 0.
+void apply_partition(Engine& engine, std::vector<std::uint32_t> group_of);
+
+/// Removes the partition filter (the "merge" event).
+void heal_partition(Engine& engine);
+
+}  // namespace bsvc

@@ -1,0 +1,175 @@
+#include "wire/message_codec.hpp"
+
+#include <cstring>
+
+#include "core/bootstrap.hpp"
+#include "gossip/aggregation.hpp"
+#include "gossip/broadcast.hpp"
+#include "net/codec.hpp"
+#include "overlay/chord.hpp"
+#include "overlay/tman.hpp"
+#include "sampling/newscast.hpp"
+
+namespace bsvc {
+
+namespace {
+
+std::uint64_t double_to_bits(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double bits_to_double(std::uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+void put_timestamped(ByteWriter& w, const std::vector<TimestampedDescriptor>& entries) {
+  w.u16(static_cast<std::uint16_t>(entries.size()));
+  for (const auto& e : entries) {
+    w.descriptor(e.descriptor);
+    // Coarse 32-bit timestamp: ample for any simulated horizon (2^32 ticks
+    // = 4M cycles) and what the declared wire size budgets for.
+    w.u32(static_cast<std::uint32_t>(e.timestamp));
+  }
+}
+
+std::optional<std::vector<TimestampedDescriptor>> get_timestamped(ByteReader& r) {
+  const auto count = r.u16();
+  if (!count) return std::nullopt;
+  std::vector<TimestampedDescriptor> out;
+  out.reserve(*count);
+  for (std::uint16_t i = 0; i < *count; ++i) {
+    const auto d = r.descriptor();
+    const auto ts = r.u32();
+    if (!d || !ts) return std::nullopt;
+    out.push_back({*d, *ts});
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<std::vector<std::uint8_t>> encode_message(const Payload& payload) {
+  ByteWriter w;
+  if (const auto* m = dynamic_cast<const BootstrapMessage*>(&payload)) {
+    w.u8(static_cast<std::uint8_t>(MessageType::Bootstrap));
+    w.descriptor(m->sender);
+    w.u8(m->is_request ? 1 : 0);
+    w.descriptor_list(m->ring_part);
+    w.descriptor_list(m->prefix_part);
+    w.u16(static_cast<std::uint16_t>(m->tombstones.size()));
+    for (const auto& ts : m->tombstones) {
+      w.u64(ts.id);
+      w.u32(static_cast<std::uint32_t>(ts.expiry));
+    }
+  } else if (const auto* m = dynamic_cast<const NewscastMessage*>(&payload)) {
+    w.u8(static_cast<std::uint8_t>(MessageType::Newscast));
+    put_timestamped(w, m->entries);
+    w.u8(m->is_request ? 1 : 0);
+  } else if (const auto* m = dynamic_cast<const ChordMessage*>(&payload)) {
+    w.u8(static_cast<std::uint8_t>(MessageType::Chord));
+    w.descriptor(m->sender);
+    w.u8(m->is_request ? 1 : 0);
+    w.descriptor_list(m->ring_part);
+    w.descriptor_list(m->finger_part);
+  } else if (const auto* m = dynamic_cast<const TManMessage*>(&payload)) {
+    w.u8(static_cast<std::uint8_t>(MessageType::TMan));
+    w.descriptor(m->sender);
+    w.u8(m->is_request ? 1 : 0);
+    w.descriptor_list(m->entries);
+  } else if (const auto* m = dynamic_cast<const RumorMessage*>(&payload)) {
+    w.u8(static_cast<std::uint8_t>(MessageType::Rumor));
+    w.u64(m->tag);
+  } else if (const auto* m = dynamic_cast<const AggregationMessage*>(&payload)) {
+    w.u8(static_cast<std::uint8_t>(MessageType::Aggregation));
+    w.u64(double_to_bits(m->value));
+    w.u8(m->is_request ? 1 : 0);
+  } else if (const auto* m = dynamic_cast<const ProbeMessage*>(&payload)) {
+    w.u8(static_cast<std::uint8_t>(MessageType::Probe));
+    w.u8(m->is_reply ? 1 : 0);
+  } else {
+    return std::nullopt;
+  }
+  return w.bytes();
+}
+
+std::unique_ptr<Payload> decode_message(const std::vector<std::uint8_t>& bytes) {
+  ByteReader r(bytes);
+  const auto tag = r.u8();
+  if (!tag) return nullptr;
+  switch (static_cast<MessageType>(*tag)) {
+    case MessageType::Bootstrap: {
+      const auto sender = r.descriptor();
+      const auto flag = r.u8();
+      auto ring = r.descriptor_list();
+      auto prefix = r.descriptor_list();
+      const auto ts_count = r.u16();
+      if (!sender || !flag || !ring || !prefix || !ts_count || *flag > 1) return nullptr;
+      std::vector<Tombstone> tombstones;
+      tombstones.reserve(*ts_count);
+      for (std::uint16_t i = 0; i < *ts_count; ++i) {
+        const auto id = r.u64();
+        const auto expiry = r.u32();
+        if (!id || !expiry) return nullptr;
+        tombstones.push_back({*id, *expiry});
+      }
+      if (!r.exhausted()) return nullptr;
+      auto msg = std::make_unique<BootstrapMessage>(*sender, std::move(*ring),
+                                                    std::move(*prefix), *flag == 1);
+      msg->tombstones = std::move(tombstones);
+      return msg;
+    }
+    case MessageType::Newscast: {
+      auto entries = get_timestamped(r);
+      const auto flag = r.u8();
+      if (!entries || !flag || *flag > 1 || !r.exhausted()) return nullptr;
+      return std::make_unique<NewscastMessage>(std::move(*entries), *flag == 1);
+    }
+    case MessageType::Chord: {
+      const auto sender = r.descriptor();
+      const auto flag = r.u8();
+      auto ring = r.descriptor_list();
+      auto fingers = r.descriptor_list();
+      if (!sender || !flag || !ring || !fingers || *flag > 1 || !r.exhausted()) return nullptr;
+      return std::make_unique<ChordMessage>(*sender, std::move(*ring), std::move(*fingers),
+                                            *flag == 1);
+    }
+    case MessageType::TMan: {
+      const auto sender = r.descriptor();
+      const auto flag = r.u8();
+      auto entries = r.descriptor_list();
+      if (!sender || !flag || !entries || *flag > 1 || !r.exhausted()) return nullptr;
+      return std::make_unique<TManMessage>(*sender, std::move(*entries), *flag == 1);
+    }
+    case MessageType::Rumor: {
+      const auto tag_value = r.u64();
+      if (!tag_value || !r.exhausted()) return nullptr;
+      return std::make_unique<RumorMessage>(*tag_value);
+    }
+    case MessageType::Aggregation: {
+      const auto bits = r.u64();
+      const auto flag = r.u8();
+      if (!bits || !flag || *flag > 1 || !r.exhausted()) return nullptr;
+      return std::make_unique<AggregationMessage>(bits_to_double(*bits), *flag == 1);
+    }
+    case MessageType::Probe: {
+      const auto flag = r.u8();
+      if (!flag || *flag > 1 || !r.exhausted()) return nullptr;
+      return std::make_unique<ProbeMessage>(*flag == 1);
+    }
+  }
+  return nullptr;
+}
+
+std::function<std::unique_ptr<Payload>(const Payload&)> wire_roundtrip_transcoder() {
+  return [](const Payload& payload) -> std::unique_ptr<Payload> {
+    const auto bytes = encode_message(payload);
+    if (!bytes) return nullptr;
+    return decode_message(*bytes);
+  };
+}
+
+}  // namespace bsvc

@@ -1,0 +1,203 @@
+#include "core/bootstrap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/experiment.hpp"
+#include "tests/test_util.hpp"
+
+namespace bsvc {
+namespace {
+
+// Harness: a tiny converging network with the oracle sampler, giving direct
+// access to protocol instances for invariant checks.
+BootstrapExperiment make_experiment(std::size_t n, std::uint64_t seed,
+                                    SamplerKind sampler = SamplerKind::Oracle,
+                                    double drop = 0.0) {
+  ExperimentConfig cfg;
+  cfg.n = n;
+  cfg.seed = seed;
+  cfg.sampler = sampler;
+  cfg.drop_probability = drop;
+  cfg.warmup_cycles = sampler == SamplerKind::Newscast ? 8 : 0;
+  cfg.max_cycles = 80;
+  return BootstrapExperiment(cfg);
+}
+
+TEST(BootstrapProtocol, ConvergesToPerfectTablesSmallNetwork) {
+  auto exp = make_experiment(256, 1);
+  const auto result = exp.run();
+  EXPECT_GE(result.converged_cycle, 0);
+  EXPECT_LE(result.converged_cycle, 25);
+  EXPECT_EQ(result.final_metrics.missing_leaf_fraction(), 0.0);
+  EXPECT_EQ(result.final_metrics.missing_prefix_fraction(), 0.0);
+}
+
+TEST(BootstrapProtocol, ConvergesWithNewscastSampler) {
+  auto exp = make_experiment(256, 2, SamplerKind::Newscast);
+  const auto result = exp.run();
+  EXPECT_GE(result.converged_cycle, 0);
+}
+
+TEST(BootstrapProtocol, ConvergesUnderHeavyMessageLoss) {
+  auto exp = make_experiment(256, 3, SamplerKind::Oracle, 0.2);
+  const auto result = exp.run();
+  EXPECT_GE(result.converged_cycle, 0);
+}
+
+TEST(BootstrapProtocol, LossSlowsConvergenceButDoesNotBreakIt) {
+  // Single runs at small N are noisy; compare totals over several seeds.
+  const auto cycles_at = [](double drop) {
+    int total = 0;
+    for (std::uint64_t seed = 4; seed < 8; ++seed) {
+      auto exp = make_experiment(512, seed, SamplerKind::Oracle, drop);
+      const int c = exp.run().converged_cycle;
+      EXPECT_GE(c, 0) << "drop=" << drop << " seed=" << seed;
+      total += c;
+    }
+    return total;
+  };
+  const int clean = cycles_at(0.0);
+  const int lossy = cycles_at(0.2);
+  EXPECT_GT(lossy, clean);
+}
+
+TEST(BootstrapProtocol, MessageInvariants) {
+  auto exp = make_experiment(512, 5);
+  exp.run();
+  // Probe CREATEMESSAGE on live instances against random targets.
+  auto& engine = exp.engine();
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Address node = static_cast<Address>(rng.below(engine.node_count()));
+    auto& proto = const_cast<BootstrapProtocol&>(exp.bootstrap_of(node));
+    const NodeId peer = rng.next_u64();
+    const auto msg = proto.create_message(peer, true);
+
+    // Ring part bounded by c; never contains the peer itself.
+    EXPECT_LE(msg->ring_part.size(), proto.config().c);
+    std::set<NodeId> seen;
+    for (const auto& d : msg->ring_part) {
+      EXPECT_NE(d.id, peer);
+      EXPECT_TRUE(seen.insert(d.id).second);  // no duplicates
+    }
+    // Prefix part: at most k per (row, col) cell of the peer, disjoint from
+    // the ring part.
+    std::map<std::pair<int, int>, int> cells;
+    for (const auto& d : msg->prefix_part) {
+      EXPECT_NE(d.id, peer);
+      EXPECT_TRUE(seen.insert(d.id).second);
+      const int i = common_prefix_digits(peer, d.id, proto.config().digits);
+      const int j = digit(d.id, i, proto.config().digits);
+      const int fill = ++cells[std::pair(i, j)];
+      EXPECT_LE(fill, proto.config().k);
+    }
+    // Bounded by the full table size.
+    const std::size_t full_table =
+        static_cast<std::size_t>(proto.config().digits.num_digits<NodeId>()) *
+        static_cast<std::size_t>(proto.config().digits.radix() - 1) *
+        static_cast<std::size_t>(proto.config().k);
+    EXPECT_LE(msg->prefix_part.size(), full_table);
+  }
+}
+
+TEST(BootstrapProtocol, SelfNeverInOwnTables) {
+  auto exp = make_experiment(128, 6);
+  exp.run();
+  for (Address a = 0; a < 128; ++a) {
+    const auto& proto = exp.bootstrap_of(a);
+    const NodeId own = exp.engine().id_of(a);
+    EXPECT_FALSE(proto.leaf_set().contains(own));
+    EXPECT_FALSE(proto.prefix_table().contains(own));
+  }
+}
+
+TEST(BootstrapProtocol, LeafSetsRespectCapacity) {
+  auto exp = make_experiment(128, 7);
+  exp.run();
+  for (Address a = 0; a < 128; ++a) {
+    const auto& ls = exp.bootstrap_of(a).leaf_set();
+    EXPECT_LE(ls.size(), ls.capacity());
+  }
+}
+
+TEST(BootstrapProtocol, StatsAreConsistent) {
+  auto exp = make_experiment(256, 8);
+  const auto result = exp.run();
+  const auto& s = result.bootstrap_stats;
+  EXPECT_GT(s.requests_sent, 0u);
+  EXPECT_GT(s.replies_sent, 0u);
+  // No loss: every request yields a reply; replies can't exceed requests.
+  EXPECT_LE(s.replies_sent, s.requests_sent);
+  EXPECT_GT(s.entries_sent, s.requests_sent);  // many descriptors per message
+  EXPECT_GE(result.max_message_bytes, static_cast<std::uint64_t>(result.avg_message_bytes));
+}
+
+// Ablations: each feature switch must change behaviour in the documented
+// direction but never break convergence of the leaf sets.
+TEST(BootstrapProtocol, AblationNoPrefixPartStillBuildsRing) {
+  ExperimentConfig cfg;
+  cfg.n = 256;
+  cfg.seed = 9;
+  cfg.sampler = SamplerKind::Oracle;
+  cfg.warmup_cycles = 0;
+  cfg.max_cycles = 80;
+  cfg.bootstrap.send_prefix_part = false;
+  BootstrapExperiment exp(cfg);
+  const auto result = exp.run();
+  EXPECT_GE(result.leaf_converged_cycle, 0);
+}
+
+TEST(BootstrapProtocol, AblationNoRandomSamplesStillConverges) {
+  ExperimentConfig cfg;
+  cfg.n = 256;
+  cfg.seed = 10;
+  cfg.sampler = SamplerKind::Oracle;
+  cfg.warmup_cycles = 0;
+  cfg.max_cycles = 120;
+  cfg.bootstrap.use_random_samples = false;
+  BootstrapExperiment exp(cfg);
+  const auto result = exp.run();
+  EXPECT_GE(result.leaf_converged_cycle, 0);
+}
+
+TEST(BootstrapProtocol, StaggeredStartsAcrossSeveralCycles) {
+  ExperimentConfig cfg;
+  cfg.n = 256;
+  cfg.seed = 11;
+  cfg.sampler = SamplerKind::Oracle;
+  cfg.warmup_cycles = 0;
+  cfg.max_cycles = 80;
+  cfg.start_window_cycles = 4.0;  // far looser than the paper's Δ
+  BootstrapExperiment exp(cfg);
+  const auto result = exp.run();
+  EXPECT_GE(result.converged_cycle, 0);
+}
+
+TEST(BootstrapProtocol, DeterministicGivenSeed) {
+  const auto run_sig = [](std::uint64_t seed) {
+    auto exp = make_experiment(128, seed);
+    const auto r = exp.run();
+    return std::tuple(r.converged_cycle, r.bootstrap_stats.requests_sent,
+                      r.bootstrap_stats.entries_sent);
+  };
+  EXPECT_EQ(run_sig(77), run_sig(77));
+  EXPECT_NE(run_sig(77), run_sig(78));
+}
+
+TEST(BootstrapProtocol, WireBytesMatchEntryCounts) {
+  auto exp = make_experiment(64, 12);
+  exp.run();
+  auto& proto = const_cast<BootstrapProtocol&>(exp.bootstrap_of(0));
+  const auto msg = proto.create_message(exp.engine().id_of(1), true);
+  const std::size_t expected = kDescriptorWireBytes + 1 +
+                               (2 + msg->ring_part.size() * kDescriptorWireBytes) +
+                               (2 + msg->prefix_part.size() * kDescriptorWireBytes) +
+                               (2 + msg->tombstones.size() * 12);
+  EXPECT_EQ(msg->wire_bytes(), expected);
+}
+
+}  // namespace
+}  // namespace bsvc

@@ -1,0 +1,91 @@
+#include "common/flags.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace bsvc {
+namespace {
+
+Flags make_flags(std::vector<std::string> args) {
+  static std::vector<std::string> storage;
+  storage = std::move(args);
+  storage.insert(storage.begin(), "prog");
+  static std::vector<char*> argv;
+  argv.clear();
+  for (auto& s : storage) argv.push_back(s.data());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, EqualsSyntax) {
+  const Flags f = make_flags({"--n=4096", "--drop=0.2", "--name=fig3"});
+  EXPECT_EQ(f.get_int("n", 0), 4096);
+  EXPECT_DOUBLE_EQ(f.get_double("drop", 0.0), 0.2);
+  EXPECT_EQ(f.get_string("name", ""), "fig3");
+}
+
+TEST(Flags, SpaceSyntax) {
+  const Flags f = make_flags({"--n", "128", "--label", "x"});
+  EXPECT_EQ(f.get_int("n", 0), 128);
+  EXPECT_EQ(f.get_string("label", ""), "x");
+}
+
+TEST(Flags, BareBoolean) {
+  const Flags f = make_flags({"--full"});
+  EXPECT_TRUE(f.get_bool("full", false));
+  EXPECT_FALSE(f.get_bool("other", false));
+  EXPECT_TRUE(f.get_bool("missing-default-true", true));
+}
+
+TEST(Flags, ExplicitBooleanValues) {
+  const Flags f = make_flags({"--a=true", "--b=false", "--c=1", "--d=0"});
+  EXPECT_TRUE(f.get_bool("a", false));
+  EXPECT_FALSE(f.get_bool("b", true));
+  EXPECT_TRUE(f.get_bool("c", false));
+  EXPECT_FALSE(f.get_bool("d", true));
+}
+
+TEST(Flags, DefaultsWhenAbsent) {
+  const Flags f = make_flags({});
+  EXPECT_EQ(f.get_int("n", 42), 42);
+  EXPECT_DOUBLE_EQ(f.get_double("x", 1.5), 1.5);
+  EXPECT_EQ(f.get_string("s", "def"), "def");
+}
+
+TEST(Flags, HasDetectsPresence) {
+  const Flags f = make_flags({"--present"});
+  EXPECT_TRUE(f.has("present"));
+  EXPECT_FALSE(f.has("absent"));
+}
+
+TEST(Flags, NegativeNumbers) {
+  const Flags f = make_flags({"--offset=-5", "--scale=-0.5"});
+  EXPECT_EQ(f.get_int("offset", 0), -5);
+  EXPECT_DOUBLE_EQ(f.get_double("scale", 0.0), -0.5);
+}
+
+TEST(FlagsDeathTest, UnknownFlagRejectedByFinish) {
+  EXPECT_EXIT(
+      {
+        const Flags f = make_flags({"--typo=1"});
+        f.get_int("n", 0);
+        f.finish();
+      },
+      testing::ExitedWithCode(2), "unknown flag");
+}
+
+TEST(FlagsDeathTest, MalformedIntegerRejected) {
+  EXPECT_EXIT(
+      {
+        const Flags f = make_flags({"--n=abc"});
+        (void)f.get_int("n", 0);
+      },
+      testing::ExitedWithCode(2), "expects an integer");
+}
+
+TEST(FlagsDeathTest, NonFlagArgumentRejected) {
+  EXPECT_EXIT(make_flags({"positional"}), testing::ExitedWithCode(2), "expected --flag");
+}
+
+}  // namespace
+}  // namespace bsvc

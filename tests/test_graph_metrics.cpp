@@ -1,0 +1,99 @@
+#include "sampling/graph_metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sampling/newscast.hpp"
+
+namespace bsvc {
+namespace {
+
+TEST(UnionFind, SingletonsAreDistinct) {
+  UnionFind uf(5);
+  std::vector<std::uint32_t> members{0, 1, 2, 3, 4};
+  EXPECT_EQ(uf.count_components(members), 5u);
+}
+
+TEST(UnionFind, UniteMerges) {
+  UnionFind uf(6);
+  uf.unite(0, 1);
+  uf.unite(2, 3);
+  uf.unite(1, 2);
+  std::vector<std::uint32_t> members{0, 1, 2, 3, 4, 5};
+  EXPECT_EQ(uf.count_components(members), 3u);  // {0,1,2,3}, {4}, {5}
+  EXPECT_EQ(uf.find(0), uf.find(3));
+  EXPECT_NE(uf.find(0), uf.find(4));
+}
+
+TEST(UnionFind, UniteIsIdempotent) {
+  UnionFind uf(3);
+  uf.unite(0, 1);
+  uf.unite(0, 1);
+  uf.unite(1, 0);
+  std::vector<std::uint32_t> members{0, 1, 2};
+  EXPECT_EQ(uf.count_components(members), 2u);
+}
+
+TEST(UnionFind, ComponentsOfSubset) {
+  UnionFind uf(10);
+  uf.unite(0, 1);
+  uf.unite(8, 9);
+  std::vector<std::uint32_t> subset{0, 1, 8};
+  EXPECT_EQ(uf.count_components(subset), 2u);
+}
+
+// measure_view_graph on a hand-built topology: a ring of views.
+TEST(ViewGraph, HandBuiltRingTopology) {
+  Engine e(1);
+  constexpr std::size_t kN = 16;
+  for (std::size_t i = 0; i < kN; ++i) {
+    const Address a = e.add_node(static_cast<NodeId>(i + 1));
+    e.attach(a, std::make_unique<NewscastProtocol>(NewscastConfig{}));
+  }
+  for (Address a = 0; a < kN; ++a) {
+    auto& nc = dynamic_cast<NewscastProtocol&>(e.protocol(a, 0));
+    nc.init_view({e.descriptor_of((a + 1) % kN)});  // each points at its next
+    e.start_node(a);
+  }
+  // Run only the time-0 start events: views hold exactly the seeds (message
+  // latency keeps any first exchange from completing at t=0).
+  e.run_until(0);
+  const auto stats = measure_view_graph(e, 0);
+  EXPECT_EQ(stats.alive_nodes, kN);
+  EXPECT_EQ(stats.components, 1u);
+  EXPECT_DOUBLE_EQ(stats.indegree_mean, 1.0);
+  EXPECT_EQ(stats.indegree_max, 1u);
+  EXPECT_DOUBLE_EQ(stats.dead_entry_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(stats.clustering, 0.0);  // a big cycle has no triangles
+}
+
+TEST(ViewGraph, DetectsDeadEntriesAndDisconnection) {
+  Engine e(1);
+  for (std::size_t i = 0; i < 4; ++i) {
+    const Address a = e.add_node(static_cast<NodeId>(i + 1));
+    e.attach(a, std::make_unique<NewscastProtocol>(NewscastConfig{}));
+  }
+  // Two disconnected pairs: 0<->1, 2<->3.
+  const auto wire = [&](Address x, Address y) {
+    dynamic_cast<NewscastProtocol&>(e.protocol(x, 0)).init_view({e.descriptor_of(y)});
+  };
+  wire(0, 1);
+  wire(1, 0);
+  wire(2, 3);
+  wire(3, 2);
+  for (Address a = 0; a < 4; ++a) e.start_node(a);
+  e.run_until(0);
+  auto stats = measure_view_graph(e, 0);
+  EXPECT_EQ(stats.components, 2u);
+
+  e.kill_node(3);
+  stats = measure_view_graph(e, 0);
+  EXPECT_EQ(stats.alive_nodes, 3u);
+  // Node 2's single view entry points at the dead node 3.
+  EXPECT_NEAR(stats.dead_entry_fraction, 1.0 / 3.0, 1e-9);
+  EXPECT_EQ(stats.components, 2u);  // {0,1} and isolated {2}
+}
+
+}  // namespace
+}  // namespace bsvc

@@ -1,0 +1,74 @@
+#include "overlay/join_protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.hpp"
+
+namespace bsvc {
+namespace {
+
+TEST(SequentialJoin, FirstNodeIsFree) {
+  SequentialJoinNetwork net(BootstrapConfig{}, 1);
+  net.join({12345, 0});
+  EXPECT_EQ(net.size(), 1u);
+  EXPECT_EQ(net.costs().messages, 0u);
+  EXPECT_EQ(net.costs().joins, 1u);
+}
+
+TEST(SequentialJoin, GrowBuildsRequestedSize) {
+  SequentialJoinNetwork net(BootstrapConfig{}, 2);
+  net.grow(100);
+  EXPECT_EQ(net.size(), 100u);
+  EXPECT_EQ(net.costs().joins, 100u);
+  EXPECT_GT(net.costs().messages, 0u);
+  EXPECT_GT(net.costs().bytes, net.costs().messages);  // messages carry data
+}
+
+TEST(SequentialJoin, TablesAreHighQuality) {
+  SequentialJoinNetwork net(BootstrapConfig{}, 3);
+  net.grow(300);
+  auto q = net.measure_quality(400);
+  // Sequential Pastry joins give good-but-not-perfect tables; lookups must
+  // work nearly always.
+  EXPECT_LT(q.missing_leaf_fraction, 0.02);
+  EXPECT_GT(q.lookup_success_rate, 0.97);
+  EXPECT_GE(q.missing_prefix_fraction, 0.0);
+  EXPECT_LT(q.missing_prefix_fraction, 0.6);
+}
+
+TEST(SequentialJoin, CostsScaleSuperlinearlyInMessages) {
+  const auto msgs_for = [](std::size_t n) {
+    SequentialJoinNetwork net(BootstrapConfig{}, 4);
+    net.grow(n);
+    return net.costs().messages;
+  };
+  const auto m200 = msgs_for(200);
+  const auto m400 = msgs_for(400);
+  // Per-join cost grows with network size (route length + announcements),
+  // so doubling N more than doubles messages.
+  EXPECT_GT(m400, 2 * m200);
+}
+
+TEST(SequentialJoin, MakespanGrowsLinearlyWithJoins) {
+  SequentialJoinNetwork net(BootstrapConfig{}, 5);
+  net.grow(50);
+  const auto t50 = net.costs().critical_time;
+  net.grow(50);
+  const auto t100 = net.costs().critical_time;
+  // Serialized joins: the second batch costs at least as much as the first.
+  EXPECT_GE(t100 - t50, t50 / 2);
+  EXPECT_GT(net.costs().avg_route_hops(), 0.0);
+}
+
+TEST(SequentialJoin, LeafAndPrefixAccessors) {
+  BootstrapConfig cfg;
+  SequentialJoinNetwork net(cfg, 6);
+  net.grow(64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_LE(net.leaf_of(i).size(), cfg.c);
+    EXPECT_EQ(net.prefix_of(i).k(), cfg.k);
+  }
+}
+
+}  // namespace
+}  // namespace bsvc

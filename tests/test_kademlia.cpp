@@ -1,0 +1,92 @@
+#include "overlay/kademlia_lookup.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+
+namespace bsvc {
+namespace {
+
+ExperimentConfig make_config(std::size_t n, std::uint64_t seed) {
+  ExperimentConfig cfg;
+  cfg.n = n;
+  cfg.seed = seed;
+  cfg.sampler = SamplerKind::Oracle;
+  cfg.warmup_cycles = 0;
+  cfg.max_cycles = 80;
+  return cfg;
+}
+
+TEST(XorDistance, BasicProperties) {
+  EXPECT_EQ(xor_distance(5, 5), 0u);
+  EXPECT_EQ(xor_distance(0, 0xFF), 0xFFu);
+  EXPECT_EQ(xor_distance(3, 9), xor_distance(9, 3));
+  // Unique decodability: d(a, x) == d(b, x) implies a == b.
+  EXPECT_NE(xor_distance(1, 7), xor_distance(2, 7));
+}
+
+TEST(KademliaLookup, ExactAfterConvergence) {
+  BootstrapExperiment exp(make_config(512, 1));
+  exp.run();
+  const ConvergenceOracle oracle(exp.engine(), exp.config().bootstrap, exp.bootstrap_slot());
+  ASSERT_TRUE(oracle.measure().converged());
+  const KademliaLookup kad(exp.engine(), exp.bootstrap_slot());
+  Rng rng(2);
+  const auto stats = kad.run_lookups(oracle, rng, 300);
+  EXPECT_EQ(stats.attempted, 300u);
+  EXPECT_DOUBLE_EQ(stats.exact_rate(), 1.0);
+}
+
+TEST(KademliaLookup, QueryCountIsLogarithmic) {
+  BootstrapExperiment exp(make_config(1024, 3));
+  exp.run();
+  const ConvergenceOracle oracle(exp.engine(), exp.config().bootstrap, exp.bootstrap_slot());
+  const KademliaLookup kad(exp.engine(), exp.bootstrap_slot());
+  Rng rng(4);
+  const auto stats = kad.run_lookups(oracle, rng, 200);
+  // Iterative lookup contacts O(alpha * log N) nodes; far below N.
+  EXPECT_LT(stats.avg_queries, 40.0);
+}
+
+TEST(KademliaLookup, FindsSelfForOwnId) {
+  BootstrapExperiment exp(make_config(256, 5));
+  exp.run();
+  const ConvergenceOracle oracle(exp.engine(), exp.config().bootstrap, exp.bootstrap_slot());
+  const KademliaLookup kad(exp.engine(), exp.bootstrap_slot());
+  const auto r = kad.find_node(9, exp.engine().id_of(9), oracle);
+  EXPECT_TRUE(r.exact);
+  EXPECT_EQ(r.closest.addr, 9u);
+}
+
+TEST(KademliaLookup, TargetEqualToMemberIdIsFound) {
+  BootstrapExperiment exp(make_config(256, 6));
+  exp.run();
+  const ConvergenceOracle oracle(exp.engine(), exp.config().bootstrap, exp.bootstrap_slot());
+  const KademliaLookup kad(exp.engine(), exp.bootstrap_slot());
+  Rng rng(7);
+  for (int i = 0; i < 30; ++i) {
+    const Address target = static_cast<Address>(rng.below(256));
+    const auto r = kad.find_node(0, exp.engine().id_of(target), oracle);
+    EXPECT_TRUE(r.exact);
+    EXPECT_EQ(r.closest.addr, target);
+  }
+}
+
+TEST(KademliaLookup, SurvivesDeadNodesInShortlist) {
+  BootstrapExperiment exp(make_config(512, 8));
+  exp.run();
+  // Kill 20% after convergence; lookups must avoid the corpses and still
+  // find the best alive candidate most of the time.
+  auto& engine = exp.engine();
+  Rng rng(9);
+  for (Address a = 0; a < 512; ++a) {
+    if (rng.chance(0.2)) engine.kill_node(a);
+  }
+  const ConvergenceOracle oracle(engine, exp.config().bootstrap, exp.bootstrap_slot());
+  const KademliaLookup kad(engine, exp.bootstrap_slot());
+  const auto stats = kad.run_lookups(oracle, rng, 200);
+  EXPECT_GT(stats.exact_rate(), 0.7);
+}
+
+}  // namespace
+}  // namespace bsvc

@@ -1,0 +1,112 @@
+#include "core/oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+
+namespace bsvc {
+namespace {
+
+ExperimentConfig base_config(std::size_t n, std::uint64_t seed) {
+  ExperimentConfig cfg;
+  cfg.n = n;
+  cfg.seed = seed;
+  cfg.sampler = SamplerKind::Oracle;
+  cfg.warmup_cycles = 0;
+  cfg.max_cycles = 80;
+  return cfg;
+}
+
+TEST(Oracle, EverythingMissingBeforeActivation) {
+  BootstrapExperiment exp(base_config(64, 1));
+  // Before run(): protocols exist but have not initialized tables.
+  const ConvergenceOracle oracle(exp.engine(), exp.config().bootstrap, exp.bootstrap_slot());
+  const auto m = oracle.measure();
+  EXPECT_GT(m.leaf_perfect, 0u);
+  EXPECT_GT(m.prefix_perfect, 0u);
+  EXPECT_EQ(m.leaf_present, 0u);
+  EXPECT_EQ(m.prefix_present, 0u);
+  EXPECT_DOUBLE_EQ(m.missing_leaf_fraction(), 1.0);
+  EXPECT_DOUBLE_EQ(m.missing_prefix_fraction(), 1.0);
+  EXPECT_FALSE(m.converged());
+}
+
+TEST(Oracle, ZeroMissingAtConvergence) {
+  BootstrapExperiment exp(base_config(256, 2));
+  const auto result = exp.run();
+  ASSERT_GE(result.converged_cycle, 0);
+  const ConvergenceOracle oracle(exp.engine(), exp.config().bootstrap, exp.bootstrap_slot());
+  const auto m = oracle.measure();
+  EXPECT_TRUE(m.converged());
+  EXPECT_EQ(m.leaf_present, m.leaf_perfect);
+  EXPECT_EQ(m.prefix_present, m.prefix_perfect);
+}
+
+TEST(Oracle, MetricsDecreaseOverTime) {
+  BootstrapExperiment exp(base_config(512, 3));
+  std::vector<double> leaf_curve, prefix_curve;
+  exp.run([&](std::size_t, const ConvergenceMetrics& m) {
+    leaf_curve.push_back(m.missing_leaf_fraction());
+    prefix_curve.push_back(m.missing_prefix_fraction());
+  });
+  ASSERT_GE(leaf_curve.size(), 5u);
+  // Not necessarily monotone cycle-by-cycle, but must collapse overall.
+  EXPECT_GT(leaf_curve.front(), 0.5);
+  EXPECT_EQ(leaf_curve.back(), 0.0);
+  EXPECT_EQ(prefix_curve.back(), 0.0);
+  // Front half strictly above back half on average.
+  const auto mean = [](const std::vector<double>& v, std::size_t from, std::size_t to) {
+    double s = 0.0;
+    for (std::size_t i = from; i < to; ++i) s += v[i];
+    return s / static_cast<double>(to - from);
+  };
+  EXPECT_GT(mean(leaf_curve, 0, leaf_curve.size() / 2),
+            mean(leaf_curve, leaf_curve.size() / 2, leaf_curve.size()));
+}
+
+TEST(Oracle, PerfectLeafIdsMatchMembership) {
+  BootstrapExperiment exp(base_config(64, 4));
+  const ConvergenceOracle oracle(exp.engine(), exp.config().bootstrap, exp.bootstrap_slot());
+  const auto& members = oracle.sorted_members();
+  ASSERT_EQ(members.size(), 64u);
+  const auto ids = oracle.perfect_leaf_ids(members[10].addr);
+  EXPECT_EQ(ids.size(), exp.config().bootstrap.c);
+  // All perfect entries are real member IDs, none is the node itself.
+  for (const NodeId id : ids) {
+    EXPECT_NE(id, members[10].id);
+    bool found = false;
+    for (const auto& m : members) found |= m.id == id;
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(Oracle, LivenessCheckDiscountsDeadEntries) {
+  BootstrapExperiment exp(base_config(256, 5));
+  const auto result = exp.run();
+  ASSERT_GE(result.converged_cycle, 0);
+  // Kill a quarter of the nodes; entries pointing at them become stale.
+  auto& engine = exp.engine();
+  for (Address a = 0; a < 64; ++a) engine.kill_node(a);
+  const ConvergenceOracle oracle(engine, exp.config().bootstrap, exp.bootstrap_slot());
+  const auto strict = oracle.measure(/*check_liveness=*/true);
+  const auto lax = oracle.measure(/*check_liveness=*/false);
+  // The lax count includes dead entries, the strict one does not.
+  EXPECT_LE(strict.prefix_present, lax.prefix_present);
+  EXPECT_GT(strict.missing_prefix_fraction(), 0.0);
+  // Leaf metric naturally discounts dead perfect-entries (they are no longer
+  // perfect once the membership shrank).
+  EXPECT_GT(strict.leaf_perfect, 0u);
+}
+
+TEST(Oracle, OwnerLookupAgreesWithPerfectTables) {
+  BootstrapExperiment exp(base_config(128, 6));
+  const ConvergenceOracle oracle(exp.engine(), exp.config().bootstrap, exp.bootstrap_slot());
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const NodeId key = rng.next_u64();
+    EXPECT_EQ(oracle.owner_of(key).id, oracle.perfect().owner_of(key).id);
+  }
+}
+
+}  // namespace
+}  // namespace bsvc

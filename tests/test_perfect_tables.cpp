@@ -1,0 +1,152 @@
+#include "core/perfect_tables.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/leaf_set.hpp"
+#include "tests/test_util.hpp"
+
+namespace bsvc {
+namespace {
+
+// Brute-force perfect prefix total: for every (row, col) cell of `own`,
+// count members in it, cap at k, sum.
+std::uint64_t brute_prefix_total(NodeId own, const std::vector<NodeDescriptor>& members,
+                                 const BootstrapConfig& cfg) {
+  const int rows = cfg.digits.num_digits<NodeId>();
+  std::uint64_t total = 0;
+  for (int row = 0; row < rows; ++row) {
+    for (int col = 0; col < cfg.digits.radix(); ++col) {
+      if (col == digit(own, row, cfg.digits)) continue;
+      std::uint64_t count = 0;
+      for (const auto& m : members) {
+        if (m.id == own) continue;
+        if (common_prefix_digits(own, m.id, cfg.digits) == row &&
+            digit(m.id, row, cfg.digits) == col) {
+          ++count;
+        }
+      }
+      total += std::min<std::uint64_t>(count, static_cast<std::uint64_t>(cfg.k));
+    }
+  }
+  return total;
+}
+
+// Brute-force owner: scan for the minimum ring distance, successor tie-break.
+NodeId brute_owner(NodeId key, const std::vector<NodeDescriptor>& members) {
+  NodeId best = members.front().id;
+  for (const auto& m : members) {
+    if (closer_on_ring(key, m.id, best)) best = m.id;
+  }
+  return best;
+}
+
+class PerfectTablesParam : public ::testing::TestWithParam<std::tuple<std::size_t, int, int>> {};
+
+TEST_P(PerfectTablesParam, PrefixTotalsMatchBruteForce) {
+  const auto [n, bits, k] = GetParam();
+  BootstrapConfig cfg;
+  cfg.digits = DigitConfig{bits};
+  cfg.k = k;
+  const auto members = test::random_descriptors(n, 77 + n);
+  const PerfectTables truth(members, cfg);
+  for (const auto& m : members) {
+    EXPECT_EQ(truth.perfect_prefix_total(truth.rank_of_id(m.id)),
+              brute_prefix_total(m.id, members, cfg))
+        << "n=" << n << " b=" << bits << " k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PerfectTablesParam,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 9, 33, 150),
+                                            ::testing::Values(1, 4),
+                                            ::testing::Values(1, 2, 3)));
+
+TEST(PerfectTables, LeafSpansMatchLeafSetSemantics) {
+  // The perfect leaf set must be exactly what UPDATELEAFSET computes given
+  // global knowledge (the protocol's fixed point).
+  for (const std::size_t n : {2u, 3u, 7u, 25u, 100u}) {
+    for (const std::size_t c : {2u, 6u, 20u}) {
+      BootstrapConfig cfg;
+      cfg.c = c;
+      const auto members = test::random_descriptors(n, 31 * n + c);
+      const PerfectTables truth(members, cfg);
+      for (const auto& m : members) {
+        LeafSet ls(m.id, c);
+        ls.update(members);
+        auto expect = truth.perfect_leaf_ids(truth.rank_of_id(m.id));
+        std::vector<NodeId> got;
+        for (const auto& e : ls.all()) got.push_back(e.id);
+        std::sort(expect.begin(), expect.end());
+        std::sort(got.begin(), got.end());
+        EXPECT_EQ(got, expect) << "n=" << n << " c=" << c;
+      }
+    }
+  }
+}
+
+TEST(PerfectTables, LeafSpanCountsForTinyMemberships) {
+  BootstrapConfig cfg;
+  cfg.c = 20;
+  // 3 members: everyone's perfect leaf set is the other two.
+  const auto members = test::random_descriptors(3, 5);
+  const PerfectTables truth(members, cfg);
+  for (std::size_t r = 0; r < 3; ++r) {
+    const auto span = truth.leaf_span(r);
+    EXPECT_EQ(span.succ_count + span.pred_count, 2u);
+  }
+}
+
+TEST(PerfectTables, SingleMemberHasEmptyStructures) {
+  BootstrapConfig cfg;
+  const auto members = test::random_descriptors(1, 6);
+  const PerfectTables truth(members, cfg);
+  const auto span = truth.leaf_span(0);
+  EXPECT_EQ(span.succ_count, 0u);
+  EXPECT_EQ(span.pred_count, 0u);
+  EXPECT_EQ(truth.perfect_prefix_total(0), 0u);
+  EXPECT_EQ(truth.owner_of(12345).id, members[0].id);
+}
+
+TEST(PerfectTables, OwnerMatchesBruteForce) {
+  const auto members = test::random_descriptors(200, 8);
+  BootstrapConfig cfg;
+  const PerfectTables truth(members, cfg);
+  Rng rng(9);
+  for (int i = 0; i < 2000; ++i) {
+    const NodeId key = rng.next_u64();
+    EXPECT_EQ(truth.owner_of(key).id, brute_owner(key, members));
+  }
+  // A member's own ID is owned by itself.
+  EXPECT_EQ(truth.owner_of(members[10].id).id, members[10].id);
+}
+
+TEST(PerfectTables, PerfectPrefixSumEqualsPerRankSum) {
+  const auto members = test::random_descriptors(500, 10);
+  BootstrapConfig cfg;
+  const PerfectTables truth(members, cfg);
+  std::uint64_t sum = 0;
+  for (std::size_t r = 0; r < truth.size(); ++r) sum += truth.perfect_prefix_total(r);
+  EXPECT_EQ(truth.perfect_prefix_sum(), sum);
+  EXPECT_GT(sum, 0u);
+}
+
+TEST(PerfectTablesDeathTest, DuplicateIdsRejected) {
+  BootstrapConfig cfg;
+  std::vector<NodeDescriptor> members{{5, 0}, {5, 1}};
+  EXPECT_DEATH(PerfectTables(members, cfg), "duplicate node IDs");
+}
+
+TEST(PerfectTables, RankOfIdFindsEveryMember) {
+  const auto members = test::random_descriptors(64, 11);
+  BootstrapConfig cfg;
+  const PerfectTables truth(members, cfg);
+  for (const auto& m : members) {
+    const auto rank = truth.rank_of_id(m.id);
+    EXPECT_EQ(truth.sorted_members()[rank].id, m.id);
+  }
+}
+
+}  // namespace
+}  // namespace bsvc

@@ -1,0 +1,143 @@
+#include "core/prefix_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/perfect_tables.hpp"
+#include "tests/test_util.hpp"
+
+namespace bsvc {
+namespace {
+
+constexpr DigitConfig kB4{4};
+
+TEST(PrefixTable, StartsEmpty) {
+  PrefixTable t(0x1234, kB4, 3);
+  EXPECT_EQ(t.filled(), 0u);
+  EXPECT_TRUE(t.entries().empty());
+  EXPECT_EQ(t.rows(), 16);
+  EXPECT_EQ(t.k(), 3);
+}
+
+TEST(PrefixTable, CellOfComputesRowAndColumn) {
+  // own = 0xAB00...; id = 0xAC00... shares 1 digit (A), differs at digit 1
+  // with value C.
+  const NodeId own = 0xAB00000000000000ull;
+  PrefixTable t(own, kB4, 3);
+  const auto cell = t.cell_of(0xAC00000000000000ull);
+  EXPECT_EQ(cell.row, 1);
+  EXPECT_EQ(cell.col, 0xC);
+  const auto cell0 = t.cell_of(0x1B00000000000000ull);
+  EXPECT_EQ(cell0.row, 0);
+  EXPECT_EQ(cell0.col, 0x1);
+}
+
+TEST(PrefixTable, InsertPlacesEntryInItsCell) {
+  const NodeId own = 0xAB00000000000000ull;
+  PrefixTable t(own, kB4, 3);
+  EXPECT_TRUE(t.insert({0xAC12000000000000ull, 1}));
+  EXPECT_EQ(t.filled(), 1u);
+  EXPECT_EQ(t.cell_count(1, 0xC), 1u);
+  EXPECT_EQ(t.cell(1, 0xC)[0].id, 0xAC12000000000000ull);
+  EXPECT_EQ(t.cell_count(1, 0xD), 0u);
+}
+
+TEST(PrefixTable, RejectsOwnIdNullAddressAndDuplicates) {
+  const NodeId own = 0xAB00000000000000ull;
+  PrefixTable t(own, kB4, 3);
+  EXPECT_FALSE(t.insert({own, 1}));
+  EXPECT_FALSE(t.insert({0xAC00000000000000ull, kNullAddress}));
+  EXPECT_TRUE(t.insert({0xAC00000000000000ull, 1}));
+  EXPECT_FALSE(t.insert({0xAC00000000000000ull, 2}));  // same id again
+  EXPECT_EQ(t.filled(), 1u);
+}
+
+TEST(PrefixTable, CellCapacityIsK) {
+  const NodeId own = 0;
+  PrefixTable t(own, kB4, 2);
+  // Four ids in cell (0, 0xF).
+  EXPECT_TRUE(t.insert({0xF000000000000001ull, 1}));
+  EXPECT_TRUE(t.insert({0xF000000000000002ull, 2}));
+  EXPECT_FALSE(t.insert({0xF000000000000003ull, 3}));
+  EXPECT_EQ(t.cell_count(0, 0xF), 2u);
+  EXPECT_EQ(t.filled(), 2u);
+}
+
+TEST(PrefixTable, EntriesStaySortedById) {
+  PrefixTable t(0, kB4, 3);
+  const auto ds = test::random_descriptors(200, 7);
+  t.insert_all(ds);
+  const auto& e = t.entries();
+  for (std::size_t i = 1; i < e.size(); ++i) EXPECT_LT(e[i - 1].id, e[i].id);
+}
+
+TEST(PrefixTable, RemoveErasesEntry) {
+  PrefixTable t(0, kB4, 3);
+  EXPECT_TRUE(t.insert({0xF000000000000001ull, 1}));
+  EXPECT_TRUE(t.contains(0xF000000000000001ull));
+  EXPECT_TRUE(t.remove(0xF000000000000001ull));
+  EXPECT_FALSE(t.contains(0xF000000000000001ull));
+  EXPECT_FALSE(t.remove(0xF000000000000001ull));
+}
+
+TEST(PrefixTable, InsertAllCountsAdded) {
+  PrefixTable t(0, kB4, 3);
+  DescriptorList ds{{0xF000000000000001ull, 1},
+                    {0xF000000000000001ull, 1},  // duplicate
+                    {0, 2},                      // own id
+                    {0xE000000000000001ull, 3}};
+  EXPECT_EQ(t.insert_all(ds), 2u);
+}
+
+TEST(PrefixTable, DeepRowsAcrossWholeIdWidth) {
+  // ids sharing 15 of 16 digits with own.
+  const NodeId own = 0x123456789ABCDEF0ull;
+  PrefixTable t(own, kB4, 3);
+  const NodeId deep = own ^ 0x1;  // differs only in the last digit
+  EXPECT_TRUE(t.insert({deep, 1}));
+  const auto cell = t.cell_of(deep);
+  EXPECT_EQ(cell.row, 15);
+  EXPECT_EQ(t.cell_count(15, cell.col), 1u);
+}
+
+// Property sweep over digit widths: inserting the whole membership yields
+// exactly the perfect entry counts the trie oracle predicts, and per-cell
+// contents are consistent with cell_of.
+class PrefixTableVsOracle : public ::testing::TestWithParam<std::tuple<int, int, std::size_t>> {};
+
+TEST_P(PrefixTableVsOracle, SaturatedTableMatchesPerfectCounts) {
+  const auto [bits, k, n] = GetParam();
+  const DigitConfig digits{bits};
+  BootstrapConfig cfg;
+  cfg.digits = digits;
+  cfg.k = k;
+  const auto members = test::random_descriptors(n, 1000 + static_cast<std::uint64_t>(bits) +
+                                                       static_cast<std::uint64_t>(k) + n);
+  const PerfectTables truth(members, cfg);
+
+  for (std::size_t probe = 0; probe < std::min<std::size_t>(n, 12); ++probe) {
+    PrefixTable t(members[probe].id, digits, k);
+    t.insert_all(members);
+    EXPECT_EQ(t.filled(), truth.perfect_prefix_total(truth.rank_of_id(members[probe].id)))
+        << "b=" << bits << " k=" << k << " n=" << n;
+    // Every entry is in the cell cell_of says, and cells respect k.
+    std::map<std::pair<int, int>, std::size_t> cells;
+    for (const auto& e : t.entries()) {
+      const auto c = t.cell_of(e.id);
+      ++cells[{c.row, c.col}];
+    }
+    for (const auto& [cell, count] : cells) {
+      EXPECT_LE(count, static_cast<std::size_t>(k));
+      EXPECT_EQ(t.cell_count(cell.first, cell.second), count);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PrefixTableVsOracle,
+                         ::testing::Combine(::testing::Values(1, 2, 4),
+                                            ::testing::Values(1, 3),
+                                            ::testing::Values(2, 17, 128, 600)));
+
+}  // namespace
+}  // namespace bsvc

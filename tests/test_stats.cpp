@@ -1,0 +1,123 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace bsvc {
+namespace {
+
+TEST(Accumulator, EmptyDefaults) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+  EXPECT_TRUE(std::isinf(acc.min()));
+  EXPECT_TRUE(std::isinf(acc.max()));
+}
+
+TEST(Accumulator, MomentsMatchDirectComputation) {
+  Accumulator acc;
+  const double xs[] = {1.0, 2.0, 4.0, 8.0, 16.0};
+  double sum = 0.0;
+  for (const double x : xs) {
+    acc.add(x);
+    sum += x;
+  }
+  const double mean = sum / 5.0;
+  double var = 0.0;
+  for (const double x : xs) var += (x - mean) * (x - mean);
+  var /= 4.0;
+  EXPECT_EQ(acc.count(), 5u);
+  EXPECT_DOUBLE_EQ(acc.sum(), sum);
+  EXPECT_NEAR(acc.mean(), mean, 1e-12);
+  EXPECT_NEAR(acc.variance(), var, 1e-12);
+  EXPECT_NEAR(acc.stddev(), std::sqrt(var), 1e-12);
+  EXPECT_EQ(acc.min(), 1.0);
+  EXPECT_EQ(acc.max(), 16.0);
+}
+
+TEST(Accumulator, SingleValueHasZeroVariance) {
+  Accumulator acc;
+  acc.add(42.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+  EXPECT_EQ(acc.mean(), 42.0);
+}
+
+TEST(Samples, QuantilesOnKnownData) {
+  Samples s;
+  for (int i = 100; i >= 1; --i) s.add(i);  // 1..100 reversed
+  EXPECT_EQ(s.count(), 100u);
+  EXPECT_EQ(s.quantile(0.0), 1.0);
+  EXPECT_EQ(s.quantile(1.0), 100.0);
+  EXPECT_NEAR(s.quantile(0.5), 50.0, 1.0);
+  EXPECT_NEAR(s.quantile(0.9), 90.0, 1.0);
+  EXPECT_NEAR(s.mean(), 50.5, 1e-9);
+}
+
+TEST(Samples, EmptyQuantileIsZero) {
+  Samples s;
+  EXPECT_EQ(s.quantile(0.5), 0.0);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(Samples, AddAfterQuantileStillCorrect) {
+  Samples s;
+  s.add(3.0);
+  EXPECT_EQ(s.quantile(0.5), 3.0);
+  s.add(1.0);
+  s.add(2.0);
+  EXPECT_EQ(s.quantile(0.0), 1.0);
+  EXPECT_EQ(s.quantile(1.0), 3.0);
+}
+
+TEST(Histogram, BucketsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);    // bucket 0
+  h.add(9.99);   // bucket 9
+  h.add(-5.0);   // clamped to 0
+  h.add(100.0);  // clamped to 9
+  h.add(5.0);    // bucket 5
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(9), 2u);
+  EXPECT_EQ(h.bucket_count(5), 1u);
+  EXPECT_EQ(h.bucket_count(3), 0u);
+}
+
+TEST(Histogram, BucketEdges) {
+  Histogram h(10.0, 20.0, 5);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(5), 20.0);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(2), 14.0);
+}
+
+TEST(Histogram, AsciiRenders) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.6);
+  const std::string art = h.ascii(10);
+  EXPECT_NE(art.find('#'), std::string::npos);
+  EXPECT_NE(art.find("[0, 1)"), std::string::npos);
+}
+
+TEST(TimeSeries, CsvRoundtrip) {
+  TimeSeries ts({"cycle", "value"});
+  ts.add_row({0.0, 1.5});
+  ts.add_row({1.0, 0.25});
+  EXPECT_EQ(ts.rows(), 2u);
+  EXPECT_EQ(ts.columns(), 2u);
+  EXPECT_EQ(ts.at(1, 1), 0.25);
+  EXPECT_EQ(ts.column_name(0), "cycle");
+  const std::string csv = ts.to_csv();
+  EXPECT_EQ(csv, "cycle,value\n0,1.5\n1,0.25\n");
+}
+
+TEST(TimeSeriesDeathTest, RowWidthMismatchAborts) {
+  TimeSeries ts({"a", "b"});
+  EXPECT_DEATH(ts.add_row({1.0}), "BSVC_CHECK");
+}
+
+}  // namespace
+}  // namespace bsvc

@@ -1,0 +1,164 @@
+#include "overlay/tman.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "id/id_generator.hpp"
+#include "sampling/oracle_sampler.hpp"
+
+namespace bsvc {
+namespace {
+
+TEST(Rankings, RingRankingMatchesRingDistance) {
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const NodeId a = rng.next_u64();
+    const NodeId b = rng.next_u64();
+    EXPECT_EQ(ring_ranking(a, b), ring_distance(a, b));
+  }
+}
+
+TEST(Rankings, XorRankingIsSymmetricAndZeroOnSelf) {
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const NodeId a = rng.next_u64();
+    const NodeId b = rng.next_u64();
+    EXPECT_EQ(xor_ranking(a, b), xor_ranking(b, a));
+    EXPECT_EQ(xor_ranking(a, a), 0u);
+  }
+}
+
+TEST(Rankings, TorusRankingWrapsPerAxis) {
+  // pivot at (0, 0); point at (2^32 - 1, 3) is distance 1 + 3 via wrapping.
+  const NodeId pivot = 0;
+  const NodeId x = (NodeId{0xFFFFFFFF} << 32) | 3;
+  EXPECT_EQ(torus_ranking(pivot, x), 4u);
+  // symmetric
+  EXPECT_EQ(torus_ranking(x, pivot), 4u);
+  EXPECT_EQ(torus_ranking(x, x), 0u);
+}
+
+struct TManNet {
+  std::unique_ptr<Engine> engine;
+  std::size_t n;
+
+  TManNet(std::size_t n, std::uint64_t seed, RankingFunction ranking, TManConfig cfg = {})
+      : n(n) {
+    engine = std::make_unique<Engine>(seed);
+    IdGenerator ids{Rng(seed ^ 0xFEED)};
+    for (std::size_t i = 0; i < n; ++i) engine->add_node(ids.next());
+    for (Address a = 0; a < n; ++a) {
+      auto sampler = std::make_unique<OracleSamplerProtocol>(*engine, a);
+      auto* sp = sampler.get();
+      engine->attach(a, std::move(sampler));
+      engine->attach(a, std::make_unique<TManProtocol>(cfg, ranking, sp,
+                                                       engine->rng().below(kDelta)));
+      engine->start_node(a);
+    }
+  }
+
+  const TManProtocol& proto(Address a) const {
+    return dynamic_cast<const TManProtocol&>(engine->protocol(a, 1));
+  }
+  void run_cycles(std::size_t c) { engine->run_until(engine->now() + c * kDelta); }
+};
+
+class TManGeometry : public ::testing::TestWithParam<int> {
+ protected:
+  RankingFunction ranking() const {
+    switch (GetParam()) {
+      case 0: return ring_ranking;
+      case 1: return xor_ranking;
+      default: return torus_ranking;
+    }
+  }
+};
+
+TEST_P(TManGeometry, ConvergesToTrueNeighbourhoods) {
+  TManNet net(256, 42 + static_cast<std::uint64_t>(GetParam()), ranking());
+  const TManOracle oracle(*net.engine, 1, ranking(), TManConfig{}.m);
+  net.run_cycles(40);
+  EXPECT_LT(oracle.missing_fraction(), 0.01) << "geometry " << GetParam();
+}
+
+TEST_P(TManGeometry, MissingFractionDecreases) {
+  TManNet net(256, 77 + static_cast<std::uint64_t>(GetParam()), ranking());
+  const TManOracle oracle(*net.engine, 1, ranking(), TManConfig{}.m);
+  net.run_cycles(2);
+  const double early = oracle.missing_fraction();
+  net.run_cycles(20);
+  const double late = oracle.missing_fraction();
+  EXPECT_LT(late, early * 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGeometries, TManGeometry, ::testing::Values(0, 1, 2));
+
+TEST(TMan, ViewRespectsSizeAndExcludesSelf) {
+  TManNet net(128, 5, ring_ranking);
+  net.run_cycles(15);
+  for (Address a = 0; a < 128; ++a) {
+    const auto& view = net.proto(a).view();
+    EXPECT_LE(view.size(), TManConfig{}.m);
+    std::set<NodeId> seen;
+    for (const auto& d : view) {
+      EXPECT_NE(d.id, net.engine->id_of(a));
+      EXPECT_TRUE(seen.insert(d.id).second);
+    }
+  }
+}
+
+TEST(TMan, ViewIsSortedBestFirst) {
+  TManNet net(128, 6, ring_ranking);
+  net.run_cycles(15);
+  for (Address a = 0; a < 128; ++a) {
+    const NodeId own = net.engine->id_of(a);
+    const auto& view = net.proto(a).view();
+    for (std::size_t i = 1; i < view.size(); ++i) {
+      EXPECT_LE(ring_ranking(own, view[i - 1].id), ring_ranking(own, view[i].id));
+    }
+  }
+}
+
+TEST(TMan, SelectForRanksByPeerNotSelf) {
+  TManNet net(128, 7, ring_ranking);
+  net.run_cycles(15);
+  const NodeId peer = net.engine->id_of(100);
+  const auto selection = const_cast<TManProtocol&>(net.proto(0)).select_for(peer);
+  ASSERT_FALSE(selection.empty());
+  EXPECT_LE(selection.size(), TManConfig{}.m);
+  for (std::size_t i = 1; i < selection.size(); ++i) {
+    EXPECT_LE(ring_ranking(peer, selection[i - 1].id), ring_ranking(peer, selection[i].id));
+  }
+  for (const auto& d : selection) EXPECT_NE(d.id, peer);
+}
+
+TEST(TMan, TorusNeighbourhoodIsSpatiallyLocal) {
+  // In the torus geometry, converged views must be spatially tight: every
+  // view entry is closer than a random member on average.
+  TManNet net(256, 8, torus_ranking);
+  net.run_cycles(40);
+  Rng rng(9);
+  double view_dist = 0.0, random_dist = 0.0;
+  std::size_t count = 0;
+  for (Address a = 0; a < 256; ++a) {
+    const NodeId own = net.engine->id_of(a);
+    for (const auto& d : net.proto(a).view()) {
+      view_dist += static_cast<double>(torus_ranking(own, d.id));
+      random_dist += static_cast<double>(
+          torus_ranking(own, net.engine->id_of(static_cast<Address>(rng.below(256)))));
+      ++count;
+    }
+  }
+  ASSERT_GT(count, 0u);
+  // Converged torus views are far tighter than random picks (the exact
+  // factor scales with N; at 256 nodes ~3-4x), and match the oracle.
+  EXPECT_LT(view_dist / static_cast<double>(count),
+            random_dist / static_cast<double>(count) / 2.0);
+  const TManOracle oracle(*net.engine, 1, torus_ranking, TManConfig{}.m);
+  EXPECT_LT(oracle.missing_fraction(), 0.05);
+}
+
+}  // namespace
+}  // namespace bsvc

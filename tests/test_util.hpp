@@ -1,0 +1,21 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "id/descriptor.hpp"
+#include "id/id_generator.hpp"
+
+namespace bsvc::test {
+
+/// `n` descriptors with unique random IDs and addresses 0..n-1.
+inline std::vector<NodeDescriptor> random_descriptors(std::size_t n, std::uint64_t seed) {
+  IdGenerator ids{Rng(seed)};
+  std::vector<NodeDescriptor> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back({ids.next(), static_cast<Address>(i)});
+  return out;
+}
+
+}  // namespace bsvc::test
