@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/baseline_join.cpp" "bench/CMakeFiles/baseline_join.dir/baseline_join.cpp.o" "gcc" "bench/CMakeFiles/baseline_join.dir/baseline_join.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bsvc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/bsvc_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/gossip/CMakeFiles/bsvc_gossip.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/bsvc_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bsvc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bsvc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/id/CMakeFiles/bsvc_id.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bsvc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_join.dir/baseline_join.cpp.o"
+  "CMakeFiles/baseline_join.dir/baseline_join.cpp.o.d"
+  "baseline_join"
+  "baseline_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chord_on_demand.dir/chord_on_demand.cpp.o"
+  "CMakeFiles/chord_on_demand.dir/chord_on_demand.cpp.o.d"
+  "chord_on_demand"
+  "chord_on_demand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chord_on_demand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

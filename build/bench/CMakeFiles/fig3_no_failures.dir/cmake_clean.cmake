@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_no_failures.dir/fig3_no_failures.cpp.o"
+  "CMakeFiles/fig3_no_failures.dir/fig3_no_failures.cpp.o.d"
+  "fig3_no_failures"
+  "fig3_no_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_no_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_message_drop.dir/fig4_message_drop.cpp.o"
+  "CMakeFiles/fig4_message_drop.dir/fig4_message_drop.cpp.o.d"
+  "fig4_message_drop"
+  "fig4_message_drop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_message_drop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

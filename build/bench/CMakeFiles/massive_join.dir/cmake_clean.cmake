@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/massive_join.dir/massive_join.cpp.o"
+  "CMakeFiles/massive_join.dir/massive_join.cpp.o.d"
+  "massive_join"
+  "massive_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/massive_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

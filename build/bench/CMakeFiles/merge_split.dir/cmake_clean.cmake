@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merge_split.dir/merge_split.cpp.o"
+  "CMakeFiles/merge_split.dir/merge_split.cpp.o.d"
+  "merge_split"
+  "merge_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merge_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

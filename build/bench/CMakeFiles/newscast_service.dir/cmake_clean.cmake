@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/newscast_service.dir/newscast_service.cpp.o"
+  "CMakeFiles/newscast_service.dir/newscast_service.cpp.o.d"
+  "newscast_service"
+  "newscast_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/newscast_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/param_sweep.dir/param_sweep.cpp.o"
+  "CMakeFiles/param_sweep.dir/param_sweep.cpp.o.d"
+  "param_sweep"
+  "param_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/param_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proximity_k.dir/proximity_k.cpp.o"
+  "CMakeFiles/proximity_k.dir/proximity_k.cpp.o.d"
+  "proximity_k"
+  "proximity_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proximity_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catastrophic_recovery.dir/catastrophic_recovery.cpp.o"
+  "CMakeFiles/catastrophic_recovery.dir/catastrophic_recovery.cpp.o.d"
+  "catastrophic_recovery"
+  "catastrophic_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catastrophic_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

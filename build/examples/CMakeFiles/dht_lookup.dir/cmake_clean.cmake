@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dht_lookup.dir/dht_lookup.cpp.o"
+  "CMakeFiles/dht_lookup.dir/dht_lookup.cpp.o.d"
+  "dht_lookup"
+  "dht_lookup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dht_lookup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merge_networks.dir/merge_networks.cpp.o"
+  "CMakeFiles/merge_networks.dir/merge_networks.cpp.o.d"
+  "merge_networks"
+  "merge_networks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merge_networks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

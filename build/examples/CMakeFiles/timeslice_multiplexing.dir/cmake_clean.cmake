@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timeslice_multiplexing.dir/timeslice_multiplexing.cpp.o"
+  "CMakeFiles/timeslice_multiplexing.dir/timeslice_multiplexing.cpp.o.d"
+  "timeslice_multiplexing"
+  "timeslice_multiplexing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timeslice_multiplexing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

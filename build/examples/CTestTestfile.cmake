@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "--n" "512" "--seed" "3")
+set_tests_properties(example_quickstart PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;13;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_merge_networks "/root/repo/build/examples/merge_networks" "--n" "1024" "--seed" "3")
+set_tests_properties(example_merge_networks PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;14;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_catastrophic_recovery "/root/repo/build/examples/catastrophic_recovery" "--n" "1024" "--seed" "3")
+set_tests_properties(example_catastrophic_recovery PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_timeslice_multiplexing "/root/repo/build/examples/timeslice_multiplexing" "--n" "512" "--seed" "3")
+set_tests_properties(example_timeslice_multiplexing PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_dht_lookup "/root/repo/build/examples/dht_lookup" "--n" "512" "--seed" "3")
+set_tests_properties(example_dht_lookup PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")

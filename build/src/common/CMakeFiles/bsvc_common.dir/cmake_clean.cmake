@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsvc_common.dir/flags.cpp.o"
+  "CMakeFiles/bsvc_common.dir/flags.cpp.o.d"
+  "CMakeFiles/bsvc_common.dir/logging.cpp.o"
+  "CMakeFiles/bsvc_common.dir/logging.cpp.o.d"
+  "CMakeFiles/bsvc_common.dir/rng.cpp.o"
+  "CMakeFiles/bsvc_common.dir/rng.cpp.o.d"
+  "CMakeFiles/bsvc_common.dir/stats.cpp.o"
+  "CMakeFiles/bsvc_common.dir/stats.cpp.o.d"
+  "CMakeFiles/bsvc_common.dir/table.cpp.o"
+  "CMakeFiles/bsvc_common.dir/table.cpp.o.d"
+  "libbsvc_common.a"
+  "libbsvc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsvc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

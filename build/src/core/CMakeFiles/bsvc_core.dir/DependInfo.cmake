@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bootstrap.cpp" "src/core/CMakeFiles/bsvc_core.dir/bootstrap.cpp.o" "gcc" "src/core/CMakeFiles/bsvc_core.dir/bootstrap.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/bsvc_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/bsvc_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/leaf_set.cpp" "src/core/CMakeFiles/bsvc_core.dir/leaf_set.cpp.o" "gcc" "src/core/CMakeFiles/bsvc_core.dir/leaf_set.cpp.o.d"
+  "/root/repo/src/core/oracle.cpp" "src/core/CMakeFiles/bsvc_core.dir/oracle.cpp.o" "gcc" "src/core/CMakeFiles/bsvc_core.dir/oracle.cpp.o.d"
+  "/root/repo/src/core/perfect_tables.cpp" "src/core/CMakeFiles/bsvc_core.dir/perfect_tables.cpp.o" "gcc" "src/core/CMakeFiles/bsvc_core.dir/perfect_tables.cpp.o.d"
+  "/root/repo/src/core/prefix_table.cpp" "src/core/CMakeFiles/bsvc_core.dir/prefix_table.cpp.o" "gcc" "src/core/CMakeFiles/bsvc_core.dir/prefix_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bsvc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/id/CMakeFiles/bsvc_id.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bsvc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bsvc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/bsvc_sampling.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsvc_core.dir/bootstrap.cpp.o"
+  "CMakeFiles/bsvc_core.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/bsvc_core.dir/experiment.cpp.o"
+  "CMakeFiles/bsvc_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/bsvc_core.dir/leaf_set.cpp.o"
+  "CMakeFiles/bsvc_core.dir/leaf_set.cpp.o.d"
+  "CMakeFiles/bsvc_core.dir/oracle.cpp.o"
+  "CMakeFiles/bsvc_core.dir/oracle.cpp.o.d"
+  "CMakeFiles/bsvc_core.dir/perfect_tables.cpp.o"
+  "CMakeFiles/bsvc_core.dir/perfect_tables.cpp.o.d"
+  "CMakeFiles/bsvc_core.dir/prefix_table.cpp.o"
+  "CMakeFiles/bsvc_core.dir/prefix_table.cpp.o.d"
+  "libbsvc_core.a"
+  "libbsvc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsvc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsvc_gossip.dir/aggregation.cpp.o"
+  "CMakeFiles/bsvc_gossip.dir/aggregation.cpp.o.d"
+  "CMakeFiles/bsvc_gossip.dir/broadcast.cpp.o"
+  "CMakeFiles/bsvc_gossip.dir/broadcast.cpp.o.d"
+  "libbsvc_gossip.a"
+  "libbsvc_gossip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsvc_gossip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsvc_id.dir/id_generator.cpp.o"
+  "CMakeFiles/bsvc_id.dir/id_generator.cpp.o.d"
+  "libbsvc_id.a"
+  "libbsvc_id.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsvc_id.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

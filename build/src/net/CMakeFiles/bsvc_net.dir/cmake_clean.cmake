@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsvc_net.dir/codec.cpp.o"
+  "CMakeFiles/bsvc_net.dir/codec.cpp.o.d"
+  "libbsvc_net.a"
+  "libbsvc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsvc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbsvc_net.a"
+)

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/overlay/chord.cpp" "src/overlay/CMakeFiles/bsvc_overlay.dir/chord.cpp.o" "gcc" "src/overlay/CMakeFiles/bsvc_overlay.dir/chord.cpp.o.d"
+  "/root/repo/src/overlay/join_protocol.cpp" "src/overlay/CMakeFiles/bsvc_overlay.dir/join_protocol.cpp.o" "gcc" "src/overlay/CMakeFiles/bsvc_overlay.dir/join_protocol.cpp.o.d"
+  "/root/repo/src/overlay/kademlia_lookup.cpp" "src/overlay/CMakeFiles/bsvc_overlay.dir/kademlia_lookup.cpp.o" "gcc" "src/overlay/CMakeFiles/bsvc_overlay.dir/kademlia_lookup.cpp.o.d"
+  "/root/repo/src/overlay/pastry_router.cpp" "src/overlay/CMakeFiles/bsvc_overlay.dir/pastry_router.cpp.o" "gcc" "src/overlay/CMakeFiles/bsvc_overlay.dir/pastry_router.cpp.o.d"
+  "/root/repo/src/overlay/proximity.cpp" "src/overlay/CMakeFiles/bsvc_overlay.dir/proximity.cpp.o" "gcc" "src/overlay/CMakeFiles/bsvc_overlay.dir/proximity.cpp.o.d"
+  "/root/repo/src/overlay/tman.cpp" "src/overlay/CMakeFiles/bsvc_overlay.dir/tman.cpp.o" "gcc" "src/overlay/CMakeFiles/bsvc_overlay.dir/tman.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bsvc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/bsvc_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bsvc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bsvc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/id/CMakeFiles/bsvc_id.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bsvc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

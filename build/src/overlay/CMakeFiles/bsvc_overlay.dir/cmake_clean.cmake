@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsvc_overlay.dir/chord.cpp.o"
+  "CMakeFiles/bsvc_overlay.dir/chord.cpp.o.d"
+  "CMakeFiles/bsvc_overlay.dir/join_protocol.cpp.o"
+  "CMakeFiles/bsvc_overlay.dir/join_protocol.cpp.o.d"
+  "CMakeFiles/bsvc_overlay.dir/kademlia_lookup.cpp.o"
+  "CMakeFiles/bsvc_overlay.dir/kademlia_lookup.cpp.o.d"
+  "CMakeFiles/bsvc_overlay.dir/pastry_router.cpp.o"
+  "CMakeFiles/bsvc_overlay.dir/pastry_router.cpp.o.d"
+  "CMakeFiles/bsvc_overlay.dir/proximity.cpp.o"
+  "CMakeFiles/bsvc_overlay.dir/proximity.cpp.o.d"
+  "CMakeFiles/bsvc_overlay.dir/tman.cpp.o"
+  "CMakeFiles/bsvc_overlay.dir/tman.cpp.o.d"
+  "libbsvc_overlay.a"
+  "libbsvc_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsvc_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

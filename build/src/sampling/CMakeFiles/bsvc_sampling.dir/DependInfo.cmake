@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sampling/graph_metrics.cpp" "src/sampling/CMakeFiles/bsvc_sampling.dir/graph_metrics.cpp.o" "gcc" "src/sampling/CMakeFiles/bsvc_sampling.dir/graph_metrics.cpp.o.d"
+  "/root/repo/src/sampling/newscast.cpp" "src/sampling/CMakeFiles/bsvc_sampling.dir/newscast.cpp.o" "gcc" "src/sampling/CMakeFiles/bsvc_sampling.dir/newscast.cpp.o.d"
+  "/root/repo/src/sampling/oracle_sampler.cpp" "src/sampling/CMakeFiles/bsvc_sampling.dir/oracle_sampler.cpp.o" "gcc" "src/sampling/CMakeFiles/bsvc_sampling.dir/oracle_sampler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bsvc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/id/CMakeFiles/bsvc_id.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bsvc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bsvc_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsvc_sampling.dir/graph_metrics.cpp.o"
+  "CMakeFiles/bsvc_sampling.dir/graph_metrics.cpp.o.d"
+  "CMakeFiles/bsvc_sampling.dir/newscast.cpp.o"
+  "CMakeFiles/bsvc_sampling.dir/newscast.cpp.o.d"
+  "CMakeFiles/bsvc_sampling.dir/oracle_sampler.cpp.o"
+  "CMakeFiles/bsvc_sampling.dir/oracle_sampler.cpp.o.d"
+  "libbsvc_sampling.a"
+  "libbsvc_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsvc_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsvc_sim.dir/engine.cpp.o"
+  "CMakeFiles/bsvc_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/bsvc_sim.dir/scenario.cpp.o"
+  "CMakeFiles/bsvc_sim.dir/scenario.cpp.o.d"
+  "libbsvc_sim.a"
+  "libbsvc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsvc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsvc_wire.dir/message_codec.cpp.o"
+  "CMakeFiles/bsvc_wire.dir/message_codec.cpp.o.d"
+  "libbsvc_wire.a"
+  "libbsvc_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsvc_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bootstrap_protocol.dir/test_bootstrap_protocol.cpp.o"
+  "CMakeFiles/test_bootstrap_protocol.dir/test_bootstrap_protocol.cpp.o.d"
+  "test_bootstrap_protocol"
+  "test_bootstrap_protocol.pdb"
+  "test_bootstrap_protocol[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bootstrap_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

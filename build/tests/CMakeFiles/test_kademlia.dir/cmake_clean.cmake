@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kademlia.dir/test_kademlia.cpp.o"
+  "CMakeFiles/test_kademlia.dir/test_kademlia.cpp.o.d"
+  "test_kademlia"
+  "test_kademlia.pdb"
+  "test_kademlia[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kademlia.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

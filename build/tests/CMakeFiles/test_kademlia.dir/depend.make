@@ -1,0 +1,2 @@
+# Empty dependencies file for test_kademlia.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_newscast.dir/test_newscast.cpp.o"
+  "CMakeFiles/test_newscast.dir/test_newscast.cpp.o.d"
+  "test_newscast"
+  "test_newscast.pdb"
+  "test_newscast[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_newscast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

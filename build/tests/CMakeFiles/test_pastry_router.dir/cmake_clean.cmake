@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pastry_router.dir/test_pastry_router.cpp.o"
+  "CMakeFiles/test_pastry_router.dir/test_pastry_router.cpp.o.d"
+  "test_pastry_router"
+  "test_pastry_router.pdb"
+  "test_pastry_router[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pastry_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perfect_tables.dir/test_perfect_tables.cpp.o"
+  "CMakeFiles/test_perfect_tables.dir/test_perfect_tables.cpp.o.d"
+  "test_perfect_tables"
+  "test_perfect_tables.pdb"
+  "test_perfect_tables[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perfect_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_proximity.dir/test_proximity.cpp.o"
+  "CMakeFiles/test_proximity.dir/test_proximity.cpp.o.d"
+  "test_proximity"
+  "test_proximity.pdb"
+  "test_proximity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_proximity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tman.dir/test_tman.cpp.o"
+  "CMakeFiles/test_tman.dir/test_tman.cpp.o.d"
+  "test_tman"
+  "test_tman.pdb"
+  "test_tman[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

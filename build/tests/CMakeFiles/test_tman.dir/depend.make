@@ -1,0 +1,2 @@
+# Empty dependencies file for test_tman.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_flags[1]_include.cmake")
+include("/root/repo/build/tests/test_id[1]_include.cmake")
+include("/root/repo/build/tests/test_codec[1]_include.cmake")
+include("/root/repo/build/tests/test_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_scenario[1]_include.cmake")
+include("/root/repo/build/tests/test_newscast[1]_include.cmake")
+include("/root/repo/build/tests/test_graph_metrics[1]_include.cmake")
+include("/root/repo/build/tests/test_leaf_set[1]_include.cmake")
+include("/root/repo/build/tests/test_prefix_table[1]_include.cmake")
+include("/root/repo/build/tests/test_perfect_tables[1]_include.cmake")
+include("/root/repo/build/tests/test_bootstrap_protocol[1]_include.cmake")
+include("/root/repo/build/tests/test_oracle[1]_include.cmake")
+include("/root/repo/build/tests/test_experiment[1]_include.cmake")
+include("/root/repo/build/tests/test_pastry_router[1]_include.cmake")
+include("/root/repo/build/tests/test_kademlia[1]_include.cmake")
+include("/root/repo/build/tests/test_join[1]_include.cmake")
+include("/root/repo/build/tests/test_chord[1]_include.cmake")
+include("/root/repo/build/tests/test_tman[1]_include.cmake")
+include("/root/repo/build/tests/test_wire[1]_include.cmake")
+include("/root/repo/build/tests/test_proximity[1]_include.cmake")
+include("/root/repo/build/tests/test_maintenance[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_gossip[1]_include.cmake")
