@@ -10,6 +10,7 @@
 //                     union (no table -> ring feedback);
 //   ring-only       — both disabled: plain T-Man ring building with
 //                     incidental table filling.
+// The four variants run as independent replicas across hardware threads.
 #include <cstdio>
 
 #include "bench/bench_common.hpp"
@@ -19,12 +20,15 @@ using namespace bsvc::bench;
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
-  const bool full_tier = flags.get_bool("full", std::getenv("REPRO_FULL") != nullptr);
+  const bool full_t = full_tier(flags);
   const std::size_t n =
-      static_cast<std::size_t>(flags.get_int("n", full_tier ? (1 << 14) : (1 << 12)));
+      static_cast<std::size_t>(flags.get_int("n", full_t ? (1 << 14) : (1 << 12)));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   const auto max_cycles = static_cast<std::size_t>(flags.get_int("max-cycles", 120));
+  const std::size_t threads = threads_flag(flags);
+  BenchReport report(flags, "ablation_feedback");
   flags.finish();
+  report.set_threads(threads);
 
   std::printf("=== Ablation: prefix/ring mutual boosting (N=%zu) ===\n", n);
 
@@ -40,22 +44,25 @@ int main(int argc, char** argv) {
       {"ring-only", false, false},
   };
 
-  std::vector<LabelledRun> runs;
+  std::vector<ReplicaSpec> specs;
   for (const auto& v : variants) {
-    ExperimentConfig cfg;
-    cfg.n = n;
-    cfg.seed = seed;
-    cfg.max_cycles = max_cycles;
-    cfg.bootstrap.send_prefix_part = v.send_prefix_part;
-    cfg.bootstrap.prefix_entries_in_union = v.prefix_in_union;
-    std::fprintf(stderr, "running %s...\n", v.name);
-    runs.push_back({v.name, run_experiment(cfg)});
+    ReplicaSpec spec;
+    spec.label = v.name;
+    spec.cfg.n = n;
+    spec.cfg.seed = seed;
+    spec.cfg.max_cycles = max_cycles;
+    spec.cfg.bootstrap.send_prefix_part = v.send_prefix_part;
+    spec.cfg.bootstrap.prefix_entries_in_union = v.prefix_in_union;
+    specs.push_back(std::move(spec));
   }
+  const auto runs = run_replicas(specs, threads);
   print_runs("Ablation", runs);
+  for (const auto& run : runs) report.add_run(run.label, run.result);
   std::printf(
       "# expectations: 'full' converges fastest on both metrics; removing the\n"
       "# targeted prefix part cripples prefix-table convergence; removing the\n"
       "# union feedback slows the end phase of ring convergence; 'ring-only'\n"
       "# is the slowest and may not complete the prefix tables at all.\n");
+  report.write();
   return 0;
 }

@@ -3,7 +3,8 @@
 // bootstrapping service. The paper's motivation is exactly that "massive
 // joins to a large overlay network are not supported by known protocols
 // very well"; this bench quantifies the gap in messages, bytes, wall-clock
-// (virtual) time, and resulting table quality.
+// (virtual) time, and resulting table quality. Each network size is one
+// replica (bootstrap + sequential-join pair) fanned across hardware threads.
 #include <cstdio>
 
 #include "bench/bench_common.hpp"
@@ -13,20 +14,41 @@
 using namespace bsvc;
 using namespace bsvc::bench;
 
+namespace {
+
+struct MethodRow {
+  std::uint64_t messages = 0;
+  double mb = 0.0;
+  double time_units = 0.0;
+  double missing_leaf = 0.0;
+  double missing_prefix = 0.0;
+  double lookup_ok = 0.0;
+};
+
+struct SizeOutcome {
+  MethodRow bootstrap;
+  MethodRow seq_join;
+  ExperimentResult result;
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
-  const bool full = flags.get_bool("full", std::getenv("REPRO_FULL") != nullptr);
+  const bool full = full_tier(flags);
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const std::size_t threads = threads_flag(flags);
+  BenchReport report(flags, "baseline_join");
   flags.finish();
+  report.set_threads(threads);
 
   std::vector<std::size_t> sizes{1u << 10, 1u << 12, 1u << 14};
   if (full) sizes.push_back(1u << 16);
 
   std::printf("=== From-scratch bootstrap vs sequential Pastry joins ===\n");
-  Table table({"N", "method", "messages", "MB", "time_units", "missing_leaf",
-               "missing_prefix", "lookup_ok"});
 
-  for (const std::size_t n : sizes) {
+  const auto outcomes = parallel_map(sizes, threads, [&](std::size_t n, std::size_t) {
+    SizeOutcome out;
     // --- the bootstrapping service ------------------------------------
     {
       ExperimentConfig cfg;
@@ -35,20 +57,20 @@ int main(int argc, char** argv) {
       cfg.max_cycles = 80;
       std::fprintf(stderr, "bootstrap N=%zu...\n", n);
       BootstrapExperiment exp(cfg);
-      const auto r = exp.run();
+      out.result = exp.run();
+      const auto& r = out.result;
       const ConvergenceOracle oracle(exp.engine(), cfg.bootstrap, exp.bootstrap_slot());
       const PastryRouter router(exp.engine(), exp.bootstrap_slot());
       Rng rng(seed + 3);
       const auto lookups = router.run_lookups(oracle, rng, 500);
       const auto& t = r.traffic_during_bootstrap;
-      const double time_units = (static_cast<double>(r.series.rows())) *
-                                static_cast<double>(cfg.bootstrap.delta);
-      table.add_row({std::to_string(n), "bootstrap", std::to_string(t.messages_sent),
-                     Table::num(static_cast<double>(t.bytes_sent) / 1e6, 4),
-                     Table::num(time_units, 5),
-                     Table::num(r.final_metrics.missing_leaf_fraction(), 3),
-                     Table::num(r.final_metrics.missing_prefix_fraction(), 3),
-                     Table::num(lookups.success_rate(), 4)});
+      out.bootstrap.messages = t.messages_sent;
+      out.bootstrap.mb = static_cast<double>(t.bytes_sent) / 1e6;
+      out.bootstrap.time_units = static_cast<double>(r.series.rows()) *
+                                 static_cast<double>(cfg.bootstrap.delta);
+      out.bootstrap.missing_leaf = r.final_metrics.missing_leaf_fraction();
+      out.bootstrap.missing_prefix = r.final_metrics.missing_prefix_fraction();
+      out.bootstrap.lookup_ok = lookups.success_rate();
     }
     // --- sequential joins ----------------------------------------------
     {
@@ -57,13 +79,32 @@ int main(int argc, char** argv) {
       net.grow(n);
       auto q = net.measure_quality(500);
       const auto& c = net.costs();
-      table.add_row({std::to_string(n), "seq-join", std::to_string(c.messages),
-                     Table::num(static_cast<double>(c.bytes) / 1e6, 4),
-                     Table::num(static_cast<double>(c.critical_time), 5),
-                     Table::num(q.missing_leaf_fraction, 3),
-                     Table::num(q.missing_prefix_fraction, 3),
-                     Table::num(q.lookup_success_rate, 4)});
+      out.seq_join.messages = c.messages;
+      out.seq_join.mb = static_cast<double>(c.bytes) / 1e6;
+      out.seq_join.time_units = static_cast<double>(c.critical_time);
+      out.seq_join.missing_leaf = q.missing_leaf_fraction;
+      out.seq_join.missing_prefix = q.missing_prefix_fraction;
+      out.seq_join.lookup_ok = q.lookup_success_rate;
     }
+    return out;
+  });
+
+  Table table({"N", "method", "messages", "MB", "time_units", "missing_leaf",
+               "missing_prefix", "lookup_ok"});
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const std::size_t n = sizes[i];
+    const auto& out = outcomes[i];
+    const auto emit = [&](const char* method, const MethodRow& row) {
+      table.add_row({std::to_string(n), method, std::to_string(row.messages),
+                     Table::num(row.mb, 4), Table::num(row.time_units, 5),
+                     Table::num(row.missing_leaf, 3), Table::num(row.missing_prefix, 3),
+                     Table::num(row.lookup_ok, 4)});
+    };
+    emit("bootstrap", out.bootstrap);
+    emit("seq-join", out.seq_join);
+    report.add_run("bootstrap N=" + std::to_string(n), out.result);
+    report.add_metric("seqjoin_messages_N" + std::to_string(n),
+                      static_cast<double>(out.seq_join.messages));
   }
   std::printf("%s\n", table.render().c_str());
   std::printf(
@@ -71,5 +112,6 @@ int main(int argc, char** argv) {
       "# with good-but-imperfect tables; the bootstrapping service finishes in a\n"
       "# logarithmic number of Δ-cycles with PERFECT tables, at a comparable or\n"
       "# smaller total message budget for large N.\n");
+  report.write();
   return 0;
 }

@@ -1,13 +1,18 @@
-// Shared machinery for the bench binaries: size tiers, result printing in a
-// gnuplot-friendly layout, and convergence summary tables.
+// Shared machinery for the bench binaries: size tiers, the parallel replica
+// harness, result printing in a gnuplot-friendly layout, and convergence
+// summary tables.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "bench/bench_report.hpp"
 #include "common/flags.hpp"
+#include "common/parallel.hpp"
 #include "common/table.hpp"
 #include "core/experiment.hpp"
 
@@ -19,12 +24,43 @@ struct Tier {
   std::vector<std::size_t> repeats;  // per size, mirroring the paper's 50/10/4
 };
 
+/// True when an environment variable value means "on" (set, non-empty, and
+/// not "0"/"false").
+inline bool env_truthy(const char* value) {
+  return value != nullptr && *value != '\0' && std::string_view(value) != "0" &&
+         std::string_view(value) != "false";
+}
+
+/// Whether the paper-sized tier is requested. An explicit command-line
+/// --full / --full=false always wins; the REPRO_FULL environment variable is
+/// only consulted when the flag is absent (so `--full=false` can override an
+/// exported REPRO_FULL=1, and REPRO_FULL=0 really means off).
+inline bool full_tier(const Flags& flags) {
+  if (flags.has("full")) return flags.get_bool("full", false);
+  return env_truthy(std::getenv("REPRO_FULL"));
+}
+
 /// Default tier keeps the whole bench suite to minutes; --full (or env
 /// REPRO_FULL=1) runs the paper's exact sizes 2^14 / 2^16 / 2^18.
 inline Tier pick_tier(const Flags& flags) {
-  const bool full = flags.get_bool("full", std::getenv("REPRO_FULL") != nullptr);
-  if (full) return {{1u << 14, 1u << 16, 1u << 18}, {4, 2, 1}};
+  if (full_tier(flags)) return {{1u << 14, 1u << 16, 1u << 18}, {4, 2, 1}};
   return {{1u << 10, 1u << 12, 1u << 14}, {3, 2, 1}};
+}
+
+/// Worker count from --threads (default: all hardware threads; 1 restores
+/// the fully sequential behavior).
+inline std::size_t threads_flag(const Flags& flags) {
+  const auto t = flags.get_int("threads", static_cast<std::int64_t>(hardware_threads()));
+  return static_cast<std::size_t>(std::max<std::int64_t>(1, t));
+}
+
+/// Derives the seed of replica `replica_index` from the --seed base value
+/// (splitmix64 over base and index). Replicas get decorrelated engines while
+/// the whole suite stays reproducible from the single base seed, whatever
+/// the thread count.
+inline std::uint64_t replica_seed(std::uint64_t base_seed, std::uint64_t replica_index) {
+  std::uint64_t state = base_seed + (replica_index + 1) * 0x9E3779B97F4A7C15ull;
+  return splitmix64(state);
 }
 
 /// One experiment's curves, labelled.
@@ -32,6 +68,32 @@ struct LabelledRun {
   std::string label;
   ExperimentResult result;
 };
+
+/// One replica of a figure: a label plus its full configuration (seed
+/// included — use replica_seed() for repeat loops).
+struct ReplicaSpec {
+  std::string label;
+  ExperimentConfig cfg;
+};
+
+/// Runs every replica, fanned out across up to `threads` hardware threads
+/// (each replica owns its private Engine; nothing is shared). Results come
+/// back in spec order regardless of completion order, so stdout is
+/// byte-identical to a --threads=1 run with the same flags.
+inline std::vector<LabelledRun> run_replicas(const std::vector<ReplicaSpec>& specs,
+                                             std::size_t threads) {
+  auto results = parallel_map(specs, threads, [](const ReplicaSpec& spec, std::size_t) {
+    std::fprintf(stderr, "running %s...\n", spec.label.c_str());
+    BootstrapExperiment exp(spec.cfg);
+    return exp.run();
+  });
+  std::vector<LabelledRun> runs;
+  runs.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    runs.push_back({specs[i].label, std::move(results[i])});
+  }
+  return runs;
+}
 
 /// Prints `column` of every run against the cycle axis, in gnuplot "plot ...
 /// using 1:2" blocks separated by blank lines, then a summary table.

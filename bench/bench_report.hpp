@@ -1,0 +1,155 @@
+// Machine-readable bench output: every bench binary accepts --json <path>
+// and writes one JSON object with wall time, simulated-event throughput,
+// peak RSS and the per-run convergence summary, so successive PRs can track
+// the perf trajectory (see bench/run_suite.sh and docs/performance.md).
+#pragma once
+
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/flags.hpp"
+#include "core/experiment.hpp"
+
+namespace bsvc::bench {
+
+/// Peak resident set size of this process in bytes (Linux reports KiB).
+inline std::uint64_t peak_rss_bytes() {
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Collects one bench invocation's measurements and writes them as JSON.
+/// Construction captures the wall-clock start, so build it right after flag
+/// parsing. write() is a no-op unless --json was given.
+class BenchReport {
+ public:
+  BenchReport(const Flags& flags, std::string name)
+      : name_(std::move(name)),
+        path_(flags.get_string("json", "")),
+        start_(std::chrono::steady_clock::now()) {}
+
+  void set_threads(std::size_t threads) { threads_ = threads; }
+
+  /// Accounts one experiment run: convergence summary + dispatched events.
+  void add_run(const std::string& label, const ExperimentResult& r) {
+    RunSummary s;
+    s.label = label;
+    s.n = r.n;
+    s.cycles = r.series.rows();
+    s.leaf_converged_cycle = r.leaf_converged_cycle;
+    s.prefix_converged_cycle = r.prefix_converged_cycle;
+    s.converged_cycle = r.converged_cycle;
+    s.messages_sent = r.traffic_during_bootstrap.messages_sent;
+    s.bytes_sent = r.traffic_during_bootstrap.bytes_sent;
+    runs_.push_back(std::move(s));
+    events_ += r.events_dispatched;
+  }
+
+  /// Accounts simulated events dispatched outside of add_run()ed results
+  /// (benches that drive an Engine directly).
+  void add_events(std::uint64_t events) { events_ += events; }
+
+  /// Attaches a free-form scalar metric (e.g. lookup success rates).
+  void add_metric(const std::string& key, double value) {
+    metrics_.emplace_back(key, value);
+  }
+
+  /// Writes the JSON file; prints the throughput line to stderr either way.
+  void write() const {
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start_)
+                            .count();
+    const double eps = wall > 0.0 ? static_cast<double>(events_) / wall : 0.0;
+    std::fprintf(stderr, "%s: %.2fs wall, %llu events (%.3g events/sec), %zu threads\n",
+                 name_.c_str(), wall, static_cast<unsigned long long>(events_), eps,
+                 threads_);
+    if (path_.empty()) return;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write --json file '%s'\n", path_.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"%s\",\n", json_escape(name_).c_str());
+    std::fprintf(f, "  \"threads\": %zu,\n", threads_);
+    std::fprintf(f, "  \"wall_seconds\": %.6f,\n", wall);
+    std::fprintf(f, "  \"events_dispatched\": %llu,\n",
+                 static_cast<unsigned long long>(events_));
+    std::fprintf(f, "  \"events_per_sec\": %.1f,\n", eps);
+    std::fprintf(f, "  \"peak_rss_bytes\": %llu,\n",
+                 static_cast<unsigned long long>(peak_rss_bytes()));
+    std::fprintf(f, "  \"metrics\": {");
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      std::fprintf(f, "%s\"%s\": %.9g", i == 0 ? "" : ", ",
+                   json_escape(metrics_[i].first).c_str(), metrics_[i].second);
+    }
+    std::fprintf(f, "},\n");
+    std::fprintf(f, "  \"runs\": [");
+    for (std::size_t i = 0; i < runs_.size(); ++i) {
+      const auto& s = runs_[i];
+      std::fprintf(f,
+                   "%s\n    {\"label\": \"%s\", \"n\": %zu, \"cycles\": %zu, "
+                   "\"leaf_converged_cycle\": %d, \"prefix_converged_cycle\": %d, "
+                   "\"converged_cycle\": %d, \"messages_sent\": %llu, "
+                   "\"bytes_sent\": %llu}",
+                   i == 0 ? "" : ",", json_escape(s.label).c_str(), s.n, s.cycles,
+                   s.leaf_converged_cycle, s.prefix_converged_cycle, s.converged_cycle,
+                   static_cast<unsigned long long>(s.messages_sent),
+                   static_cast<unsigned long long>(s.bytes_sent));
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+  }
+
+ private:
+  struct RunSummary {
+    std::string label;
+    std::size_t n = 0;
+    std::size_t cycles = 0;
+    int leaf_converged_cycle = -1;
+    int prefix_converged_cycle = -1;
+    int converged_cycle = -1;
+    std::uint64_t messages_sent = 0;
+    std::uint64_t bytes_sent = 0;
+  };
+
+  std::string name_;
+  std::string path_;
+  std::chrono::steady_clock::time_point start_;
+  std::size_t threads_ = 1;
+  std::uint64_t events_ = 0;
+  std::vector<RunSummary> runs_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
+
+}  // namespace bsvc::bench

@@ -4,7 +4,8 @@
 // convergence curve side by side with the prefix-table protocol under
 // identical conditions (same sizes, parameters, transport), quantifying the
 // paper's remark that prefix tables are "a significantly different task to
-// build and maintain".
+// build and maintain". Each size (chord + prefix pair) is one replica,
+// fanned across hardware threads.
 #include <cstdio>
 #include <memory>
 
@@ -48,40 +49,50 @@ struct ChordNet {
   }
 };
 
+struct SizeOutcome {
+  std::vector<double> missing_per_cycle;
+  int converged = -1;
+  std::size_t cycles_run = 0;
+  double mpnc = 0.0;
+  std::uint64_t chord_events = 0;
+  ExperimentResult prefix_result;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
-  const bool full = flags.get_bool("full", std::getenv("REPRO_FULL") != nullptr);
+  const bool full = full_tier(flags);
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   const auto max_cycles = static_cast<std::size_t>(flags.get_int("max-cycles", 60));
+  const std::size_t threads = threads_flag(flags);
+  BenchReport report(flags, "chord_on_demand");
   flags.finish();
+  report.set_threads(threads);
 
   std::vector<std::size_t> sizes{1u << 10, 1u << 12};
   sizes.push_back(full ? (1u << 14) : (1u << 13));
 
   std::printf("=== Chord on demand: finger-table bootstrap (c=20, cr=30) ===\n");
-  Table summary({"N", "finger_cycles", "msgs/node/cycle", "vs_prefix_cycles"});
 
-  for (const std::size_t n : sizes) {
+  const auto outcomes = parallel_map(sizes, threads, [&](std::size_t n, std::size_t) {
+    SizeOutcome out;
     std::fprintf(stderr, "chord N=%zu...\n", n);
     ChordNet net(n, seed, /*warmup=*/10);
     const ChordOracle oracle(*net.engine, 1);
-
-    std::printf("# N=%zu: cycle  missing_finger_fraction\n", n);
-    int converged = -1;
-    std::size_t cycles_run = 0;
     for (std::size_t cycle = 0; cycle < max_cycles; ++cycle) {
       net.engine->run_until(net.epoch + (cycle + 1) * kDelta);
       const auto m = oracle.measure();
-      std::printf("%3zu  %.9g\n", cycle, m.missing_finger_fraction());
-      cycles_run = cycle + 1;
+      out.missing_per_cycle.push_back(m.missing_finger_fraction());
+      out.cycles_run = cycle + 1;
       if (m.fingers_converged()) {
-        converged = static_cast<int>(cycle);
+        out.converged = static_cast<int>(cycle);
         break;
       }
     }
-    std::printf("\n");
+    out.mpnc = static_cast<double>(net.engine->traffic().messages_sent) /
+               (static_cast<double>(n) * static_cast<double>(out.cycles_run));
+    out.chord_events = net.engine->events_dispatched();
 
     // The prefix-table protocol under identical conditions.
     ExperimentConfig cfg;
@@ -89,16 +100,31 @@ int main(int argc, char** argv) {
     cfg.seed = seed;
     cfg.max_cycles = max_cycles;
     std::fprintf(stderr, "prefix N=%zu...\n", n);
-    const auto prefix_result = run_experiment(cfg);
+    out.prefix_result = run_experiment(cfg);
+    return out;
+  });
 
-    const double mpnc = static_cast<double>(net.engine->traffic().messages_sent) /
-                        (static_cast<double>(n) * static_cast<double>(cycles_run));
-    summary.add_row({std::to_string(n), std::to_string(converged), Table::num(mpnc, 3),
-                     std::to_string(prefix_result.converged_cycle)});
+  Table summary({"N", "finger_cycles", "msgs/node/cycle", "vs_prefix_cycles"});
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const std::size_t n = sizes[i];
+    const auto& out = outcomes[i];
+    std::printf("# N=%zu: cycle  missing_finger_fraction\n", n);
+    for (std::size_t cycle = 0; cycle < out.missing_per_cycle.size(); ++cycle) {
+      std::printf("%3zu  %.9g\n", cycle, out.missing_per_cycle[cycle]);
+    }
+    std::printf("\n");
+    summary.add_row({std::to_string(n), std::to_string(out.converged),
+                     Table::num(out.mpnc, 3),
+                     std::to_string(out.prefix_result.converged_cycle)});
+    report.add_run("prefix N=" + std::to_string(n), out.prefix_result);
+    report.add_events(out.chord_events);
+    report.add_metric("finger_cycles_N" + std::to_string(n),
+                      static_cast<double>(out.converged));
   }
   std::printf("%s\n", summary.render().c_str());
   std::printf("# both instantiations of the bootstrapping service converge in a\n"
               "# logarithmic number of cycles; the finger table's exact-successor\n"
               "# requirement gives a tail comparable to the deep prefix cells.\n");
+  report.write();
   return 0;
 }

@@ -5,7 +5,8 @@
 //
 // Paper settings: 64-bit IDs, b=4, k=3, c=20, cr=30; N = 2^14, 2^16, 2^18
 // with 50/10/4 repetitions. Default run uses the fast tier (2^10..2^14);
-// pass --full (or set REPRO_FULL=1) for the paper's sizes.
+// pass --full (or set REPRO_FULL=1) for the paper's sizes. Replicas fan out
+// across hardware threads (--threads N; 1 = sequential).
 #include <cmath>
 #include <cstdio>
 
@@ -19,22 +20,24 @@ int main(int argc, char** argv) {
   const Tier tier = pick_tier(flags);
   const auto base_seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   const auto max_cycles = static_cast<std::size_t>(flags.get_int("max-cycles", 60));
+  const std::size_t threads = threads_flag(flags);
+  BenchReport report(flags, "fig3_no_failures");
   flags.finish();
+  report.set_threads(threads);
 
   std::printf("=== Figure 3: no failures (b=4, k=3, c=20, cr=30) ===\n");
-  std::vector<LabelledRun> runs;
+  std::vector<ReplicaSpec> specs;
   for (std::size_t s = 0; s < tier.sizes.size(); ++s) {
     for (std::size_t rep = 0; rep < tier.repeats[s]; ++rep) {
-      ExperimentConfig cfg;
-      cfg.n = tier.sizes[s];
-      cfg.seed = base_seed + 1000 * s + rep;
-      cfg.max_cycles = max_cycles;
-      std::fprintf(stderr, "running N=%zu rep=%zu...\n", cfg.n, rep);
-      auto result = run_experiment(cfg);
-      runs.push_back({"N=" + std::to_string(cfg.n) + " rep=" + std::to_string(rep),
-                      std::move(result)});
+      ReplicaSpec spec;
+      spec.cfg.n = tier.sizes[s];
+      spec.cfg.seed = replica_seed(base_seed, specs.size());
+      spec.cfg.max_cycles = max_cycles;
+      spec.label = "N=" + std::to_string(spec.cfg.n) + " rep=" + std::to_string(rep);
+      specs.push_back(std::move(spec));
     }
   }
+  const auto runs = run_replicas(specs, threads);
   print_runs("Figure 3", runs);
 
   // The paper's headline scaling claim: a four-fold increase in N costs an
@@ -49,5 +52,7 @@ int main(int argc, char** argv) {
       }
     }
   }
+  for (const auto& run : runs) report.add_run(run.label, run.result);
+  report.write();
   return 0;
 }

@@ -16,24 +16,27 @@ int main(int argc, char** argv) {
   const auto base_seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   const double drop = flags.get_double("drop", 0.2);
   const auto max_cycles = static_cast<std::size_t>(flags.get_int("max-cycles", 100));
+  const std::size_t threads = threads_flag(flags);
+  BenchReport report(flags, "fig4_message_drop");
   flags.finish();
+  report.set_threads(threads);
 
   std::printf("=== Figure 4: %.0f%% uniform message drop ===\n", drop * 100.0);
-  std::vector<LabelledRun> runs;
+  std::vector<ReplicaSpec> specs;
   for (std::size_t s = 0; s < tier.sizes.size(); ++s) {
     for (std::size_t rep = 0; rep < tier.repeats[s]; ++rep) {
-      ExperimentConfig cfg;
-      cfg.n = tier.sizes[s];
-      cfg.seed = base_seed + 2000 * s + rep;
-      cfg.drop_probability = drop;
-      cfg.max_cycles = max_cycles;
-      std::fprintf(stderr, "running N=%zu rep=%zu...\n", cfg.n, rep);
-      auto result = run_experiment(cfg);
-      runs.push_back({"N=" + std::to_string(cfg.n) + " rep=" + std::to_string(rep),
-                      std::move(result)});
+      ReplicaSpec spec;
+      spec.cfg.n = tier.sizes[s];
+      spec.cfg.seed = replica_seed(base_seed, specs.size());
+      spec.cfg.drop_probability = drop;
+      spec.cfg.max_cycles = max_cycles;
+      spec.label = "N=" + std::to_string(spec.cfg.n) + " rep=" + std::to_string(rep);
+      specs.push_back(std::move(spec));
     }
   }
+  const auto runs = run_replicas(specs, threads);
   print_runs("Figure 4", runs);
+  for (const auto& run : runs) report.add_run(run.label, run.result);
 
   // Verify the 28% effective-loss arithmetic from the delivered/sent ratio
   // of request-answer pairs.
@@ -57,6 +60,10 @@ int main(int argc, char** argv) {
     std::printf("# effective information loss: measured %.3f, expected %.3f "
                 "(paper: 0.28 at drop 0.2)\n",
                 effective_loss, expected);
+    report.add_run("effective-loss-probe", r);
+    report.add_metric("effective_loss_measured", effective_loss);
+    report.add_metric("effective_loss_expected", expected);
   }
+  report.write();
   return 0;
 }

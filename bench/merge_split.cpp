@@ -23,10 +23,14 @@ using namespace bsvc::bench;
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
-  const bool full = flags.get_bool("full", std::getenv("REPRO_FULL") != nullptr);
+  const bool full = full_tier(flags);
   const std::size_t n =
       static_cast<std::size_t>(flags.get_int("n", full ? (1 << 14) : (1 << 12)));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  // Accepted for run_suite.sh flag uniformity; the three scenarios share
+  // engine state stagewise and run sequentially.
+  (void)threads_flag(flags);
+  BenchReport report(flags, "merge_split");
   flags.finish();
 
   // ---------------- MERGE -------------------------------------------------
@@ -86,6 +90,9 @@ int main(int argc, char** argv) {
                 "(merge took %d cycles)\n\n",
                 heal_cycle, result.converged_cycle,
                 result.converged_cycle - static_cast<int>(heal_cycle));
+    report.add_run("merge", result);
+    report.add_metric("merge_cycles",
+                      static_cast<double>(result.converged_cycle - static_cast<int>(heal_cycle)));
   }
 
   // ---------------- MERGE, re-bootstrap variant ---------------------------
@@ -132,6 +139,7 @@ int main(int argc, char** argv) {
                 "(%d cycles after the restart)\n\n",
                 heal_cycle, restart_cycle, result.converged_cycle,
                 result.converged_cycle - static_cast<int>(restart_cycle));
+    report.add_run("merge-rebootstrap", result);
   }
 
   // ---------------- RECOVER ----------------------------------------------
@@ -195,6 +203,9 @@ int main(int argc, char** argv) {
                 "99.9%% at %d, perfect at %d; final missing leaf %.2e prefix %.2e\n",
                 kill_cycle, restart_cycle, recovered_1e2, recovered_1e3, recovered_perfect,
                 final_m.missing_leaf_fraction(), final_m.missing_prefix_fraction());
+    report.add_events(engine.events_dispatched());
+    report.add_metric("recover_perfect_cycle", static_cast<double>(recovered_perfect));
   }
+  report.write();
   return 0;
 }

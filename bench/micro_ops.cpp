@@ -1,14 +1,21 @@
 // Data-structure level microbenchmarks (google-benchmark): the per-message
 // costs that dominate a simulated cycle — UPDATELEAFSET, UPDATEPREFIXTABLE,
 // CREATEMESSAGE — plus the convergence oracle build that the experiment
-// harness amortizes across cycles.
+// harness amortizes across cycles, and the engine event-queue hot path
+// (legacy fat-event binary heap vs the slim two-tier queue).
 #include <benchmark/benchmark.h>
+
+#include <functional>
+#include <memory>
+#include <queue>
 
 #include "common/rng.hpp"
 #include "core/leaf_set.hpp"
 #include "core/perfect_tables.hpp"
 #include "core/prefix_table.hpp"
 #include "id/id_generator.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/payload.hpp"
 #include "tests/test_util.hpp"
 
 namespace bsvc {
@@ -118,6 +125,114 @@ void BM_IdGeneration(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(gen.next());
 }
 BENCHMARK(BM_IdGeneration);
+
+// ---------------------------------------------------------------------------
+// Engine event-queue hot path. The workload models a simulated cycle: a live
+// set of `range(0)` pending events, each pop schedules a successor a random
+// in-cycle delay ahead (so the queue stays at its steady-state size, as it
+// does mid-simulation).
+
+/// The engine's pre-overhaul event record: 80-byte node with an owning
+/// payload pointer and a std::function, ordered through a binary heap.
+/// Reimplemented here as the microbenchmark baseline.
+struct FatEvent {
+  SimTime time = 0;
+  std::uint64_t seq = 0;
+  int kind = 0;
+  Address addr = kNullAddress;
+  Address from = kNullAddress;
+  ProtocolSlot slot = 0;
+  std::unique_ptr<Payload> payload;
+  std::function<void(Engine&)> fn;
+  std::uint64_t aux = 0;
+};
+
+struct FatEventOrder {
+  bool operator()(const FatEvent& a, const FatEvent& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+
+void BM_EventQueueFatHeap(benchmark::State& state) {
+  const auto live = static_cast<std::size_t>(state.range(0));
+  Rng rng(12);
+  std::priority_queue<FatEvent, std::vector<FatEvent>, FatEventOrder> heap;
+  std::uint64_t seq = 0;
+  for (std::size_t i = 0; i < live; ++i) {
+    FatEvent ev;
+    ev.time = rng.below(kDelta);
+    ev.seq = seq++;
+    heap.push(std::move(ev));
+  }
+  for (auto _ : state) {
+    // priority_queue::top() is const&; the const_cast move-out mirrors what
+    // the old engine did to extract the owning members.
+    FatEvent ev = std::move(const_cast<FatEvent&>(heap.top()));
+    heap.pop();
+    FatEvent next;
+    next.time = ev.time + 1 + rng.below(kDelta);
+    next.seq = seq++;
+    heap.push(std::move(next));
+    benchmark::DoNotOptimize(ev.time);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EventQueueFatHeap)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_EventQueueTwoTier(benchmark::State& state) {
+  const auto live = static_cast<std::size_t>(state.range(0));
+  Rng rng(12);
+  TwoTierQueue queue;
+  std::uint64_t seq = 0;
+  for (std::size_t i = 0; i < live; ++i) {
+    SlimEvent ev{};
+    ev.time = rng.below(kDelta);
+    ev.seq = seq++;
+    queue.push(ev);
+  }
+  for (auto _ : state) {
+    SlimEvent ev{};
+    queue.pop_if_at_most(~SimTime{0}, ev);
+    SlimEvent next{};
+    next.time = ev.time + 1 + rng.below(kDelta);
+    next.seq = seq++;
+    queue.push(next);
+    benchmark::DoNotOptimize(ev.time);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EventQueueTwoTier)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17);
+
+struct BenchPayload final : Payload {
+  std::size_t wire_bytes() const override { return 64; }
+  const char* type_name() const override { return "BenchPayload"; }
+};
+
+void BM_PayloadPoolStoreTake(benchmark::State& state) {
+  // The overhauled send path: the payload's unique_ptr parks in the slot
+  // pool while its slim event is queued, then is taken back at dispatch.
+  SlotPool<std::unique_ptr<Payload>> pool;
+  for (auto _ : state) {
+    const std::uint32_t slot = pool.store(std::make_unique<BenchPayload>());
+    auto payload = pool.take(slot);
+    benchmark::DoNotOptimize(payload.get());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PayloadPoolStoreTake);
+
+void BM_PayloadMakeUniqueBaseline(benchmark::State& state) {
+  // Baseline for BM_PayloadPoolStoreTake: the allocation alone, without the
+  // pool bookkeeping (the pre-overhaul engine carried the pointer inside the
+  // heap node, so its per-event cost was this plus the fat-heap churn).
+  for (auto _ : state) {
+    auto payload = std::make_unique<BenchPayload>();
+    benchmark::DoNotOptimize(payload.get());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PayloadMakeUniqueBaseline);
 
 }  // namespace
 }  // namespace bsvc

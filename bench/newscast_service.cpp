@@ -9,13 +9,13 @@
 #include <cstdio>
 #include <memory>
 
-#include "common/flags.hpp"
-#include "common/table.hpp"
+#include "bench/bench_common.hpp"
 #include "sampling/graph_metrics.hpp"
 #include "sampling/newscast.hpp"
 #include "sim/scenario.hpp"
 
 using namespace bsvc;
+using namespace bsvc::bench;
 
 namespace {
 
@@ -61,10 +61,13 @@ struct Net {
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
-  const bool full = flags.get_bool("full", std::getenv("REPRO_FULL") != nullptr);
+  const bool full = full_tier(flags);
   const std::size_t n =
       static_cast<std::size_t>(flags.get_int("n", full ? (1 << 14) : (1 << 12)));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  // Accepted for run_suite.sh flag uniformity; scenarios run sequentially.
+  (void)threads_flag(flags);
+  BenchReport report(flags, "newscast_service");
   flags.finish();
 
   std::printf("=== Newscast peer sampling service (N=%zu, view=30, Δ period) ===\n", n);
@@ -80,21 +83,27 @@ int main(int argc, char** argv) {
     std::printf("# steady cost: %.2f msgs/node/cycle, %.0f bytes/msg avg\n",
                 static_cast<double>(t.messages_sent) / (static_cast<double>(n) * 10.0),
                 static_cast<double>(t.bytes_sent) / static_cast<double>(t.messages_sent));
+    report.add_events(net.engine->events_dispatched());
+    report.add_metric("steady_msgs_per_node_cycle",
+                      static_cast<double>(t.messages_sent) / (static_cast<double>(n) * 10.0));
   }
   {
     Net net(n, seed + 1, /*degenerate_init=*/false);
     net.engine->run_until(10 * kDelta);
     schedule_catastrophe(*net.engine, net.engine->now(), 0.7);
     net.report("kill70%", 15, table);
+    report.add_events(net.engine->events_dispatched());
   }
   {
     Net net(n, seed + 2, /*degenerate_init=*/true);
     net.report("star-init", 15, table);
+    report.add_events(net.engine->events_dispatched());
   }
 
   std::printf("%s\n", table.render().c_str());
   std::printf("# expectations: components stays 1; after the 70%% kill the dead-entry\n"
               "# fraction decays to ~0 within a few cycles (self-healing); from the\n"
               "# degenerate star the in-degree max collapses toward the mean quickly.\n");
+  report.write();
   return 0;
 }

@@ -1,7 +1,9 @@
 // §4 parameter study: sensitivity of convergence time and message cost to
 // the protocol parameters the paper enumerates — leaf set size c, random
 // sample count cr, per-cell redundancy k, digit width b — plus the looseness
-// of the synchronized start (the paper assumes starts within one Δ).
+// of the synchronized start (the paper assumes starts within one Δ). All
+// sweep points share the base seed (isolating the parameter axis) and run
+// as independent replicas across hardware threads.
 #include <cstdio>
 
 #include "bench/bench_common.hpp"
@@ -9,34 +11,18 @@
 using namespace bsvc;
 using namespace bsvc::bench;
 
-namespace {
-
-void sweep_row(Table& table, const char* param, const std::string& value,
-               ExperimentConfig cfg) {
-  std::fprintf(stderr, "running %s=%s...\n", param, value.c_str());
-  BootstrapExperiment exp(cfg);
-  const auto r = exp.run();
-  const auto& s = r.bootstrap_stats;
-  const double msgs = static_cast<double>(s.requests_sent + s.replies_sent);
-  table.add_row({param, value, std::to_string(r.leaf_converged_cycle),
-                 std::to_string(r.prefix_converged_cycle), std::to_string(r.converged_cycle),
-                 Table::num(r.avg_message_bytes, 4),
-                 Table::num(msgs / static_cast<double>(cfg.n), 3)});
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
-  const bool full = flags.get_bool("full", std::getenv("REPRO_FULL") != nullptr);
+  const bool full = full_tier(flags);
   const std::size_t n =
       static_cast<std::size_t>(flags.get_int("n", full ? (1 << 13) : (1 << 11)));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const std::size_t threads = threads_flag(flags);
+  BenchReport report(flags, "param_sweep");
   flags.finish();
+  report.set_threads(threads);
 
   std::printf("=== Parameter sweep (N=%zu; defaults b=4 k=3 c=20 cr=30) ===\n", n);
-  Table table({"param", "value", "leaf_cycles", "prefix_cycles", "both_cycles",
-               "avg_msg_bytes", "msgs/node"});
 
   const auto base = [&]() {
     ExperimentConfig cfg;
@@ -46,31 +32,54 @@ int main(int argc, char** argv) {
     return cfg;
   };
 
+  std::vector<ReplicaSpec> specs;
+  const auto add = [&specs](const char* param, const std::string& value,
+                            ExperimentConfig cfg) {
+    specs.push_back({std::string(param) + "=" + value, std::move(cfg)});
+  };
+
   for (const std::size_t c : {8u, 12u, 20u, 32u}) {
     auto cfg = base();
     cfg.bootstrap.c = c;
-    sweep_row(table, "c", std::to_string(c), cfg);
+    add("c", std::to_string(c), cfg);
   }
   for (const std::size_t cr : {0u, 10u, 30u, 60u}) {
     auto cfg = base();
     cfg.bootstrap.cr = cr;
     if (cr == 0) cfg.bootstrap.use_random_samples = false;
-    sweep_row(table, "cr", std::to_string(cr), cfg);
+    add("cr", std::to_string(cr), cfg);
   }
   for (const int k : {1, 2, 3, 5}) {
     auto cfg = base();
     cfg.bootstrap.k = k;
-    sweep_row(table, "k", std::to_string(k), cfg);
+    add("k", std::to_string(k), cfg);
   }
   for (const int b : {1, 2, 4}) {
     auto cfg = base();
     cfg.bootstrap.digits = DigitConfig{b};
-    sweep_row(table, "b", std::to_string(b), cfg);
+    add("b", std::to_string(b), cfg);
   }
   for (const double window : {1.0, 2.0, 4.0, 8.0}) {
     auto cfg = base();
     cfg.start_window_cycles = window;
-    sweep_row(table, "start_window_cycles", Table::num(window, 2), cfg);
+    add("start_window_cycles", Table::num(window, 2), cfg);
+  }
+
+  const auto runs = run_replicas(specs, threads);
+
+  Table table({"param", "value", "leaf_cycles", "prefix_cycles", "both_cycles",
+               "avg_msg_bytes", "msgs/node"});
+  for (const auto& run : runs) {
+    const auto& r = run.result;
+    const auto& s = r.bootstrap_stats;
+    const double msgs = static_cast<double>(s.requests_sent + s.replies_sent);
+    const auto eq = run.label.find('=');
+    table.add_row({run.label.substr(0, eq), run.label.substr(eq + 1),
+                   std::to_string(r.leaf_converged_cycle),
+                   std::to_string(r.prefix_converged_cycle), std::to_string(r.converged_cycle),
+                   Table::num(r.avg_message_bytes, 4),
+                   Table::num(msgs / static_cast<double>(n), 3)});
+    report.add_run(run.label, r);
   }
 
   std::printf("%s\n", table.render().c_str());
@@ -78,5 +87,6 @@ int main(int argc, char** argv) {
               "# smaller b means fewer columns but more rows (similar totals, slower fill\n"
               "# per digit); k mostly scales the table size; start staggering beyond Δ\n"
               "# shifts convergence by roughly the extra window.\n");
+  report.write();
   return 0;
 }

@@ -5,9 +5,10 @@
 // Nodes get synthetic 2D network coordinates (latency = base + Euclidean
 // distance). The overlay is bootstrapped as usual; routes are then measured
 // with and without proximity selection among each prefix cell's k
-// alternatives, across k ∈ {1, 2, 3, 5}. Expected: identical hop counts,
-// but per-route latency drops substantially with k > 1 + proximity
-// selection, and k = 1 gains nothing.
+// alternatives, across k ∈ {1, 2, 3, 5}. Each k is one replica fanned
+// across hardware threads. Expected: identical hop counts, but per-route
+// latency drops substantially with k > 1 + proximity selection, and k = 1
+// gains nothing.
 #include <cstdio>
 
 #include "bench/bench_common.hpp"
@@ -16,19 +17,40 @@
 using namespace bsvc;
 using namespace bsvc::bench;
 
+namespace {
+
+struct SelectionRow {
+  double avg_latency = 0.0;
+  double avg_hops = 0.0;
+  double success = 0.0;
+};
+
+struct KOutcome {
+  bool converged = false;
+  SelectionRow first;
+  SelectionRow proximity;
+  ExperimentResult result;
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
-  const bool full = flags.get_bool("full", std::getenv("REPRO_FULL") != nullptr);
+  const bool full = full_tier(flags);
   const std::size_t n =
       static_cast<std::size_t>(flags.get_int("n", full ? (1 << 14) : (1 << 12)));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   const auto lookups = static_cast<std::size_t>(flags.get_int("lookups", 2000));
+  const std::size_t threads = threads_flag(flags);
+  BenchReport report(flags, "proximity_k");
   flags.finish();
+  report.set_threads(threads);
 
   std::printf("=== Proximity route optimization via k alternatives (N=%zu) ===\n", n);
-  Table table({"k", "selection", "avg_route_latency", "avg_hops", "success", "vs_first_pct"});
 
-  for (const int k : {1, 2, 3, 5}) {
+  const std::vector<int> ks{1, 2, 3, 5};
+  const auto outcomes = parallel_map(ks, threads, [&](int k, std::size_t) {
+    KOutcome out;
     ExperimentConfig cfg;
     cfg.n = n;
     cfg.seed = seed;
@@ -36,33 +58,53 @@ int main(int argc, char** argv) {
     cfg.max_cycles = 80;
     std::fprintf(stderr, "bootstrapping with k=%d...\n", k);
     BootstrapExperiment exp(cfg);
-    const auto result = exp.run();
-    if (result.converged_cycle < 0) {
-      std::printf("# k=%d did not converge, skipping\n", k);
-      continue;
-    }
+    out.result = exp.run();
+    if (out.result.converged_cycle < 0) return out;
+    out.converged = true;
     CoordinateSpace space(exp.engine().node_count(), Rng(seed + 77));
     const ConvergenceOracle oracle(exp.engine(), cfg.bootstrap, exp.bootstrap_slot());
-
-    double first_latency = 0.0;
     for (const HopSelection sel : {HopSelection::First, HopSelection::Proximity}) {
       const ProximityRouter router(exp.engine(), exp.bootstrap_slot(), space, sel);
       Rng rng(seed + 5);
       const auto stats = router.run_lookups(oracle, rng, lookups);
-      if (sel == HopSelection::First) first_latency = stats.avg_route_latency;
-      const double delta_pct =
-          first_latency == 0.0
-              ? 0.0
-              : 100.0 * (stats.avg_route_latency - first_latency) / first_latency;
-      table.add_row({std::to_string(k),
-                     sel == HopSelection::First ? "first" : "proximity",
-                     Table::num(stats.avg_route_latency, 5), Table::num(stats.avg_hops, 3),
-                     Table::num(stats.success_rate, 4), Table::num(delta_pct, 3)});
+      auto& row = sel == HopSelection::First ? out.first : out.proximity;
+      row.avg_latency = stats.avg_route_latency;
+      row.avg_hops = stats.avg_hops;
+      row.success = stats.success_rate;
     }
+    return out;
+  });
+
+  Table table({"k", "selection", "avg_route_latency", "avg_hops", "success", "vs_first_pct"});
+  for (std::size_t i = 0; i < ks.size(); ++i) {
+    const int k = ks[i];
+    const auto& out = outcomes[i];
+    if (!out.converged) {
+      std::printf("# k=%d did not converge, skipping\n", k);
+      continue;
+    }
+    const auto emit = [&](const char* sel, const SelectionRow& row) {
+      const double delta_pct =
+          out.first.avg_latency == 0.0
+              ? 0.0
+              : 100.0 * (row.avg_latency - out.first.avg_latency) / out.first.avg_latency;
+      table.add_row({std::to_string(k), sel, Table::num(row.avg_latency, 5),
+                     Table::num(row.avg_hops, 3), Table::num(row.success, 4),
+                     Table::num(delta_pct, 3)});
+    };
+    emit("first", out.first);
+    emit("proximity", out.proximity);
+    report.add_run("k=" + std::to_string(k), out.result);
+    report.add_metric("proximity_latency_gain_pct_k" + std::to_string(k),
+                      out.first.avg_latency == 0.0
+                          ? 0.0
+                          : 100.0 * (out.proximity.avg_latency - out.first.avg_latency) /
+                                out.first.avg_latency);
   }
   std::printf("%s\n", table.render().c_str());
   std::printf("# expectations: proximity selection leaves hop counts unchanged but cuts\n"
               "# per-route latency once k > 1; with k = 1 there is nothing to choose\n"
               "# from and the two policies coincide.\n");
+  report.write();
   return 0;
 }

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Runs the full bench suite and collects machine-readable results: each
+# binary writes BENCH_<name>.json (wall time, events/sec, peak RSS,
+# convergence summaries) into the output directory. Compare JSON files
+# across commits to track the perf trajectory (docs/performance.md).
+#
+# Usage: bench/run_suite.sh [build_dir] [out_dir] [extra bench flags...]
+#   build_dir  defaults to ./build
+#   out_dir    defaults to ./bench-results
+# Extra flags are passed to every binary, e.g. --threads 8 or --full=true.
+set -euo pipefail
+
+build_dir="${1:-build}"
+out_dir="${2:-bench-results}"
+shift $(( $# >= 2 ? 2 : $# )) || true
+
+benches=(
+  fig3_no_failures
+  fig4_message_drop
+  churn
+  scalability
+  param_sweep
+  ablation_feedback
+  chord_on_demand
+  baseline_join
+  proximity_k
+  massive_join
+  merge_split
+  newscast_service
+)
+
+mkdir -p "${out_dir}"
+
+for bench in "${benches[@]}"; do
+  bin="${build_dir}/bench/${bench}"
+  if [[ ! -x "${bin}" ]]; then
+    echo "skip ${bench}: ${bin} not built" >&2
+    continue
+  fi
+  echo "=== ${bench} ===" >&2
+  "${bin}" --json "${out_dir}/BENCH_${bench}.json" "$@" \
+    > "${out_dir}/${bench}.out"
+done
+
+# Micro benchmarks use google-benchmark's native JSON reporter.
+micro="${build_dir}/bench/micro_ops"
+if [[ -x "${micro}" ]]; then
+  echo "=== micro_ops ===" >&2
+  "${micro}" --benchmark_format=json > "${out_dir}/BENCH_micro_ops.json"
+fi
+
+echo "results in ${out_dir}/" >&2

@@ -4,8 +4,9 @@
 // logarithmic in network size", plus per-node cost accounting (the protocol
 // is "cheap": ~2 bootstrap messages per node per cycle, small UDP payloads).
 //
-// Sweeps N over powers of two and prints cycles-to-perfect against log2(N),
-// alongside message and byte costs per node.
+// Sweeps N over powers of two (one replica per size, fanned across hardware
+// threads) and prints cycles-to-perfect against log2(N), alongside message
+// and byte costs per node.
 #include <cmath>
 #include <cstdio>
 
@@ -16,9 +17,12 @@ using namespace bsvc::bench;
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
-  const bool full = flags.get_bool("full", std::getenv("REPRO_FULL") != nullptr);
+  const bool full = full_tier(flags);
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const std::size_t threads = threads_flag(flags);
+  BenchReport report(flags, "scalability");
   flags.finish();
+  report.set_threads(threads);
 
   std::vector<std::size_t> sizes{1u << 10, 1u << 11, 1u << 12, 1u << 13, 1u << 14};
   if (full) {
@@ -27,19 +31,25 @@ int main(int argc, char** argv) {
   }
 
   std::printf("=== Scalability: convergence time vs network size ===\n");
+  std::vector<ReplicaSpec> specs;
+  for (const std::size_t n : sizes) {
+    ReplicaSpec spec;
+    spec.cfg.n = n;
+    spec.cfg.seed = seed;  // the same seed across sizes isolates the N axis
+    spec.cfg.max_cycles = 80;
+    spec.label = "N=" + std::to_string(n);
+    specs.push_back(std::move(spec));
+  }
+  const auto runs = run_replicas(specs, threads);
+
   Table table({"N", "log2(N)", "leaf_cycles", "prefix_cycles", "both_cycles",
                "bootstrap_msgs/node", "bootstrap_kB/node", "avg_msg_B"});
   int prev_cycles = -1;
   std::size_t prev_n = 0;
   std::vector<std::pair<double, double>> points;  // (log2 N, cycles)
-  for (const std::size_t n : sizes) {
-    ExperimentConfig cfg;
-    cfg.n = n;
-    cfg.seed = seed;
-    cfg.max_cycles = 80;
-    std::fprintf(stderr, "running N=%zu...\n", n);
-    BootstrapExperiment exp(cfg);
-    const auto r = exp.run();
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const std::size_t n = sizes[i];
+    const auto& r = runs[i].result;
     const auto& s = r.bootstrap_stats;
     const double msgs_per_node =
         static_cast<double>(s.requests_sent + s.replies_sent) / static_cast<double>(n);
@@ -58,6 +68,7 @@ int main(int argc, char** argv) {
     }
     prev_cycles = r.converged_cycle;
     prev_n = n;
+    report.add_run(runs[i].label, r);
   }
   std::printf("%s\n", table.render().c_str());
 
@@ -74,6 +85,9 @@ int main(int argc, char** argv) {
     const double a = (m * sxy - sx * sy) / (m * sxx - sx * sx);
     const double b = (sy - a * sx) / m;
     std::printf("# fit: cycles_to_perfect ~ %.2f * log2(N) + %.2f\n", a, b);
+    report.add_metric("fit_slope_cycles_per_log2N", a);
+    report.add_metric("fit_intercept_cycles", b);
   }
+  report.write();
   return 0;
 }

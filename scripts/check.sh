@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Sanitizer gate: configures a second build tree with Address- and
+# UB-Sanitizer, builds everything and runs the tier-1 test suite under it.
+# Catches lifetime bugs (e.g. in the event queue's slot pools and the thread
+# pool) that the plain build cannot.
+#
+# Usage: scripts/check.sh [build_dir]   (default: build-asan)
+set -euo pipefail
+
+build_dir="${1:-build-asan}"
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+cmake -B "${build_dir}" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+
+cmake --build "${build_dir}" -j "${jobs}"
+
+ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"

@@ -1,0 +1,78 @@
+// Minimal threading layer for fanning independent work items (bench
+// replicas, parameter-sweep points) across hardware threads.
+//
+// Everything inside the simulator stays single-threaded and deterministic;
+// parallelism only ever happens ABOVE whole Engine instances — one engine
+// per work item, no shared mutable state. parallel_for with threads <= 1
+// degenerates to a plain loop on the calling thread, so a sequential run is
+// not merely equivalent but literally the same code path.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace bsvc {
+
+/// Number of hardware threads, at least 1 (hardware_concurrency may be 0).
+std::size_t hardware_threads();
+
+/// A fixed-size worker pool with a FIFO task queue. Tasks must not throw
+/// across the submit boundary — wrap and capture exceptions yourself (
+/// parallel_for below does).
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (0 means hardware_threads()).
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues one task.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> tasks_;
+  std::size_t in_flight_ = 0;  // queued + currently executing
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs body(0..count-1), fanned across up to `threads` workers (capped at
+/// `count`). Indices are claimed in order but may complete out of order;
+/// the call returns only when all have finished. threads <= 1 runs inline
+/// sequentially. If any invocation throws, the exception thrown by the
+/// lowest index is rethrown after all work has settled.
+void parallel_for(std::size_t count, std::size_t threads,
+                  const std::function<void(std::size_t)>& body);
+
+/// Maps fn(item, index) over `items`, results returned in input order
+/// regardless of completion order. Result type must be default-constructible
+/// and movable.
+template <typename Item, typename Fn>
+auto parallel_map(const std::vector<Item>& items, std::size_t threads, Fn&& fn) {
+  using Result = std::decay_t<std::invoke_result_t<Fn&, const Item&, std::size_t>>;
+  std::vector<Result> results(items.size());
+  parallel_for(items.size(), threads,
+               [&](std::size_t i) { results[i] = fn(items[i], i); });
+  return results;
+}
+
+}  // namespace bsvc

@@ -146,6 +146,7 @@ ExperimentResult BootstrapExperiment::run(
 
   result.bootstrap_stats = stats_;
   result.traffic_during_bootstrap = engine.traffic();
+  result.events_dispatched = engine.events_dispatched();
   const auto msgs = stats_.requests_sent + stats_.replies_sent;
   result.avg_message_bytes =
       msgs == 0 ? 0.0

@@ -70,6 +70,9 @@ struct ExperimentResult {
   /// Mean/max wire bytes per bootstrap message.
   double avg_message_bytes = 0.0;
   std::uint64_t max_message_bytes = 0;
+  /// Engine events dispatched over the whole run incl. warmup (throughput
+  /// accounting for the bench --json reports).
+  std::uint64_t events_dispatched = 0;
   /// Final metrics at the last measured cycle.
   ConvergenceMetrics final_metrics;
 };

@@ -57,12 +57,12 @@ void Engine::start_node(Address addr, SimTime delay) {
     ++alive_count_;
   }
   for (ProtocolSlot slot = 0; slot < node.stack.size(); ++slot) {
-    Event ev;
+    SlimEvent ev;
     ev.time = now_ + delay;
     ev.kind = EventKind::Start;
     ev.addr = addr;
     ev.slot = slot;
-    push(std::move(ev));
+    push(ev);
   }
 }
 
@@ -120,41 +120,39 @@ void Engine::send_message(Address from, Address to, ProtocolSlot slot,
               rng_.below(transport_.max_latency - transport_.min_latency + 1);
   }
 
-  Event ev;
+  SlimEvent ev;
   ev.time = now_ + latency;
   ev.kind = EventKind::Message;
   ev.addr = to;
   ev.from = from;
   ev.slot = slot;
-  ev.payload = std::move(payload);
-  push(std::move(ev));
+  ev.aux = payload_pool_.store(std::move(payload));
+  push(ev);
 }
 
 void Engine::schedule_timer(Address addr, ProtocolSlot slot, SimTime delay,
                             std::uint64_t timer_id) {
-  Event ev;
+  SlimEvent ev;
   ev.time = now_ + delay;
   ev.kind = EventKind::Timer;
   ev.addr = addr;
   ev.slot = slot;
-  ev.timer_id = timer_id;
-  push(std::move(ev));
+  ev.aux = timer_id;
+  push(ev);
 }
 
 void Engine::schedule_call(SimTime delay, std::function<void(Engine&)> fn) {
   BSVC_CHECK(fn != nullptr);
-  Event ev;
+  SlimEvent ev;
   ev.time = now_ + delay;
   ev.kind = EventKind::Call;
-  ev.call = std::move(fn);
-  push(std::move(ev));
+  ev.aux = call_pool_.store(std::move(fn));
+  push(ev);
 }
 
 void Engine::run_until(SimTime t_end) {
-  while (!heap_.empty() && heap_.front().time <= t_end) {
-    std::pop_heap(heap_.begin(), heap_.end(), EventOrder{});
-    Event ev = std::move(heap_.back());
-    heap_.pop_back();
+  SlimEvent ev;
+  while (queue_.pop_if_at_most(t_end, ev)) {
     BSVC_CHECK_MSG(ev.time >= now_, "event queue time went backwards");
     now_ = ev.time;
     dispatch(ev);
@@ -163,19 +161,25 @@ void Engine::run_until(SimTime t_end) {
 }
 
 void Engine::run_all() {
-  while (!heap_.empty()) {
-    std::pop_heap(heap_.begin(), heap_.end(), EventOrder{});
-    Event ev = std::move(heap_.back());
-    heap_.pop_back();
+  SlimEvent ev;
+  while (queue_.pop_if_at_most(~SimTime{0}, ev)) {
     now_ = ev.time;
     dispatch(ev);
   }
 }
 
-void Engine::dispatch(Event& ev) {
+void Engine::dispatch(const SlimEvent& ev) {
+  ++events_dispatched_;
   if (ev.kind == EventKind::Call) {
-    ev.call(*this);
+    const auto fn = call_pool_.take(static_cast<std::uint32_t>(ev.aux));
+    fn(*this);
     return;
+  }
+  // Message payloads are reclaimed from the pool unconditionally — even when
+  // the destination died in flight, matching the old owning-event behavior.
+  std::unique_ptr<Payload> payload;
+  if (ev.kind == EventKind::Message) {
+    payload = payload_pool_.take(static_cast<std::uint32_t>(ev.aux));
   }
   Node& node = node_at(ev.addr);
   if (!node.alive) {
@@ -189,28 +193,27 @@ void Engine::dispatch(Event& ev) {
       node.stack[ev.slot]->on_start(ctx);
       break;
     case EventKind::Timer:
-      node.stack[ev.slot]->on_timer(ctx, ev.timer_id);
+      node.stack[ev.slot]->on_timer(ctx, ev.aux);
       break;
     case EventKind::Message:
       if (transcoder_) {
-        ev.payload = transcoder_(*ev.payload);
-        if (ev.payload == nullptr) {
+        payload = transcoder_(*payload);
+        if (payload == nullptr) {
           ++traffic_.messages_dropped;
           break;
         }
       }
       ++traffic_.messages_delivered;
-      node.stack[ev.slot]->on_message(ctx, ev.from, *ev.payload);
+      node.stack[ev.slot]->on_message(ctx, ev.from, *payload);
       break;
     case EventKind::Call:
       break;  // handled above
   }
 }
 
-void Engine::push(Event ev) {
+void Engine::push(SlimEvent ev) {
   ev.seq = next_seq_++;
-  heap_.push_back(std::move(ev));
-  std::push_heap(heap_.begin(), heap_.end(), EventOrder{});
+  queue_.push(ev);
 }
 
 Node& Engine::node_at(Address addr) {

@@ -15,17 +15,11 @@
 #include "common/rng.hpp"
 #include "id/descriptor.hpp"
 #include "id/node_id.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/payload.hpp"
 #include "sim/protocol.hpp"
 
 namespace bsvc {
-
-/// Virtual time in abstract ticks. Experiments use kDelta ticks per protocol
-/// cycle; with the paper's Δ ≈ 10 s one tick is roughly 10 ms.
-using SimTime = std::uint64_t;
-
-/// Default cycle length Δ in ticks.
-inline constexpr SimTime kDelta = 1000;
 
 /// Transport model parameters.
 struct TransportConfig {
@@ -113,6 +107,10 @@ class Engine {
   const TrafficStats& traffic() const { return traffic_; }
   void reset_traffic() { traffic_ = {}; }
 
+  /// Total events dispatched since construction (messages, timers, starts
+  /// and calls). Benches report throughput as events/second against this.
+  std::uint64_t events_dispatched() const { return events_dispatched_; }
+
   TransportConfig& transport() { return transport_; }
 
   /// Optional link filter: when set, a message from a->b is silently dropped
@@ -160,35 +158,14 @@ class Engine {
   void run_all();
 
  private:
-  enum class EventKind : std::uint8_t { Message, Timer, Call, Start };
-
-  struct Event {
-    SimTime time = 0;
-    std::uint64_t seq = 0;  // tie-break: FIFO among equal times; set by push()
-    EventKind kind = EventKind::Call;
-    Address addr = kNullAddress;  // destination node (Message/Timer/Start)
-    Address from = kNullAddress;  // sender (Message)
-    ProtocolSlot slot = 0;
-    std::uint64_t timer_id = 0;
-    std::unique_ptr<Payload> payload;
-    std::function<void(Engine&)> call;
-  };
-
-  // Max-heap comparator inverted so the earliest (time, seq) is on top.
-  struct EventOrder {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
-
   Node& node_at(Address addr);
   const Node& node_at(Address addr) const;
-  void dispatch(Event& ev);
-  void push(Event ev);
+  void dispatch(const SlimEvent& ev);
+  void push(SlimEvent ev);
 
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t events_dispatched_ = 0;
   Rng rng_;
   std::uint64_t node_seed_state_;
   TransportConfig transport_;
@@ -198,9 +175,11 @@ class Engine {
   // node (e.g. the per-node RNG), so Node addresses must be stable.
   std::deque<Node> nodes_;
   std::size_t alive_count_ = 0;
-  // Manual binary heap (std::push_heap/pop_heap) so events can be moved out;
-  // std::priority_queue only exposes a const top().
-  std::vector<Event> heap_;
+  // Events are 40-byte PODs; payloads and Call closures are parked in slot
+  // pools and referenced by index (see event_queue.hpp for the rationale).
+  TwoTierQueue queue_;
+  SlotPool<std::unique_ptr<Payload>> payload_pool_;
+  SlotPool<std::function<void(Engine&)>> call_pool_;
   std::function<bool(Address, Address)> link_filter_;
   std::function<std::unique_ptr<Payload>(const Payload&)> transcoder_;
   LatencyModel latency_model_;

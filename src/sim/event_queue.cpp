@@ -1,0 +1,63 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+
+namespace bsvc {
+
+void TwoTierQueue::push(const SlimEvent& ev) {
+  BSVC_CHECK_MSG(ev.time >= cursor_, "event scheduled in the past");
+  if (ev.time < base_ + kWheelSpan) {
+    wheel_[ev.time & (kWheelSpan - 1)].events.push_back(ev);
+    ++wheel_count_;
+  } else {
+    heap_.push_back(ev);
+    std::push_heap(heap_.begin(), heap_.end(), LaterFirst{});
+  }
+  ++size_;
+}
+
+bool TwoTierQueue::pop_if_at_most(SimTime limit, SlimEvent& out) {
+  if (size_ == 0) return false;
+  if (wheel_count_ == 0) {
+    // The minimum is the heap root. Only re-base once we know we will pop:
+    // a failed probe must leave base_/cursor_ alone, or events pushed later
+    // at times below the heap minimum would land behind the cursor.
+    if (heap_.front().time > limit) return false;
+    base_ = heap_.front().time;
+    cursor_ = base_;
+    // Drain everything inside the new window. Heap pops come out in
+    // (time, seq) order, so per-bucket appends stay seq-sorted; later direct
+    // pushes carry higher seq and append after them.
+    while (!heap_.empty() && heap_.front().time < base_ + kWheelSpan) {
+      std::pop_heap(heap_.begin(), heap_.end(), LaterFirst{});
+      const SlimEvent& ev = heap_.back();
+      wheel_[ev.time & (kWheelSpan - 1)].events.push_back(ev);
+      heap_.pop_back();
+      ++wheel_count_;
+    }
+  }
+  // The wheel minimum sits in the first non-empty bucket at or after the
+  // cursor (every bucket behind it has been drained and cleared by pops).
+  SimTime tick = cursor_;
+  while (true) {
+    const Bucket& b = wheel_[tick & (kWheelSpan - 1)];
+    if (b.head < b.events.size()) break;
+    ++tick;
+    BSVC_CHECK_MSG(tick < base_ + kWheelSpan, "wheel count out of sync");
+  }
+  Bucket& bucket = wheel_[tick & (kWheelSpan - 1)];
+  const SlimEvent& min = bucket.events[bucket.head];
+  if (min.time > limit) return false;  // probe failed: do not commit the scan
+  cursor_ = tick;
+  out = min;
+  ++bucket.head;
+  if (bucket.head == bucket.events.size()) {
+    bucket.events.clear();
+    bucket.head = 0;
+  }
+  --wheel_count_;
+  --size_;
+  return true;
+}
+
+}  // namespace bsvc
