@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
   const auto max_cycles = static_cast<std::size_t>(flags.get_int("max-cycles", 120));
   const std::size_t threads = threads_flag(flags);
   BenchReport report(flags, "ablation_feedback");
+  apply_log_level_flag(flags);
   flags.finish();
   report.set_threads(threads);
 

@@ -12,6 +12,7 @@
 
 #include "bench/bench_report.hpp"
 #include "common/flags.hpp"
+#include "common/logging.hpp"
 #include "common/parallel.hpp"
 #include "common/table.hpp"
 #include "core/experiment.hpp"
@@ -63,6 +64,21 @@ inline std::uint64_t replica_seed(std::uint64_t base_seed, std::uint64_t replica
   return splitmix64(state);
 }
 
+/// Handles the shared --log-level flag: sets the global threshold, treating
+/// unknown level names as a flag error (exit 2) rather than silently falling
+/// back.
+inline void apply_log_level_flag(const Flags& flags) {
+  const std::string value = flags.get_string("log-level", "");
+  if (value.empty()) return;
+  const auto level = parse_log_level(value);
+  if (!level.has_value()) {
+    std::fprintf(stderr, "%s: invalid --log-level '%s' (expected debug|info|warn|error|off)\n",
+                 flags.program().c_str(), value.c_str());
+    std::exit(2);
+  }
+  set_log_level(*level);
+}
+
 /// One experiment's curves, labelled.
 struct LabelledRun {
   std::string label;
@@ -75,6 +91,24 @@ struct ReplicaSpec {
   std::string label;
   ExperimentConfig cfg;
 };
+
+/// Applies the shared observability flags to a prepared replica set:
+///   --sample-every=<cycles>  metric snapshot cadence (default 1; 0 disables)
+///   --trace=<prefix>         per-replica JSONL engine traces written to
+///                            "<prefix>_<index>.jsonl"
+/// Replica indexing follows spec order, so trace file names are stable
+/// whatever the thread count.
+inline void apply_obs_flags(const Flags& flags, std::vector<ReplicaSpec>& specs) {
+  const std::int64_t sample_every = flags.get_int("sample-every", 1);
+  const std::string trace_prefix = flags.get_string("trace", "");
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    specs[i].cfg.sample_every_cycles =
+        sample_every <= 0 ? 0 : static_cast<std::size_t>(sample_every);
+    if (!trace_prefix.empty()) {
+      specs[i].cfg.trace_path = trace_prefix + "_" + std::to_string(i) + ".jsonl";
+    }
+  }
+}
 
 /// Runs every replica, fanned out across up to `threads` hardware threads
 /// (each replica owns its private Engine; nothing is shared). Results come

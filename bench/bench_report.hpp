@@ -15,6 +15,7 @@
 
 #include "common/flags.hpp"
 #include "core/experiment.hpp"
+#include "obs/metrics.hpp"
 
 namespace bsvc::bench {
 
@@ -71,6 +72,7 @@ class BenchReport {
     s.converged_cycle = r.converged_cycle;
     s.messages_sent = r.traffic_during_bootstrap.messages_sent;
     s.bytes_sent = r.traffic_during_bootstrap.bytes_sent;
+    s.series = r.metric_series;
     runs_.push_back(std::move(s));
     events_ += r.events_dispatched;
   }
@@ -121,11 +123,30 @@ class BenchReport {
                    "%s\n    {\"label\": \"%s\", \"n\": %zu, \"cycles\": %zu, "
                    "\"leaf_converged_cycle\": %d, \"prefix_converged_cycle\": %d, "
                    "\"converged_cycle\": %d, \"messages_sent\": %llu, "
-                   "\"bytes_sent\": %llu}",
+                   "\"bytes_sent\": %llu",
                    i == 0 ? "" : ",", json_escape(s.label).c_str(), s.n, s.cycles,
                    s.leaf_converged_cycle, s.prefix_converged_cycle, s.converged_cycle,
                    static_cast<unsigned long long>(s.messages_sent),
                    static_cast<unsigned long long>(s.bytes_sent));
+      if (!s.series.empty()) {
+        // Per-metric time series from the run's Sampler: name -> [[virtual
+        // time, value], ...], in registry (lexicographic) name order.
+        std::fprintf(f, ",\n     \"series\": {");
+        bool first_metric = true;
+        for (const auto& [metric, points] : s.series.by_name) {
+          std::fprintf(f, "%s\n      \"%s\": [", first_metric ? "" : ",",
+                       json_escape(metric).c_str());
+          first_metric = false;
+          for (std::size_t p = 0; p < points.size(); ++p) {
+            std::fprintf(f, "%s[%llu,%.9g]", p == 0 ? "" : ",",
+                         static_cast<unsigned long long>(points[p].first),
+                         points[p].second);
+          }
+          std::fprintf(f, "]");
+        }
+        std::fprintf(f, "\n     }");
+      }
+      std::fprintf(f, "}");
     }
     std::fprintf(f, "\n  ]\n}\n");
     std::fclose(f);
@@ -141,6 +162,7 @@ class BenchReport {
     int converged_cycle = -1;
     std::uint64_t messages_sent = 0;
     std::uint64_t bytes_sent = 0;
+    obs::MetricSeries series;
   };
 
   std::string name_;

@@ -67,6 +67,7 @@ int main(int argc, char** argv) {
   const auto max_cycles = static_cast<std::size_t>(flags.get_int("max-cycles", 60));
   const std::size_t threads = threads_flag(flags);
   BenchReport report(flags, "chord_on_demand");
+  apply_log_level_flag(flags);
   flags.finish();
   report.set_threads(threads);
 

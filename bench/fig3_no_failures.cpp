@@ -22,8 +22,7 @@ int main(int argc, char** argv) {
   const auto max_cycles = static_cast<std::size_t>(flags.get_int("max-cycles", 60));
   const std::size_t threads = threads_flag(flags);
   BenchReport report(flags, "fig3_no_failures");
-  flags.finish();
-  report.set_threads(threads);
+  apply_log_level_flag(flags);
 
   std::printf("=== Figure 3: no failures (b=4, k=3, c=20, cr=30) ===\n");
   std::vector<ReplicaSpec> specs;
@@ -37,6 +36,9 @@ int main(int argc, char** argv) {
       specs.push_back(std::move(spec));
     }
   }
+  apply_obs_flags(flags, specs);
+  flags.finish();
+  report.set_threads(threads);
   const auto runs = run_replicas(specs, threads);
   print_runs("Figure 3", runs);
 

@@ -18,8 +18,7 @@ int main(int argc, char** argv) {
   const auto max_cycles = static_cast<std::size_t>(flags.get_int("max-cycles", 100));
   const std::size_t threads = threads_flag(flags);
   BenchReport report(flags, "fig4_message_drop");
-  flags.finish();
-  report.set_threads(threads);
+  apply_log_level_flag(flags);
 
   std::printf("=== Figure 4: %.0f%% uniform message drop ===\n", drop * 100.0);
   std::vector<ReplicaSpec> specs;
@@ -34,6 +33,9 @@ int main(int argc, char** argv) {
       specs.push_back(std::move(spec));
     }
   }
+  apply_obs_flags(flags, specs);
+  flags.finish();
+  report.set_threads(threads);
   const auto runs = run_replicas(specs, threads);
   print_runs("Figure 4", runs);
   for (const auto& run : runs) report.add_run(run.label, run.result);

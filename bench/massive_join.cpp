@@ -30,6 +30,7 @@ int main(int argc, char** argv) {
   // inherently sequential, so the value is unused.
   (void)threads_flag(flags);
   BenchReport report(flags, "massive_join");
+  apply_log_level_flag(flags);
   flags.finish();
 
   std::printf("=== Massive join: %zu nodes flood a converged %zu-node overlay ===\n", n0, n0);

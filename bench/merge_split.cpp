@@ -31,6 +31,7 @@ int main(int argc, char** argv) {
   // engine state stagewise and run sequentially.
   (void)threads_flag(flags);
   BenchReport report(flags, "merge_split");
+  apply_log_level_flag(flags);
   flags.finish();
 
   // ---------------- MERGE -------------------------------------------------

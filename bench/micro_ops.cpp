@@ -14,6 +14,8 @@
 #include "core/perfect_tables.hpp"
 #include "core/prefix_table.hpp"
 #include "id/id_generator.hpp"
+#include "obs/trace.hpp"
+#include "sim/engine.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/payload.hpp"
 #include "tests/test_util.hpp"
@@ -221,6 +223,38 @@ void BM_PayloadPoolStoreTake(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_PayloadPoolStoreTake);
+
+// Full engine send→dispatch round trip, quantifying the observability hook
+// overhead (docs/observability.md quotes these numbers). Arg(0): null trace
+// sink — the production default, where every hook is one pointer test.
+// Arg(1): a minimal counting sink installed, paying the virtual record()
+// call per hook.
+struct CountingTraceSink final : obs::TraceSink {
+  std::uint64_t records = 0;
+  void record(const obs::TraceRecord&) override { ++records; }
+};
+
+struct SinkProtocol final : Protocol {};
+
+void BM_EngineSendDispatch(benchmark::State& state) {
+  Engine engine(13);
+  const Address a = engine.add_node(1);
+  const Address b = engine.add_node(2);
+  engine.attach(a, std::make_unique<SinkProtocol>());
+  engine.attach(b, std::make_unique<SinkProtocol>());
+  engine.start_node(a);
+  engine.start_node(b);
+  engine.run_all();
+  CountingTraceSink sink;
+  if (state.range(0) != 0) engine.set_trace_sink(&sink);
+  for (auto _ : state) {
+    engine.send_message(a, b, 0, std::make_unique<BenchPayload>());
+    engine.run_all();
+    benchmark::DoNotOptimize(engine.events_dispatched());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EngineSendDispatch)->Arg(0)->Arg(1);
 
 void BM_PayloadMakeUniqueBaseline(benchmark::State& state) {
   // Baseline for BM_PayloadPoolStoreTake: the allocation alone, without the

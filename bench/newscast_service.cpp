@@ -10,6 +10,7 @@
 #include <memory>
 
 #include "bench/bench_common.hpp"
+#include "obs/sampler.hpp"
 #include "sampling/graph_metrics.hpp"
 #include "sampling/newscast.hpp"
 #include "sim/scenario.hpp"
@@ -45,14 +46,45 @@ struct Net {
     }
   }
 
+  /// Drives `cycles` cycles with a periodic Sampler whose probe publishes
+  /// the view-graph stats as registry gauges; the table is rendered from the
+  /// collected time series afterwards (same numbers as the old per-cycle
+  /// loop, now flowing through the obs registry like every other bench).
   void report(const char* scenario, std::size_t cycles, Table& table) {
-    for (std::size_t c = 0; c < cycles; ++c) {
-      engine->run_until(engine->now() + kDelta);
-      const auto s = measure_view_graph(*engine, 0);
-      table.add_row({scenario, std::to_string(c), std::to_string(s.alive_nodes),
-                     std::to_string(s.components), Table::num(s.indegree_mean, 3),
-                     Table::num(s.indegree_stddev, 3), std::to_string(s.indegree_max),
-                     Table::num(s.dead_entry_fraction, 3), Table::num(s.clustering, 3)});
+    obs::Sampler sampler(*engine);
+    sampler.add_probe([](Engine& e) {
+      const auto s = measure_view_graph(e, 0);
+      obs::MetricsRegistry& m = e.metrics();
+      m.gauge("newscast.alive").set(static_cast<double>(s.alive_nodes));
+      m.gauge("newscast.components").set(static_cast<double>(s.components));
+      m.gauge("newscast.indegree_mean").set(s.indegree_mean);
+      m.gauge("newscast.indegree_stddev").set(s.indegree_stddev);
+      m.gauge("newscast.indegree_max").set(static_cast<double>(s.indegree_max));
+      m.gauge("newscast.dead_entry_fraction").set(s.dead_entry_fraction);
+      m.gauge("newscast.clustering").set(s.clustering);
+    });
+    sampler.start(kDelta, kDelta);
+    engine->run_until(engine->now() + cycles * kDelta);
+    sampler.stop();
+
+    const obs::MetricSeries series = sampler.take_series();
+    const auto column = [&series](const char* name) {
+      return series.by_name.at(name);
+    };
+    const auto alive = column("newscast.alive");
+    const auto components = column("newscast.components");
+    const auto indeg_mean = column("newscast.indegree_mean");
+    const auto indeg_std = column("newscast.indegree_stddev");
+    const auto indeg_max = column("newscast.indegree_max");
+    const auto dead_frac = column("newscast.dead_entry_fraction");
+    const auto clustering = column("newscast.clustering");
+    for (std::size_t c = 0; c < alive.size(); ++c) {
+      table.add_row({scenario, std::to_string(c),
+                     std::to_string(static_cast<std::uint64_t>(alive[c].second)),
+                     std::to_string(static_cast<std::uint64_t>(components[c].second)),
+                     Table::num(indeg_mean[c].second, 3), Table::num(indeg_std[c].second, 3),
+                     std::to_string(static_cast<std::uint64_t>(indeg_max[c].second)),
+                     Table::num(dead_frac[c].second, 3), Table::num(clustering[c].second, 3)});
     }
   }
 };
@@ -68,6 +100,7 @@ int main(int argc, char** argv) {
   // Accepted for run_suite.sh flag uniformity; scenarios run sequentially.
   (void)threads_flag(flags);
   BenchReport report(flags, "newscast_service");
+  apply_log_level_flag(flags);
   flags.finish();
 
   std::printf("=== Newscast peer sampling service (N=%zu, view=30, Δ period) ===\n", n);

@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   const std::size_t threads = threads_flag(flags);
   BenchReport report(flags, "param_sweep");
+  apply_log_level_flag(flags);
   flags.finish();
   report.set_threads(threads);
 

@@ -43,6 +43,7 @@ int main(int argc, char** argv) {
   const auto lookups = static_cast<std::size_t>(flags.get_int("lookups", 2000));
   const std::size_t threads = threads_flag(flags);
   BenchReport report(flags, "proximity_k");
+  apply_log_level_flag(flags);
   flags.finish();
   report.set_threads(threads);
 

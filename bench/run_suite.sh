@@ -29,6 +29,10 @@ benches=(
   newscast_service
 )
 
+# Benches that support per-replica JSONL event traces (--trace); the suite
+# archives those next to the JSON reports for offline analysis.
+traced=(fig3_no_failures fig4_message_drop churn)
+
 mkdir -p "${out_dir}"
 
 for bench in "${benches[@]}"; do
@@ -37,8 +41,14 @@ for bench in "${benches[@]}"; do
     echo "skip ${bench}: ${bin} not built" >&2
     continue
   fi
+  trace_flags=()
+  for t in "${traced[@]}"; do
+    if [[ "${bench}" == "${t}" ]]; then
+      trace_flags=(--trace "${out_dir}/TRACE_${bench}")
+    fi
+  done
   echo "=== ${bench} ===" >&2
-  "${bin}" --json "${out_dir}/BENCH_${bench}.json" "$@" \
+  "${bin}" --json "${out_dir}/BENCH_${bench}.json" "${trace_flags[@]}" "$@" \
     > "${out_dir}/${bench}.out"
 done
 

@@ -18,3 +18,11 @@ cmake -B "${build_dir}" -S . \
 cmake --build "${build_dir}" -j "${jobs}"
 
 ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
+
+# Second pass over the golden-replay witnesses with the observability layer
+# fully enabled (JSONL trace sink + per-cycle sampler): the witnesses must
+# hold bit-for-bit, and the sink/sampler code paths run under ASan/UBSan.
+obs_dir="$(mktemp -d)"
+trap 'rm -rf "${obs_dir}"' EXIT
+BSVC_GOLDEN_OBS="${obs_dir}" \
+  ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}" -R 'GoldenReplay'

@@ -1,11 +1,14 @@
 #include "common/logging.hpp"
 
+#include <atomic>
 #include <cstdio>
+#include <cstring>
+#include <vector>
 
 namespace bsvc {
 
 namespace {
-LogLevel g_level = LogLevel::Warn;
+std::atomic<int> g_level{static_cast<int>(LogLevel::Warn)};
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -19,26 +22,58 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
 
-LogLevel parse_log_level(const std::string& s) {
+LogLevel log_level() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+std::optional<LogLevel> parse_log_level(const std::string& s) {
   if (s == "debug") return LogLevel::Debug;
   if (s == "info") return LogLevel::Info;
   if (s == "warn") return LogLevel::Warn;
   if (s == "error") return LogLevel::Error;
   if (s == "off") return LogLevel::Off;
-  return LogLevel::Info;
+  return std::nullopt;
 }
 
 void log_message(LogLevel level, const char* fmt, ...) {
-  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
-  std::fprintf(stderr, "[%s] ", level_name(level));
+  if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) return;
+
+  // Build the whole "[LEVEL] message\n" line first, then hand it to stderr
+  // with one fwrite: POSIX stdio locks the stream per call, so lines from
+  // concurrent bench replica threads never interleave mid-line.
+  char stack_buf[512];
+  const int prefix = std::snprintf(stack_buf, sizeof(stack_buf), "[%s] ", level_name(level));
+
   va_list args;
   va_start(args, fmt);
-  std::vfprintf(stderr, fmt, args);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int body = std::vsnprintf(stack_buf + prefix, sizeof(stack_buf) - prefix - 1,
+                                  fmt, args);
   va_end(args);
-  std::fputc('\n', stderr);
+
+  if (body < 0) {
+    va_end(args_copy);
+    return;
+  }
+  if (static_cast<std::size_t>(prefix + body) < sizeof(stack_buf) - 1) {
+    va_end(args_copy);
+    stack_buf[prefix + body] = '\n';
+    std::fwrite(stack_buf, 1, static_cast<std::size_t>(prefix + body + 1), stderr);
+    return;
+  }
+  // Rare long message: retry into an exact-size heap buffer.
+  std::vector<char> heap_buf(static_cast<std::size_t>(prefix + body + 2));
+  std::memcpy(heap_buf.data(), stack_buf, static_cast<std::size_t>(prefix));
+  std::vsnprintf(heap_buf.data() + prefix, heap_buf.size() - static_cast<std::size_t>(prefix),
+                 fmt, args_copy);
+  va_end(args_copy);
+  heap_buf[static_cast<std::size_t>(prefix + body)] = '\n';
+  std::fwrite(heap_buf.data(), 1, static_cast<std::size_t>(prefix + body + 1), stderr);
 }
 
 }  // namespace bsvc

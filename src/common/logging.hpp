@@ -2,10 +2,14 @@
 //
 // Benches run with logging at Warn; tests and examples may raise it. The
 // logger is a process-wide singleton because log level is genuinely global
-// configuration, and the simulator is single-threaded by design.
+// configuration. The simulator itself is single-threaded, but the bench
+// harness runs replicas on worker threads (common/parallel.hpp), so the
+// level is an atomic and every message is written with a single fwrite —
+// concurrent lines interleave whole, never mid-line.
 #pragma once
 
 #include <cstdarg>
+#include <optional>
 #include <string>
 
 namespace bsvc {
@@ -16,11 +20,12 @@ enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
 void set_log_level(LogLevel level);
 /// Current global log threshold.
 LogLevel log_level();
-/// Parses "debug"/"info"/"warn"/"error"/"off"; unknown strings map to Info.
-LogLevel parse_log_level(const std::string& s);
+/// Parses "debug"/"info"/"warn"/"error"/"off"; anything else is
+/// std::nullopt (callers turn that into a flag error).
+std::optional<LogLevel> parse_log_level(const std::string& s);
 
 /// Emits a message if `level` passes the threshold. Prefer the macros below,
-/// which avoid evaluating arguments when disabled.
+/// which avoid evaluating arguments when disabled. Thread-safe.
 void log_message(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
 
 }  // namespace bsvc

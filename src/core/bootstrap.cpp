@@ -32,6 +32,11 @@ BootstrapProtocol::BootstrapProtocol(BootstrapConfig config, PeerSampler* sample
 
 void BootstrapProtocol::on_start(Context& ctx) {
   self_ = {ctx.self_id(), ctx.self()};
+  obs::MetricsRegistry& metrics = ctx.engine().metrics();
+  ctr_requests_ = &metrics.counter("bootstrap.requests");
+  ctr_replies_ = &metrics.counter("bootstrap.replies");
+  ctr_select_peer_empty_ = &metrics.counter("bootstrap.select_peer_empty");
+  ctr_condemned_ = &metrics.counter("bootstrap.condemned");
   ctx.schedule_timer(start_delay_, kInitTimer);
 }
 
@@ -76,16 +81,19 @@ void BootstrapProtocol::active_step(Context& ctx) {
     leaf_->update(sampler_->sample(config_.c));
     if (leaf_->empty()) {
       if (stats_ != nullptr) ++stats_->select_peer_empty;
+      if (ctr_select_peer_empty_ != nullptr) ctr_select_peer_empty_->inc();
       return;
     }
   }
   const auto peer = select_peer(ctx);
   if (!peer) {
     if (stats_ != nullptr) ++stats_->select_peer_empty;
+    if (ctr_select_peer_empty_ != nullptr) ctr_select_peer_empty_->inc();
     return;
   }
   auto msg = create_message(peer->id, /*is_request=*/true);
   if (stats_ != nullptr) ++stats_->requests_sent;
+  if (ctr_requests_ != nullptr) ctr_requests_->inc();
   probe_peer_ = *peer;
   probe_answered_ = false;
   ctx.send(peer->addr, std::move(msg));
@@ -322,6 +330,7 @@ void BootstrapProtocol::on_message(Context& ctx, Address from, const Payload& pa
   if (msg->is_request) {
     auto reply = create_message(msg->sender.id, /*is_request=*/false);
     if (stats_ != nullptr) ++stats_->replies_sent;
+    if (ctr_replies_ != nullptr) ctr_replies_->inc();
     ctx.send(from, std::move(reply));
   }
   if (stats_ != nullptr) ++stats_->messages_received;
@@ -330,6 +339,7 @@ void BootstrapProtocol::on_message(Context& ctx, Address from, const Payload& pa
 }
 
 void BootstrapProtocol::condemn(NodeId id, SimTime now) {
+  if (ctr_condemned_ != nullptr) ctr_condemned_->inc();
   leaf_->remove(id);
   prefix_->remove(id);
   const SimTime expiry = now + config_.tombstone_ttl_cycles * config_.delta;

@@ -48,6 +48,9 @@ class BootstrapMessage final : public Payload {
 
   std::size_t wire_bytes() const override;
   const char* type_name() const override { return "bootstrap"; }
+  const char* metric_tag() const override {
+    return is_request ? "bootstrap.request" : "bootstrap.answer";
+  }
 
   /// Total descriptors carried (excluding the sender descriptor).
   std::size_t entries() const { return ring_part.size() + prefix_part.size(); }
@@ -70,6 +73,9 @@ class ProbeMessage final : public Payload {
   explicit ProbeMessage(bool is_reply) : is_reply(is_reply) {}
   std::size_t wire_bytes() const override { return 1; }
   const char* type_name() const override { return "probe"; }
+  const char* metric_tag() const override {
+    return is_reply ? "probe.reply" : "probe.request";
+  }
   bool is_reply;
 };
 
@@ -138,6 +144,12 @@ class BootstrapProtocol final : public Protocol {
   BootstrapConfig config_;
   PeerSampler* sampler_;
   BootstrapStats* stats_;
+  // Engine-registry counters, cached at on_start. All instances on one
+  // engine share the same counters (registration is idempotent by name).
+  obs::Counter* ctr_requests_ = nullptr;
+  obs::Counter* ctr_replies_ = nullptr;
+  obs::Counter* ctr_select_peer_empty_ = nullptr;
+  obs::Counter* ctr_condemned_ = nullptr;
   SimTime start_delay_;
   NodeDescriptor self_{};
   std::optional<LeafSet> leaf_;

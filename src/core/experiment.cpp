@@ -4,6 +4,7 @@
 
 #include "common/assert.hpp"
 #include "common/logging.hpp"
+#include "sampling/graph_metrics.hpp"
 #include "sampling/oracle_sampler.hpp"
 
 namespace bsvc {
@@ -13,6 +14,10 @@ BootstrapExperiment::BootstrapExperiment(ExperimentConfig config) : config_(std:
   TransportConfig transport;
   transport.drop_probability = config_.drop_probability;
   engine_ = std::make_unique<Engine>(config_.seed, transport);
+  if (!config_.trace_path.empty()) {
+    trace_sink_ = std::make_unique<obs::JsonlTraceSink>(config_.trace_path);
+    engine_->set_trace_sink(trace_sink_.get());
+  }
   ids_ = std::make_unique<IdGenerator>(Rng(config_.seed ^ 0x1D8AF066EF5E2D3Cull));
   build_network();
 }
@@ -119,6 +124,37 @@ ExperimentResult BootstrapExperiment::run(
   std::optional<ConvergenceOracle> oracle;
   oracle.emplace(engine, config_.bootstrap, bootstrap_slot_);
 
+  if (config_.sample_every_cycles > 0) {
+    sampler_ = std::make_unique<obs::Sampler>(engine);
+    // Probes capture the local oracle by reference; the sampler is stopped
+    // (and dropped) before run() returns, so no closure outlives it.
+    sampler_->add_probe([&oracle, churn](Engine& e) {
+      obs::MetricsRegistry& m = e.metrics();
+      const ConvergenceMetrics cm = oracle->measure(churn);
+      m.gauge("convergence.leaf_completeness").set(1.0 - cm.missing_leaf_fraction());
+      m.gauge("convergence.prefix_fill").set(1.0 - cm.missing_prefix_fraction());
+      m.gauge("net.alive_nodes").set(static_cast<double>(e.alive_count()));
+      const TrafficStats& t = e.traffic();
+      m.gauge("traffic.messages_sent").set(static_cast<double>(t.messages_sent));
+      m.gauge("traffic.messages_dropped").set(static_cast<double>(t.messages_dropped));
+      m.gauge("traffic.messages_delivered").set(static_cast<double>(t.messages_delivered));
+      m.gauge("traffic.bytes_sent").set(static_cast<double>(t.bytes_sent));
+    });
+    if (config_.sampler == SamplerKind::Newscast) {
+      const ProtocolSlot nc_slot = newscast_slot();
+      sampler_->add_probe([nc_slot](Engine& e) {
+        const ViewGraphStats g = measure_view_graph(e, nc_slot);
+        obs::MetricsRegistry& m = e.metrics();
+        m.gauge("newscast.indegree_mean").set(g.indegree_mean);
+        m.gauge("newscast.indegree_stddev").set(g.indegree_stddev);
+        m.gauge("newscast.indegree_max").set(static_cast<double>(g.indegree_max));
+        m.gauge("newscast.dead_entry_fraction").set(g.dead_entry_fraction);
+      });
+    }
+    // First snapshot at the end of cycle 0, then every sample_every_cycles.
+    sampler_->start(delta, delta * config_.sample_every_cycles);
+  }
+
   for (std::size_t cycle = 0; cycle < config_.max_cycles; ++cycle) {
     engine.run_until(bootstrap_epoch_ + (cycle + 1) * delta);
     if (churn) oracle.emplace(engine, config_.bootstrap, bootstrap_slot_);
@@ -143,6 +179,13 @@ ExperimentResult BootstrapExperiment::run(
       if (config_.stop_at_convergence && !churn) break;
     }
   }
+
+  if (sampler_ != nullptr) {
+    sampler_->stop();
+    result.metric_series = sampler_->take_series();
+    sampler_.reset();
+  }
+  if (trace_sink_ != nullptr) trace_sink_->flush();
 
   result.bootstrap_stats = stats_;
   result.traffic_during_bootstrap = engine.traffic();

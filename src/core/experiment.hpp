@@ -13,6 +13,8 @@
 #include "core/config.hpp"
 #include "core/oracle.hpp"
 #include "id/id_generator.hpp"
+#include "obs/sampler.hpp"
+#include "obs/trace.hpp"
 #include "sampling/newscast.hpp"
 #include "sim/engine.hpp"
 #include "sim/scenario.hpp"
@@ -55,6 +57,15 @@ struct ExperimentConfig {
   /// independent pools, as in the merge scenarios. Heal with
   /// heal_partition(engine) when the pools "merge".
   std::vector<std::uint32_t> initial_groups;
+  /// When > 0, a Sampler snapshots the engine's metrics registry — plus
+  /// convergence and traffic gauges computed by probes — every this many
+  /// cycles during the bootstrap phase; the series lands in
+  /// ExperimentResult::metric_series. 0 disables sampling.
+  std::size_t sample_every_cycles = 0;
+  /// When non-empty, the engine streams every trace record (message sends /
+  /// drops / deliveries, timer fires, node starts and kills) as JSONL to
+  /// this path for the whole run including warmup. Empty disables tracing.
+  std::string trace_path;
 };
 
 struct ExperimentResult {
@@ -75,6 +86,9 @@ struct ExperimentResult {
   std::uint64_t events_dispatched = 0;
   /// Final metrics at the last measured cycle.
   ConvergenceMetrics final_metrics;
+  /// Per-metric time series (name -> [(virtual time, value)]) sampled during
+  /// the bootstrap phase; empty unless sample_every_cycles > 0.
+  obs::MetricSeries metric_series;
 };
 
 /// Builds and runs one bootstrap experiment. The object stays alive after
@@ -105,6 +119,11 @@ class BootstrapExperiment {
 
   ExperimentConfig config_;
   std::unique_ptr<Engine> engine_;
+  // Installed right after engine construction so node starts are traced.
+  // The engine never touches the sink while being destroyed, so the sink
+  // may safely be torn down first.
+  std::unique_ptr<obs::JsonlTraceSink> trace_sink_;
+  std::unique_ptr<obs::Sampler> sampler_;
   std::unique_ptr<IdGenerator> ids_;
   BootstrapStats stats_;
   ProtocolSlot bootstrap_slot_ = 1;

@@ -1,0 +1,100 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace bsvc::obs {
+
+HistogramMetric::HistogramMetric(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0) {
+  BSVC_CHECK(buckets > 0);
+  BSVC_CHECK(lo < hi);
+}
+
+void HistogramMetric::add(double x) {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto b = static_cast<std::ptrdiff_t>((x - lo_) / width);
+  b = std::clamp<std::ptrdiff_t>(b, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(b)];
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+}
+
+double HistogramMetric::bucket_lo(std::size_t b) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + static_cast<double>(b) * width;
+}
+
+void HistogramMetric::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = min_ = max_ = 0.0;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::entry_of(std::string_view name, MetricKind kind) {
+  const auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    BSVC_CHECK_MSG(it->second->kind == kind, "metric registered under a different kind");
+    return *it->second;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->kind = kind;
+  Entry& ref = *entry;
+  entries_.emplace(std::string(name), std::move(entry));
+  return ref;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  return entry_of(name, MetricKind::Counter).counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  return entry_of(name, MetricKind::Gauge).gauge;
+}
+
+HistogramMetric& MetricsRegistry::histogram(std::string_view name, double lo, double hi,
+                                            std::size_t buckets) {
+  Entry& entry = entry_of(name, MetricKind::Histogram);
+  if (entry.histogram == nullptr) {
+    entry.histogram = std::make_unique<HistogramMetric>(lo, hi, buckets);
+  }
+  return *entry.histogram;
+}
+
+void MetricsRegistry::reset() {
+  for (auto& [name, entry] : entries_) {
+    (void)name;
+    switch (entry->kind) {
+      case MetricKind::Counter: entry->counter.reset(); break;
+      case MetricKind::Gauge: entry->gauge.reset(); break;
+      case MetricKind::Histogram: entry->histogram->reset(); break;
+    }
+  }
+}
+
+void MetricsRegistry::snapshot(const std::function<void(const std::string&, double)>& emit) const {
+  for (const auto& [name, entry] : entries_) {
+    switch (entry->kind) {
+      case MetricKind::Counter:
+        emit(name, static_cast<double>(entry->counter.value()));
+        break;
+      case MetricKind::Gauge:
+        emit(name, entry->gauge.value());
+        break;
+      case MetricKind::Histogram:
+        emit(name + ".count", static_cast<double>(entry->histogram->count()));
+        emit(name + ".mean", entry->histogram->mean());
+        emit(name + ".max", entry->histogram->max());
+        break;
+    }
+  }
+}
+
+}  // namespace bsvc::obs

@@ -1,0 +1,87 @@
+// Periodic metrics sampler: snapshots an Engine's registry (plus optional
+// observer-computed probes) on a fixed virtual-time cadence, accumulating a
+// per-metric time series.
+//
+// Header-only by design: obs/ must not link against sim/ (the engine already
+// links obs for the registry and trace types), so the one piece that needs
+// Engine — scheduling itself via schedule_call — lives here and is compiled
+// into whoever uses it (experiments, benches, tests).
+//
+// Determinism: a running sampler only *adds* Call events to the queue. Those
+// consume insertion sequence numbers but never touch the engine or node RNG
+// streams, so the relative order of all simulation events — and therefore
+// every observable series — is unchanged. Golden-replay witnesses are run
+// with a sampler installed to pin this down.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "sim/engine.hpp"
+
+namespace bsvc::obs {
+
+class Sampler {
+ public:
+  /// A probe runs just before each snapshot and typically sets gauges from
+  /// observer state (convergence oracles, graph metrics, traffic counters).
+  using Probe = std::function<void(Engine&)>;
+
+  explicit Sampler(Engine& engine) : state_(std::make_shared<State>(engine)) {}
+
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  /// Destroying the sampler stops it; closures still queued in the engine
+  /// keep the shared state alive and become no-ops when they fire.
+  ~Sampler() { stop(); }
+
+  void add_probe(Probe probe) { state_->probes.push_back(std::move(probe)); }
+
+  /// Starts sampling: first snapshot at now() + first_delay, then every
+  /// `period` ticks until stop(). Call at most once.
+  void start(SimTime first_delay, SimTime period) {
+    state_->period = period;
+    state_->running = true;
+    schedule(state_, first_delay);
+  }
+
+  void stop() { state_->running = false; }
+  bool running() const { return state_->running; }
+
+  const MetricSeries& series() const { return state_->series; }
+  MetricSeries take_series() { return std::move(state_->series); }
+  std::size_t samples() const { return state_->samples; }
+
+ private:
+  struct State {
+    explicit State(Engine& e) : engine(e) {}
+    Engine& engine;
+    std::vector<Probe> probes;
+    MetricSeries series;
+    SimTime period = 0;
+    std::size_t samples = 0;
+    bool running = false;
+  };
+
+  static void schedule(const std::shared_ptr<State>& state, SimTime delay) {
+    state->engine.schedule_call(delay, [state](Engine& engine) {
+      if (!state->running) return;
+      for (const Probe& probe : state->probes) probe(engine);
+      const SimTime t = engine.now();
+      engine.metrics().snapshot([&](const std::string& name, double value) {
+        state->series.by_name[name].emplace_back(t, value);
+      });
+      ++state->samples;
+      if (state->period > 0) schedule(state, state->period);
+    });
+  }
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace bsvc::obs

@@ -1,0 +1,80 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace bsvc::obs {
+
+const char* trace_kind_name(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::Send: return "send";
+    case TraceKind::Drop: return "drop";
+    case TraceKind::DeadDest: return "dead";
+    case TraceKind::Deliver: return "deliver";
+    case TraceKind::TimerFire: return "timer";
+    case TraceKind::NodeStart: return "start";
+    case TraceKind::NodeKill: return "kill";
+  }
+  return "?";
+}
+
+std::size_t MemoryTraceSink::count(TraceKind kind) const {
+  return static_cast<std::size_t>(
+      std::count_if(records_.begin(), records_.end(),
+                    [kind](const TraceRecord& r) { return r.kind == kind; }));
+}
+
+JsonlTraceSink::JsonlTraceSink(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "w");
+  if (file_ == nullptr) {
+    BSVC_WARN("trace: cannot open '%s' for writing; tracing disabled", path.c_str());
+    return;
+  }
+  // Trace streams are tens of bytes per event; a fat stdio buffer keeps the
+  // per-record cost to a formatted append.
+  io_buffer_.resize(std::size_t{1} << 16);
+  std::setvbuf(file_, io_buffer_.data(), _IOFBF, io_buffer_.size());
+}
+
+JsonlTraceSink::~JsonlTraceSink() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void JsonlTraceSink::record(const TraceRecord& r) {
+  if (file_ == nullptr) return;
+  // Compact keys: t = virtual time, k = kind, n = node, p = peer, s = slot,
+  // m = payload metric tag, b/id/d = kind-dependent aux (bytes / timer id /
+  // start delay). Unused fields are omitted, so lines stay short.
+  switch (r.kind) {
+    case TraceKind::Send:
+    case TraceKind::Drop:
+    case TraceKind::DeadDest:
+    case TraceKind::Deliver:
+      std::fprintf(file_, "{\"t\":%llu,\"k\":\"%s\",\"n\":%u,\"p\":%u,\"s\":%u,\"m\":\"%s\",\"b\":%llu}\n",
+                   static_cast<unsigned long long>(r.time), trace_kind_name(r.kind), r.node,
+                   r.peer, r.slot, r.tag != nullptr ? r.tag : "?",
+                   static_cast<unsigned long long>(r.aux));
+      break;
+    case TraceKind::TimerFire:
+      std::fprintf(file_, "{\"t\":%llu,\"k\":\"timer\",\"n\":%u,\"s\":%u,\"id\":%llu}\n",
+                   static_cast<unsigned long long>(r.time), r.node, r.slot,
+                   static_cast<unsigned long long>(r.aux));
+      break;
+    case TraceKind::NodeStart:
+      std::fprintf(file_, "{\"t\":%llu,\"k\":\"start\",\"n\":%u,\"d\":%llu}\n",
+                   static_cast<unsigned long long>(r.time), r.node,
+                   static_cast<unsigned long long>(r.aux));
+      break;
+    case TraceKind::NodeKill:
+      std::fprintf(file_, "{\"t\":%llu,\"k\":\"kill\",\"n\":%u}\n",
+                   static_cast<unsigned long long>(r.time), r.node);
+      break;
+  }
+}
+
+void JsonlTraceSink::flush() {
+  if (file_ != nullptr) std::fflush(file_);
+}
+
+}  // namespace bsvc::obs

@@ -71,6 +71,9 @@ class ChordMessage final : public Payload {
 
   std::size_t wire_bytes() const override;
   const char* type_name() const override { return "chord"; }
+  const char* metric_tag() const override {
+    return is_request ? "chord.request" : "chord.answer";
+  }
 
   NodeDescriptor sender;
   DescriptorList ring_part;

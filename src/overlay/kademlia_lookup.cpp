@@ -97,13 +97,20 @@ KademliaStats KademliaLookup::run_lookups(const ConvergenceOracle& oracle, Rng& 
   KademliaStats stats;
   const auto& members = oracle.sorted_members();
   BSVC_CHECK(!members.empty());
+  obs::MetricsRegistry& metrics = engine_.metrics();
+  obs::Counter& ctr_attempted = metrics.counter("lookup.kademlia.attempted");
+  obs::Counter& ctr_exact = metrics.counter("lookup.kademlia.exact");
   double query_sum = 0.0;
   for (std::size_t i = 0; i < lookups; ++i) {
     const Address origin = members[rng.below(members.size())].addr;
     const NodeId target = rng.next_u64();
     const KademliaResult r = find_node(origin, target, oracle);
     ++stats.attempted;
-    if (r.exact) ++stats.exact;
+    ctr_attempted.inc();
+    if (r.exact) {
+      ++stats.exact;
+      ctr_exact.inc();
+    }
     query_sum += static_cast<double>(r.queries);
   }
   stats.avg_queries =

@@ -117,16 +117,28 @@ LookupStats PastryRouter::run_lookups(const ConvergenceOracle& oracle, Rng& rng,
   LookupStats stats;
   const auto& members = oracle.sorted_members();
   BSVC_CHECK(!members.empty());
+  // Registry counters aggregate across calls; the LookupStats return value
+  // stays per-call. The engine registry is mutable through const (see
+  // Engine::metrics()).
+  obs::MetricsRegistry& metrics = engine_.metrics();
+  obs::Counter& ctr_attempted = metrics.counter("lookup.pastry.attempted");
+  obs::Counter& ctr_correct = metrics.counter("lookup.pastry.correct");
+  obs::HistogramMetric& hops_hist = metrics.histogram("lookup.pastry.hops", 0.0, 32.0, 32);
   double hop_sum = 0.0;
   for (std::size_t i = 0; i < lookups; ++i) {
     const Address start = members[rng.below(members.size())].addr;
     const NodeId key = rng.next_u64();
     const RouteResult r = route(start, key, oracle);
     ++stats.attempted;
+    ctr_attempted.inc();
     if (r.delivered) {
       ++stats.delivered;
-      if (r.correct) ++stats.correct;
+      if (r.correct) {
+        ++stats.correct;
+        ctr_correct.inc();
+      }
       hop_sum += static_cast<double>(r.hops());
+      hops_hist.add(static_cast<double>(r.hops()));
       stats.max_hops = std::max(stats.max_hops, r.hops());
     }
   }

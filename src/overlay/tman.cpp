@@ -69,6 +69,7 @@ TManProtocol::TManProtocol(TManConfig config, RankingFunction ranking, PeerSampl
 
 void TManProtocol::on_start(Context& ctx) {
   self_ = {ctx.self_id(), ctx.self()};
+  ctr_exchanges_ = &ctx.engine().metrics().counter("tman.exchanges");
   ctx.schedule_timer(start_delay_, kInitTimer);
 }
 
@@ -99,6 +100,7 @@ void TManProtocol::active_step(Context& ctx) {
   const NodeDescriptor peer = view_[ctx.rng().below(span)];
   ctx.send(peer.addr, std::make_unique<TManMessage>(self_, select_for(peer.id),
                                                     /*is_request=*/true));
+  ctr_exchanges_->inc();
 }
 
 DescriptorList TManProtocol::select_for(NodeId peer_id) const {

@@ -52,6 +52,9 @@ class TManMessage final : public Payload {
       : sender(sender), entries(std::move(entries)), is_request(is_request) {}
   std::size_t wire_bytes() const override;
   const char* type_name() const override { return "tman"; }
+  const char* metric_tag() const override {
+    return is_request ? "tman.request" : "tman.answer";
+  }
 
   NodeDescriptor sender;
   DescriptorList entries;
@@ -101,6 +104,8 @@ class TManProtocol final : public Protocol {
   NodeDescriptor self_{};
   DescriptorList view_;
   bool started_ = false;
+  // Engine-registry counter ("tman.exchanges"), cached at on_start.
+  obs::Counter* ctr_exchanges_ = nullptr;
 };
 
 /// Ground truth and metric for a T-Man run: fraction of true m-nearest

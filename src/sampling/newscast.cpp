@@ -29,6 +29,7 @@ void NewscastProtocol::add_contact(const NodeDescriptor& contact, SimTime now) {
 void NewscastProtocol::on_start(Context& ctx) {
   self_ = {ctx.self_id(), ctx.self()};
   rng_ = &ctx.rng();
+  ctr_exchanges_ = &ctx.engine().metrics().counter("newscast.exchanges");
   started_ = true;
   view_.clear();
   for (const auto& seed : pending_seeds_) {
@@ -47,6 +48,7 @@ void NewscastProtocol::on_timer(Context& ctx, std::uint64_t timer_id) {
   if (!view_.empty()) {
     const auto& peer = view_[ctx.rng().below(view_.size())].descriptor;
     ctx.send(peer.addr, std::make_unique<NewscastMessage>(outgoing(ctx), /*is_request=*/true));
+    ctr_exchanges_->inc();
   }
   ctx.schedule_timer(config_.period, kGossipTimer);
 }

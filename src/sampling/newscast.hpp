@@ -34,6 +34,9 @@ class NewscastMessage final : public Payload {
     return 2 + entries.size() * (kDescriptorWireBytes + 4) + 1;
   }
   const char* type_name() const override { return "newscast"; }
+  const char* metric_tag() const override {
+    return is_request ? "newscast.request" : "newscast.answer";
+  }
 
   std::vector<TimestampedDescriptor> entries;
   bool is_request;
@@ -90,6 +93,8 @@ class NewscastProtocol final : public Protocol, public PeerSampler {
   bool started_ = false;
   // Cached context bits for sample(); set on first callback.
   Rng* rng_ = nullptr;
+  // Engine-registry counter ("newscast.exchanges"), cached at on_start.
+  obs::Counter* ctr_exchanges_ = nullptr;
 };
 
 }  // namespace bsvc

@@ -1,6 +1,9 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <cstring>
+#include <string>
+#include <utility>
 
 #include "common/assert.hpp"
 #include "common/logging.hpp"
@@ -50,11 +53,36 @@ ProtocolSlot Engine::attach(Address addr, std::unique_ptr<Protocol> protocol) {
   return static_cast<ProtocolSlot>(node.stack.size() - 1);
 }
 
+Engine::TypeCounters& Engine::counters_for(const char* tag) {
+  // Tags are per-class string literals, so pointer equality almost always
+  // hits; the strcmp fallback catches a literal duplicated across TUs. The
+  // table has one entry per payload type in flight — single digits — so a
+  // linear scan beats any hash on this path.
+  for (TypeCounters& tc : type_counters_) {
+    if (tc.tag == tag || std::strcmp(tc.tag, tag) == 0) return tc;
+  }
+  const std::string name(tag);
+  TypeCounters tc;
+  tc.tag = tag;
+  tc.sent = &metrics_.counter("msg.sent." + name);
+  tc.delivered = &metrics_.counter("msg.delivered." + name);
+  type_counters_.push_back(tc);
+  return type_counters_.back();
+}
+
 void Engine::start_node(Address addr, SimTime delay) {
   Node& node = node_at(addr);
   if (!node.alive) {
     node.alive = true;
     ++alive_count_;
+  }
+  if (trace_ != nullptr) {
+    obs::TraceRecord r;
+    r.time = now_;
+    r.kind = obs::TraceKind::NodeStart;
+    r.node = addr;
+    r.aux = delay;
+    trace_->record(r);
   }
   for (ProtocolSlot slot = 0; slot < node.stack.size(); ++slot) {
     SlimEvent ev;
@@ -71,6 +99,13 @@ void Engine::kill_node(Address addr) {
   if (node.alive) {
     node.alive = false;
     --alive_count_;
+    if (trace_ != nullptr) {
+      obs::TraceRecord r;
+      r.time = now_;
+      r.kind = obs::TraceKind::NodeKill;
+      r.node = addr;
+      trace_->record(r);
+    }
   }
 }
 
@@ -103,13 +138,17 @@ void Engine::send_message(Address from, Address to, ProtocolSlot slot,
   BSVC_CHECK_MSG(to < nodes_.size(), "send to unknown address");
   ++traffic_.messages_sent;
   traffic_.bytes_sent += payload->wire_bytes() + kUdpIpHeaderBytes;
+  counters_for(payload->metric_tag()).sent->inc();
+  if (trace_ != nullptr) trace_message(obs::TraceKind::Send, from, to, slot, *payload);
 
   if (link_filter_ && !link_filter_(from, to)) {
     ++traffic_.messages_dropped;
+    if (trace_ != nullptr) trace_message(obs::TraceKind::Drop, from, to, slot, *payload);
     return;
   }
   if (rng_.chance(transport_.drop_probability)) {
     ++traffic_.messages_dropped;
+    if (trace_ != nullptr) trace_message(obs::TraceKind::Drop, from, to, slot, *payload);
     return;
   }
   SimTime latency;
@@ -183,7 +222,12 @@ void Engine::dispatch(const SlimEvent& ev) {
   }
   Node& node = node_at(ev.addr);
   if (!node.alive) {
-    if (ev.kind == EventKind::Message) ++traffic_.messages_to_dead;
+    if (ev.kind == EventKind::Message) {
+      ++traffic_.messages_to_dead;
+      if (trace_ != nullptr) {
+        trace_message(obs::TraceKind::DeadDest, ev.from, ev.addr, ev.slot, *payload);
+      }
+    }
     return;  // dead nodes neither receive nor act
   }
   BSVC_CHECK(ev.slot < node.stack.size());
@@ -193,17 +237,34 @@ void Engine::dispatch(const SlimEvent& ev) {
       node.stack[ev.slot]->on_start(ctx);
       break;
     case EventKind::Timer:
+      if (trace_ != nullptr) {
+        obs::TraceRecord r;
+        r.time = now_;
+        r.kind = obs::TraceKind::TimerFire;
+        r.node = ev.addr;
+        r.slot = ev.slot;
+        r.aux = ev.aux;
+        trace_->record(r);
+      }
       node.stack[ev.slot]->on_timer(ctx, ev.aux);
       break;
     case EventKind::Message:
       if (transcoder_) {
-        payload = transcoder_(*payload);
-        if (payload == nullptr) {
+        auto decoded = transcoder_(*payload);
+        if (decoded == nullptr) {
           ++traffic_.messages_dropped;
+          if (trace_ != nullptr) {
+            trace_message(obs::TraceKind::Drop, ev.from, ev.addr, ev.slot, *payload);
+          }
           break;
         }
+        payload = std::move(decoded);
       }
       ++traffic_.messages_delivered;
+      counters_for(payload->metric_tag()).delivered->inc();
+      if (trace_ != nullptr) {
+        trace_message(obs::TraceKind::Deliver, ev.from, ev.addr, ev.slot, *payload);
+      }
       node.stack[ev.slot]->on_message(ctx, ev.from, *payload);
       break;
     case EventKind::Call:

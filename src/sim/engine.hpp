@@ -15,6 +15,8 @@
 #include "common/rng.hpp"
 #include "id/descriptor.hpp"
 #include "id/node_id.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/payload.hpp"
 #include "sim/protocol.hpp"
@@ -107,6 +109,19 @@ class Engine {
   const TrafficStats& traffic() const { return traffic_; }
   void reset_traffic() { traffic_ = {}; }
 
+  /// The engine-owned metrics registry (counters, gauges, histograms; see
+  /// docs/observability.md for the naming scheme). Per-engine ownership keeps
+  /// parallel bench replicas isolated. Const-qualified observers (oracles,
+  /// routers) may record into it: metric state is measurement metadata and
+  /// never feeds back into the simulation.
+  obs::MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Installs a trace sink (nullptr uninstalls). The sink only observes:
+  /// with or without one, the simulation is bit-identical. The caller keeps
+  /// ownership and must keep the sink alive while installed.
+  void set_trace_sink(obs::TraceSink* sink) { trace_ = sink; }
+  obs::TraceSink* trace_sink() const { return trace_; }
+
   /// Total events dispatched since construction (messages, timers, starts
   /// and calls). Benches report throughput as events/second against this.
   std::uint64_t events_dispatched() const { return events_dispatched_; }
@@ -163,6 +178,30 @@ class Engine {
   void dispatch(const SlimEvent& ev);
   void push(SlimEvent ev);
 
+  /// Per-payload-tag counters ("msg.sent.<tag>" / "msg.delivered.<tag>").
+  /// Tags are class-owned string literals, so the common case is a pointer
+  /// compare over a handful of entries; a strcmp fallback catches literals
+  /// duplicated across translation units.
+  struct TypeCounters {
+    const char* tag;
+    obs::Counter* sent;
+    obs::Counter* delivered;
+  };
+  TypeCounters& counters_for(const char* tag);
+
+  void trace_message(obs::TraceKind kind, Address from, Address to, ProtocolSlot slot,
+                     const Payload& payload) {
+    obs::TraceRecord r;
+    r.time = now_;
+    r.kind = kind;
+    r.node = (kind == obs::TraceKind::Send || kind == obs::TraceKind::Drop) ? from : to;
+    r.peer = (kind == obs::TraceKind::Send || kind == obs::TraceKind::Drop) ? to : from;
+    r.slot = slot;
+    r.tag = payload.metric_tag();
+    r.aux = payload.wire_bytes() + kUdpIpHeaderBytes;
+    trace_->record(r);
+  }
+
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_dispatched_ = 0;
@@ -183,6 +222,11 @@ class Engine {
   std::function<bool(Address, Address)> link_filter_;
   std::function<std::unique_ptr<Payload>(const Payload&)> transcoder_;
   LatencyModel latency_model_;
+  // Mutable: observers holding `const Engine&` record measurements; metric
+  // state never feeds back into event ordering or RNG streams.
+  mutable obs::MetricsRegistry metrics_;
+  obs::TraceSink* trace_ = nullptr;
+  std::vector<TypeCounters> type_counters_;
 };
 
 }  // namespace bsvc

@@ -24,6 +24,13 @@ class Payload {
 
   /// Static type tag for logging and debugging.
   virtual const char* type_name() const = 0;
+
+  /// Metric tag under which the engine counts this payload ("msg.sent.<tag>"
+  /// and "msg.delivered.<tag>"; also the `m` field of trace records).
+  /// Override to split one C++ type into semantic sub-streams (e.g. a gossip
+  /// message reporting "newscast.request" vs "newscast.answer"). Must return
+  /// a string literal (or other storage outliving the engine).
+  virtual const char* metric_tag() const { return type_name(); }
 };
 
 }  // namespace bsvc

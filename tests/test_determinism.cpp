@@ -8,7 +8,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "bench/bench_common.hpp"
@@ -198,6 +201,17 @@ struct Golden {
   std::uint64_t bytes_sent;
 };
 
+/// check.sh sets BSVC_GOLDEN_OBS to a scratch directory to replay every
+/// witness with tracing and per-cycle sampling enabled (the sinks must only
+/// observe — the witnesses have to hold either way). Unset, the replays run
+/// observability-free, exactly as recorded.
+void apply_env_obs(ExperimentConfig& cfg, const char* name) {
+  const char* dir = std::getenv("BSVC_GOLDEN_OBS");
+  if (dir == nullptr) return;
+  cfg.sample_every_cycles = 1;
+  cfg.trace_path = std::string(dir) + "/" + name + ".jsonl";
+}
+
 void expect_golden(const ExperimentResult& r, const Golden& g) {
   EXPECT_EQ(series_hash(r), g.hash);
   EXPECT_EQ(r.series.rows(), g.rows);
@@ -212,6 +226,7 @@ TEST(GoldenReplay, Plain256) {
   cfg.n = 256;
   cfg.seed = 42;
   cfg.max_cycles = 40;
+  apply_env_obs(cfg, "plain256");
   BootstrapExperiment exp(cfg);
   expect_golden(exp.run(), {.hash = 0x4fd410ac51ff9763ull,
                             .rows = 7,
@@ -228,6 +243,7 @@ TEST(GoldenReplay, Drop256) {
   cfg.max_cycles = 25;
   cfg.drop_probability = 0.2;
   cfg.stop_at_convergence = false;
+  apply_env_obs(cfg, "drop256");
   BootstrapExperiment exp(cfg);
   const auto r = exp.run();
   expect_golden(r, {.hash = 0x146abb8d145bddbfull,
@@ -247,6 +263,7 @@ TEST(GoldenReplay, Churn256) {
   cfg.stop_at_convergence = false;
   cfg.churn_fail_rate = 0.01;
   cfg.churn_join_rate = 0.01;
+  apply_env_obs(cfg, "churn256");
   BootstrapExperiment exp(cfg);
   expect_golden(exp.run(), {.hash = 0x5a09264610376997ull,
                             .rows = 20,
@@ -254,6 +271,29 @@ TEST(GoldenReplay, Churn256) {
                             .messages_sent = 19638,
                             .messages_delivered = 19029,
                             .bytes_sent = 14979520});
+}
+
+TEST(GoldenReplay, Plain256WithTracingAttached) {
+  // The observability layer must be a pure observer: the Plain256 witness
+  // holds bit-for-bit with a JSONL trace sink and a per-cycle sampler
+  // attached for the whole run.
+  ExperimentConfig cfg;
+  cfg.n = 256;
+  cfg.seed = 42;
+  cfg.max_cycles = 40;
+  cfg.sample_every_cycles = 1;
+  const std::string trace_path = ::testing::TempDir() + "/golden_plain256_traced.jsonl";
+  cfg.trace_path = trace_path;
+  BootstrapExperiment exp(cfg);
+  const auto r = exp.run();
+  expect_golden(r, {.hash = 0x4fd410ac51ff9763ull,
+                    .rows = 7,
+                    .converged = 6,
+                    .messages_sent = 7047,
+                    .messages_delivered = 7012,
+                    .bytes_sent = 5180079});
+  EXPECT_FALSE(r.metric_series.empty());
+  std::remove(trace_path.c_str());
 }
 
 }  // namespace

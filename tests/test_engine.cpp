@@ -229,6 +229,56 @@ TEST(Engine, AliveAddressesMatchesLiveness) {
   }
 }
 
+/// Request/answer pair with distinct metric tags; answers every request.
+class PingPayload final : public Payload {
+ public:
+  explicit PingPayload(bool request) : request_(request) {}
+  std::size_t wire_bytes() const override { return 12; }
+  const char* type_name() const override { return "ping"; }
+  const char* metric_tag() const override { return request_ ? "ping.request" : "ping.answer"; }
+  bool is_request() const { return request_; }
+
+ private:
+  bool request_;
+};
+
+class PingProtocol final : public Protocol {
+ public:
+  void on_message(Context& ctx, Address from, const Payload& p) override {
+    if (dynamic_cast<const PingPayload&>(p).is_request()) {
+      ctx.send(from, std::make_unique<PingPayload>(false));
+    }
+  }
+};
+
+TEST(Engine, PerTypeCountersBalanceRequestsAndAnswers) {
+  Engine e(3);
+  const Address a = e.add_node(1);
+  const Address b = e.add_node(2);
+  e.attach(a, std::make_unique<PingProtocol>());
+  e.attach(b, std::make_unique<PingProtocol>());
+  e.start_node(a);
+  e.start_node(b);
+  constexpr std::uint64_t kRequests = 250;
+  for (std::uint64_t i = 0; i < kRequests; ++i) {
+    e.send_message(a, b, 0, std::make_unique<PingPayload>(true));
+  }
+  e.run_all();
+  auto& m = e.metrics();
+  // Lossless transport: every request is delivered and answered, and the
+  // per-type registry counters reconcile exactly with the aggregate stats.
+  EXPECT_EQ(m.counter("msg.sent.ping.request").value(), kRequests);
+  EXPECT_EQ(m.counter("msg.delivered.ping.request").value(), kRequests);
+  EXPECT_EQ(m.counter("msg.sent.ping.answer").value(), kRequests);
+  EXPECT_EQ(m.counter("msg.delivered.ping.answer").value(), kRequests);
+  EXPECT_EQ(m.counter("msg.sent.ping.request").value() +
+                m.counter("msg.sent.ping.answer").value(),
+            e.traffic().messages_sent);
+  EXPECT_EQ(m.counter("msg.delivered.ping.request").value() +
+                m.counter("msg.delivered.ping.answer").value(),
+            e.traffic().messages_delivered);
+}
+
 TEST(EngineDeathTest, BadAddressAborts) {
   Engine e(1);
   EXPECT_DEATH(e.id_of(5), "address out of range");

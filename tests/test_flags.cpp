@@ -4,6 +4,9 @@
 
 #include <vector>
 
+#include "bench/bench_common.hpp"
+#include "common/logging.hpp"
+
 namespace bsvc {
 namespace {
 
@@ -62,6 +65,37 @@ TEST(Flags, NegativeNumbers) {
   const Flags f = make_flags({"--offset=-5", "--scale=-0.5"});
   EXPECT_EQ(f.get_int("offset", 0), -5);
   EXPECT_DOUBLE_EQ(f.get_double("scale", 0.0), -0.5);
+}
+
+TEST(LogLevel, ParseAcceptsEveryLevel) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::Debug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::Info);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::Warn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::Error);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::Off);
+}
+
+TEST(LogLevel, ParseRejectsUnknownNames) {
+  EXPECT_EQ(parse_log_level("bogus"), std::nullopt);
+  EXPECT_EQ(parse_log_level(""), std::nullopt);
+  EXPECT_EQ(parse_log_level("WARN"), std::nullopt);  // case-sensitive
+}
+
+TEST(LogLevel, BenchFlagAppliesValidLevel) {
+  const LogLevel before = log_level();
+  const Flags f = make_flags({"--log-level=debug"});
+  bench::apply_log_level_flag(f);
+  EXPECT_EQ(log_level(), LogLevel::Debug);
+  set_log_level(before);
+}
+
+TEST(FlagsDeathTest, BogusLogLevelIsAFlagError) {
+  EXPECT_EXIT(
+      {
+        const Flags f = make_flags({"--log-level=bogus"});
+        bench::apply_log_level_flag(f);
+      },
+      testing::ExitedWithCode(2), "invalid --log-level");
 }
 
 TEST(FlagsDeathTest, UnknownFlagRejectedByFinish) {
