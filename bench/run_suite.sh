@@ -26,6 +26,7 @@ benches=(
   proximity_k
   massive_join
   merge_split
+  partition_heal
   newscast_service
 )
 

@@ -1,19 +1,33 @@
 #!/usr/bin/env bash
-# Sanitizer gate: configures a second build tree with Address- and
-# UB-Sanitizer, builds everything and runs the tier-1 test suite under it.
-# Catches lifetime bugs (e.g. in the event queue's slot pools and the thread
-# pool) that the plain build cannot.
+# Sanitizer gate: configures a second build tree under the chosen sanitizer,
+# builds everything and runs the tier-1 test suite under it. Catches lifetime
+# bugs (e.g. in the event queue's slot pools and the thread pool) that the
+# plain build cannot.
 #
-# Usage: scripts/check.sh [build_dir]   (default: build-asan)
+# Usage: scripts/check.sh [build_dir] [sanitizer]
+#   build_dir  defaults to build-<sanitizer>
+#   sanitizer  asan  -> -fsanitize=address,undefined   (the default)
+#              ubsan -> -fsanitize=undefined only; catches the same UB with
+#                       far less memory overhead, and runs where ASan cannot
+#                       (e.g. ptrace/ASLR-restricted CI runners)
 set -euo pipefail
 
-build_dir="${1:-build-asan}"
+sanitizer="${2:-asan}"
+case "${sanitizer}" in
+  asan)  san_flags="address,undefined" ;;
+  ubsan) san_flags="undefined" ;;
+  *)
+    echo "unknown sanitizer '${sanitizer}' (expected asan or ubsan)" >&2
+    exit 2
+    ;;
+esac
+build_dir="${1:-build-${sanitizer}}"
 jobs="$(nproc 2>/dev/null || echo 2)"
 
 cmake -B "${build_dir}" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer" \
-  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+  -DCMAKE_CXX_FLAGS="-fsanitize=${san_flags} -fno-sanitize-recover=all -fno-omit-frame-pointer" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=${san_flags}"
 
 cmake --build "${build_dir}" -j "${jobs}"
 
@@ -21,7 +35,7 @@ ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
 
 # Second pass over the golden-replay witnesses with the observability layer
 # fully enabled (JSONL trace sink + per-cycle sampler): the witnesses must
-# hold bit-for-bit, and the sink/sampler code paths run under ASan/UBSan.
+# hold bit-for-bit, and the sink/sampler code paths run under the sanitizer.
 obs_dir="$(mktemp -d)"
 trap 'rm -rf "${obs_dir}"' EXIT
 BSVC_GOLDEN_OBS="${obs_dir}" \

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over BENCH_*.json reports.
+
+Compares each current report against its committed baseline (same file name)
+and fails when `events_per_sec` regressed by more than the tolerance
+(default 25%; override with --tolerance or the BSVC_BENCH_TOLERANCE env var,
+both as a fraction, e.g. 0.25). Benches present on only one side are
+reported but never fail the gate, so adding a bench does not require
+regenerating every baseline in the same commit.
+
+Usage: scripts/compare_bench.py <baseline_dir> <current_dir> [--tolerance F]
+
+Exit status: 0 = no regression, 1 = at least one bench regressed,
+2 = usage / unreadable input.
+"""
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+
+def load_reports(directory: Path) -> dict:
+    """Maps file name -> parsed report for every BENCH_*.json in `directory`."""
+    reports = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        try:
+            with open(path, encoding="utf-8") as f:
+                reports[path.name] = json.load(f)
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"error: cannot read {path}: {err}", file=sys.stderr)
+            sys.exit(2)
+    return reports
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline_dir", type=Path)
+    parser.add_argument("current_dir", type=Path)
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("BSVC_BENCH_TOLERANCE", "0.25")),
+        help="allowed fractional events_per_sec drop (default 0.25)",
+    )
+    args = parser.parse_args()
+    for d in (args.baseline_dir, args.current_dir):
+        if not d.is_dir():
+            print(f"error: {d} is not a directory", file=sys.stderr)
+            return 2
+
+    baseline = load_reports(args.baseline_dir)
+    current = load_reports(args.current_dir)
+    if not baseline:
+        print(f"error: no BENCH_*.json in {args.baseline_dir}", file=sys.stderr)
+        return 2
+
+    failed = False
+    for name in sorted(set(baseline) | set(current)):
+        if name not in current:
+            print(f"{name}: only in baseline (bench removed?) -- skipped")
+            continue
+        if name not in baseline:
+            print(f"{name}: no baseline yet -- skipped")
+            continue
+        base_eps = float(baseline[name].get("events_per_sec", 0.0))
+        cur_eps = float(current[name].get("events_per_sec", 0.0))
+        if base_eps <= 0.0:
+            print(f"{name}: baseline has no events_per_sec -- skipped")
+            continue
+        ratio = cur_eps / base_eps
+        verdict = "OK"
+        if ratio < 1.0 - args.tolerance:
+            verdict = f"REGRESSION (> {args.tolerance:.0%} drop)"
+            failed = True
+        print(
+            f"{name}: baseline {base_eps:,.0f} ev/s, current {cur_eps:,.0f} ev/s "
+            f"({ratio - 1.0:+.1%}) {verdict}"
+        )
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

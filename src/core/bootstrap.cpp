@@ -37,6 +37,7 @@ void BootstrapProtocol::on_start(Context& ctx) {
   ctr_replies_ = &metrics.counter("bootstrap.replies");
   ctr_select_peer_empty_ = &metrics.counter("bootstrap.select_peer_empty");
   ctr_condemned_ = &metrics.counter("bootstrap.condemned");
+  ctr_exchange_timeout_ = &metrics.counter("bootstrap.exchange_timeout");
   ctx.schedule_timer(start_delay_, kInitTimer);
 }
 
@@ -57,8 +58,24 @@ void BootstrapProtocol::on_timer(Context& ctx, std::uint64_t timer_id) {
       ctx.schedule_timer(config_.delta, kActiveTimer);
       break;
     default:
+      if (timer_id > kExchangeTimeoutBase) {
+        on_exchange_timeout(ctx, timer_id - kExchangeTimeoutBase);
+        break;
+      }
       BSVC_CHECK_MSG(false, "unknown timer");
   }
+}
+
+void BootstrapProtocol::on_exchange_timeout(Context& ctx, std::uint64_t seq) {
+  // Only the newest exchange counts: a stale timer means the peer answered
+  // or a later exchange replaced it.
+  if (seq != exchange_seq_ || probe_answered_ || probe_peer_.addr == kNullAddress) return;
+  if (!active()) return;
+  now_ = ctx.now();
+  if (ctr_exchange_timeout_ != nullptr) ctr_exchange_timeout_->inc();
+  // Demote the silent peer into the probing path: SELECTPEER skips it until
+  // it answers, and kProbeAttempts silent probes condemn it.
+  send_probe(ctx, probe_peer_);
 }
 
 void BootstrapProtocol::init_tables(Context& /*ctx*/) {
@@ -97,6 +114,12 @@ void BootstrapProtocol::active_step(Context& ctx) {
   probe_peer_ = *peer;
   probe_answered_ = false;
   ctx.send(peer->addr, std::move(msg));
+  if (config_.evict_unresponsive) {
+    const SimTime timeout =
+        config_.exchange_timeout != 0 ? config_.exchange_timeout : config_.delta / 2;
+    ++exchange_seq_;
+    ctx.schedule_timer(timeout, kExchangeTimeoutBase + exchange_seq_);
+  }
 }
 
 void BootstrapProtocol::maintenance_step(Context& ctx) {
@@ -122,21 +145,9 @@ void BootstrapProtocol::maintenance_step(Context& ctx) {
   for (auto it = tombstones_.begin(); it != tombstones_.end();) {
     it = it->second <= now ? tombstones_.erase(it) : std::next(it);
   }
-  const auto already_probing = [this](Address addr) {
-    for (const auto& p : outstanding_probes_) {
-      if (p.target.addr == addr) return true;
-    }
-    return false;
-  };
-  const auto send_probe = [&](const NodeDescriptor& target) {
-    if (target.addr == kNullAddress || already_probing(target.addr)) return;
-    outstanding_probes_.push_back({target, now, 1});
-    ctx.send(target.addr, std::make_unique<ProbeMessage>(/*is_reply=*/false));
-  };
-
   // 1b. An unanswered gossip exchange is a liveness hint: verify via the
   // retrying probe path instead of condemning outright.
-  if (!probe_answered_ && probe_peer_.addr != kNullAddress) send_probe(probe_peer_);
+  if (!probe_answered_ && probe_peer_.addr != kNullAddress) send_probe(ctx, probe_peer_);
 
   // 2. Ping the least-recently-heard leaf entry (never-heard first) — this
   // sweeps the whole leaf set within ~c cycles.
@@ -151,7 +162,7 @@ void BootstrapProtocol::maintenance_step(Context& ctx) {
         lru = d;
       }
     }
-    if (lru.addr != kNullAddress && now - oldest >= config_.delta) send_probe(lru);
+    if (lru.addr != kNullAddress && now - oldest >= config_.delta) send_probe(ctx, lru);
   }
 
   // 3. Sweep a few prefix entries per cycle (round-robin cursor), so stale
@@ -162,8 +173,21 @@ void BootstrapProtocol::maintenance_step(Context& ctx) {
     prefix_probe_cursor_ = (prefix_probe_cursor_ + 1) % entries.size();
     const NodeDescriptor& d = entries[prefix_probe_cursor_];
     const auto it = last_heard_.find(d.addr);
-    if (it == last_heard_.end() || now - it->second >= 2 * config_.delta) send_probe(d);
+    if (it == last_heard_.end() || now - it->second >= 2 * config_.delta) send_probe(ctx, d);
   }
+}
+
+bool BootstrapProtocol::already_probing(Address addr) const {
+  for (const auto& p : outstanding_probes_) {
+    if (p.target.addr == addr) return true;
+  }
+  return false;
+}
+
+void BootstrapProtocol::send_probe(Context& ctx, const NodeDescriptor& target) {
+  if (target.addr == kNullAddress || already_probing(target.addr)) return;
+  outstanding_probes_.push_back({target, ctx.now(), 1});
+  ctx.send(target.addr, std::make_unique<ProbeMessage>(/*is_reply=*/false));
 }
 
 std::optional<NodeDescriptor> BootstrapProtocol::select_peer(Context& ctx) {
@@ -179,6 +203,23 @@ std::optional<NodeDescriptor> BootstrapProtocol::select_peer(Context& ctx) {
   const std::size_t ns = succ.empty() ? 0 : std::max<std::size_t>(1, succ.size() / 2);
   const std::size_t np = pred.empty() ? 0 : std::max<std::size_t>(1, pred.size() / 2);
   if (ns + np == 0) return std::nullopt;
+  if (config_.evict_unresponsive && !outstanding_probes_.empty()) {
+    // Demotion: suspected peers (probe outstanding) are skipped, so the
+    // active thread stops burning exchanges on a partitioned or dark peer.
+    // If every near-half candidate is suspected, fall through to the plain
+    // pick — suspicion may be wrong, and gossiping anyway is the recovery.
+    DescriptorList candidates;
+    candidates.reserve(ns + np);
+    for (std::size_t i = 0; i < ns; ++i) {
+      if (!already_probing(succ[i].addr)) candidates.push_back(succ[i]);
+    }
+    for (std::size_t i = 0; i < np; ++i) {
+      if (!already_probing(pred[i].addr)) candidates.push_back(pred[i]);
+    }
+    if (!candidates.empty()) {
+      return candidates[ctx.rng().below(candidates.size())];
+    }
+  }
   const std::size_t pick = ctx.rng().below(ns + np);
   return pick < ns ? succ[pick] : pred[pick - ns];
 }

@@ -51,6 +51,9 @@ class BootstrapMessage final : public Payload {
   const char* metric_tag() const override {
     return is_request ? "bootstrap.request" : "bootstrap.answer";
   }
+  std::unique_ptr<Payload> clone() const override {
+    return std::make_unique<BootstrapMessage>(*this);
+  }
 
   /// Total descriptors carried (excluding the sender descriptor).
   std::size_t entries() const { return ring_part.size() + prefix_part.size(); }
@@ -75,6 +78,9 @@ class ProbeMessage final : public Payload {
   const char* type_name() const override { return "probe"; }
   const char* metric_tag() const override {
     return is_reply ? "probe.reply" : "probe.request";
+  }
+  std::unique_ptr<Payload> clone() const override {
+    return std::make_unique<ProbeMessage>(*this);
   }
   bool is_reply;
 };
@@ -121,6 +127,12 @@ class BootstrapProtocol final : public Protocol {
   /// gossip chain is unaffected (it is started once and keeps running).
   static constexpr std::uint64_t kRestartTimer = 1;
 
+  /// Timer-id base for per-exchange timeouts (evict_unresponsive only):
+  /// exchange n schedules timer kExchangeTimeoutBase + n, so a stale
+  /// timeout — the peer answered, or a newer exchange superseded it — is
+  /// recognized and ignored on fire.
+  static constexpr std::uint64_t kExchangeTimeoutBase = 1ull << 32;
+
   /// CREATEMESSAGE(q): see file comment. Public because tests assert its
   /// invariants directly and the micro benches time it in isolation; the
   /// protocol itself calls it from the active and passive paths.
@@ -150,6 +162,7 @@ class BootstrapProtocol final : public Protocol {
   obs::Counter* ctr_replies_ = nullptr;
   obs::Counter* ctr_select_peer_empty_ = nullptr;
   obs::Counter* ctr_condemned_ = nullptr;
+  obs::Counter* ctr_exchange_timeout_ = nullptr;
   SimTime start_delay_;
   NodeDescriptor self_{};
   std::optional<LeafSet> leaf_;
@@ -170,6 +183,8 @@ class BootstrapProtocol final : public Protocol {
   static constexpr int kProbeAttempts = 3;
   std::vector<OutstandingProbe> outstanding_probes_;
   std::size_t prefix_probe_cursor_ = 0;
+  // Monotone exchange counter; pairs with kExchangeTimeoutBase.
+  std::uint64_t exchange_seq_ = 0;
   // Active death certificates (id -> expiry), pruned lazily.
   std::unordered_map<NodeId, SimTime> tombstones_;
   // Virtual time at the latest callback (create_message has no Context).
@@ -178,6 +193,15 @@ class BootstrapProtocol final : public Protocol {
   /// One round of the maintenance loop: evict timed-out probe targets, then
   /// ping the least-recently-heard leaf entry and a few prefix entries.
   void maintenance_step(Context& ctx);
+
+  /// True if a probe to `addr` is awaiting its echo (the peer is demoted:
+  /// SELECTPEER skips it).
+  bool already_probing(Address addr) const;
+  /// Starts probing `target` unless one is already outstanding.
+  void send_probe(Context& ctx, const NodeDescriptor& target);
+  /// Fired kExchangeTimeoutBase + seq: the request of exchange `seq` went
+  /// unanswered for config_.exchange_timeout ticks.
+  void on_exchange_timeout(Context& ctx, std::uint64_t seq);
 
   /// Records a certificate for an unresponsive peer and removes it locally.
   void condemn(NodeId id, SimTime now);

@@ -51,6 +51,13 @@ struct BootstrapConfig {
   bool evict_unresponsive = false;
   /// Tombstone lifetime, in cycles (only with evict_unresponsive).
   std::size_t tombstone_ttl_cycles = 20;
+  /// Per-exchange answer timeout in ticks (only with evict_unresponsive;
+  /// 0 = Δ/2). A request unanswered this long demotes the peer: it enters
+  /// the probing path (SELECTPEER skips it until it answers) and is
+  /// condemned after kProbeAttempts silent probes. This wires eviction
+  /// through real non-answers — partitions, crashed-but-recovering nodes
+  /// and heavy loss trigger it without any oracle liveness.
+  SimTime exchange_timeout = 0;
 };
 
 }  // namespace bsvc

@@ -1,6 +1,8 @@
 #include "core/experiment.hpp"
 
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 
 #include "common/assert.hpp"
 #include "common/logging.hpp"
@@ -9,15 +11,39 @@
 
 namespace bsvc {
 
+namespace {
+
+[[noreturn]] void config_error(const char* what, const std::string& detail) {
+  std::fprintf(stderr, "error: invalid %s: %s\n", what, detail.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
 BootstrapExperiment::BootstrapExperiment(ExperimentConfig config) : config_(std::move(config)) {
   BSVC_CHECK(config_.n >= 2);
   TransportConfig transport;
   transport.drop_probability = config_.drop_probability;
+  // Reject a bad transport here, before the Engine's abort-based backstop:
+  // a bench typo (drop=1.2, min>max) gets a clear message and exit(2).
+  if (const std::string err = transport.validate(); !err.empty()) {
+    config_error("transport config", err);
+  }
   engine_ = std::make_unique<Engine>(config_.seed, transport);
   if (!config_.trace_path.empty()) {
     trace_sink_ = std::make_unique<obs::JsonlTraceSink>(config_.trace_path);
     engine_->set_trace_sink(trace_sink_.get());
   }
+  FaultPlan plan = config_.fault_plan;
+  if (!config_.fault_plan_path.empty()) {
+    std::string err;
+    if (!load_fault_plan(config_.fault_plan_path, plan, err)) {
+      config_error("fault plan", err);
+    }
+  } else if (const std::string err = plan.validate(); !err.empty()) {
+    config_error("fault plan", err);
+  }
+  injector_ = install_fault_plan(*engine_, plan);
   ids_ = std::make_unique<IdGenerator>(Rng(config_.seed ^ 0x1D8AF066EF5E2D3Cull));
   build_network();
 }

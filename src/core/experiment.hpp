@@ -10,6 +10,7 @@
 
 #include "common/stats.hpp"
 #include "core/bootstrap.hpp"
+#include "fault/fault_injector.hpp"
 #include "core/config.hpp"
 #include "core/oracle.hpp"
 #include "id/id_generator.hpp"
@@ -66,6 +67,15 @@ struct ExperimentConfig {
   /// drops / deliveries, timer fires, node starts and kills) as JSONL to
   /// this path for the whole run including warmup. Empty disables tracing.
   std::string trace_path;
+  /// Scripted fault plan (partitions, correlated loss, latency faults,
+  /// dup/reorder, crash–recover; see docs/faults.md). An empty plan installs
+  /// no fault model at all — the run is bit-identical to the pre-fault
+  /// engine. Window times are absolute virtual time, so warmup_cycles counts
+  /// toward them.
+  FaultPlan fault_plan;
+  /// When non-empty, a text plan file loaded over `fault_plan` (the file
+  /// wins). Rejected with a clear error at setup on parse failure.
+  std::string fault_plan_path;
 };
 
 struct ExperimentResult {
@@ -123,6 +133,9 @@ class BootstrapExperiment {
   // The engine never touches the sink while being destroyed, so the sink
   // may safely be torn down first.
   std::unique_ptr<obs::JsonlTraceSink> trace_sink_;
+  // The live FaultModel executing config_.fault_plan (null when the plan is
+  // empty); owned here because the engine only borrows it.
+  std::unique_ptr<FaultInjector> injector_;
   std::unique_ptr<obs::Sampler> sampler_;
   std::unique_ptr<IdGenerator> ids_;
   BootstrapStats stats_;

@@ -1,0 +1,55 @@
+// The engine's fault-injection hook.
+//
+// A FaultModel is consulted by the transport at send time (one call per
+// transmitted message) and by the dispatcher at delivery time (dark-node
+// query). The engine holds a raw pointer defaulting to nullptr; with no
+// model installed every hook is a single pointer test and the simulation is
+// bit-identical to the pre-fault engine — the golden-replay witnesses pin
+// this down. The scripted implementation (FaultInjector, driven by a
+// FaultPlan) lives in fault_injector.hpp; this header is the only part of
+// src/fault the engine depends on.
+#pragma once
+
+#include "id/node_id.hpp"
+#include "sim/event_queue.hpp"
+
+namespace bsvc {
+
+/// Interface consulted by Engine::send_message and Engine::dispatch.
+/// Implementations own their randomness (typically a dedicated Rng seeded
+/// from the plan) so fault decisions never perturb the engine or node RNG
+/// streams of the underlying trajectory.
+class FaultModel {
+ public:
+  /// Verdict for one message about to enter the transport.
+  struct SendDecision {
+    /// Message is lost before the transport sees it (partition cut or
+    /// correlated link loss). The base i.i.d. drop still applies to
+    /// surviving messages on top.
+    bool drop = false;
+    /// Replace the base latency draw with `latency` (heavy-tail mode).
+    bool replace_latency = false;
+    /// Inject one extra copy of the message (delivered `duplicate_delay`
+    /// ticks after the original). Requires the payload to be clonable.
+    bool duplicate = false;
+    SimTime latency = 0;
+    /// Added on top of the (possibly replaced) latency: spikes and
+    /// reordering hold-back.
+    SimTime extra_delay = 0;
+    SimTime duplicate_delay = 0;
+  };
+
+  virtual ~FaultModel() = default;
+
+  /// Consulted once per send, after the link filter and before the base
+  /// drop model. May mutate internal state (RNG, counters).
+  virtual SendDecision on_send(SimTime now, Address from, Address to) = 0;
+
+  /// If `addr` is dark (crashed-but-recovering) at `now`, returns the
+  /// recovery time (> now); otherwise 0. While dark a node keeps its state:
+  /// messages to it are dropped, its timers are deferred to the recovery
+  /// time, and it resumes where it left off — distinct from kill_node.
+  virtual SimTime dark_until(SimTime now, Address addr) const = 0;
+};
+
+}  // namespace bsvc

@@ -1,0 +1,39 @@
+#include "fault/scenario_config.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace bsvc {
+
+std::optional<FaultPlan> resolve_fault_plan(const ScenarioConfig& config,
+                                            std::string& error) {
+  if (config.faults_path.empty()) {
+    if (const std::string e = config.faults.validate(); !e.empty()) {
+      error = e;
+      return std::nullopt;
+    }
+    return config.faults;
+  }
+  FaultPlan plan;
+  if (!load_fault_plan(config.faults_path, plan, error)) return std::nullopt;
+  return plan;
+}
+
+std::unique_ptr<FaultInjector> apply_scenario(Engine& engine, const ScenarioConfig& config,
+                                              NodeFactory factory) {
+  if (config.churn.to > config.churn.from &&
+      (config.churn.fail_rate > 0.0 || config.churn.join_rate > 0.0)) {
+    BSVC_CHECK_MSG(factory != nullptr, "churn scenario needs a NodeFactory");
+    schedule_churn(engine, config.churn, std::move(factory));
+  }
+  if (config.catastrophe_fraction > 0.0) {
+    schedule_catastrophe(engine, config.catastrophe_at, config.catastrophe_fraction);
+  }
+  std::string error;
+  auto plan = resolve_fault_plan(config, error);
+  BSVC_CHECK_MSG(plan.has_value(), "unloadable fault plan");
+  return install_fault_plan(engine, *plan);
+}
+
+}  // namespace bsvc

@@ -1,0 +1,45 @@
+// ScenarioConfig: one declarative bundle for everything hostile a run can
+// contain — continuous churn, a catastrophic kill, and a FaultPlan (inline
+// or loaded from a file). BootstrapExperiment consumes the fault half via
+// ExperimentConfig; standalone benches and tests apply a whole bundle with
+// apply_scenario().
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
+#include "sim/scenario.hpp"
+
+namespace bsvc {
+
+struct ScenarioConfig {
+  /// Continuous churn (empty window = none). See sim/scenario.hpp.
+  ChurnConfig churn;
+  /// One-shot catastrophic kill of `catastrophe_fraction` alive nodes at
+  /// `catastrophe_at` (0 fraction = none). Permanent, unlike a crash window.
+  SimTime catastrophe_at = 0;
+  double catastrophe_fraction = 0.0;
+  /// Scripted faults: the inline plan, or a text plan file to load over it
+  /// (the file wins when both are set).
+  FaultPlan faults;
+  std::string faults_path;
+};
+
+/// Resolves the scenario's effective fault plan: loads `faults_path` when
+/// set, else returns the inline plan. On a load/parse failure returns
+/// std::nullopt and sets `error`.
+std::optional<FaultPlan> resolve_fault_plan(const ScenarioConfig& config,
+                                            std::string& error);
+
+/// Applies the whole bundle to `engine`: schedules churn (when `factory` is
+/// provided) and the catastrophe, and installs the fault plan. Returns the
+/// installed injector (nullptr when the plan is empty); the caller must keep
+/// it alive as long as the engine runs. Aborts on an unloadable plan — call
+/// resolve_fault_plan() first for a recoverable error.
+std::unique_ptr<FaultInjector> apply_scenario(Engine& engine, const ScenarioConfig& config,
+                                              NodeFactory factory = nullptr);
+
+}  // namespace bsvc

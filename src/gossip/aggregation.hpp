@@ -22,6 +22,9 @@ class AggregationMessage final : public Payload {
   AggregationMessage(double value, bool is_request) : value(value), is_request(is_request) {}
   std::size_t wire_bytes() const override { return 8 + 1; }
   const char* type_name() const override { return "aggregation"; }
+  std::unique_ptr<Payload> clone() const override {
+    return std::make_unique<AggregationMessage>(*this);
+  }
   double value;
   bool is_request;
 };

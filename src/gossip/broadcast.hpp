@@ -24,6 +24,9 @@ class RumorMessage final : public Payload {
   explicit RumorMessage(std::uint64_t tag) : tag(tag) {}
   std::size_t wire_bytes() const override { return 8; }
   const char* type_name() const override { return "rumor"; }
+  std::unique_ptr<Payload> clone() const override {
+    return std::make_unique<RumorMessage>(*this);
+  }
   std::uint64_t tag;
 };
 

@@ -74,6 +74,9 @@ class ChordMessage final : public Payload {
   const char* metric_tag() const override {
     return is_request ? "chord.request" : "chord.answer";
   }
+  std::unique_ptr<Payload> clone() const override {
+    return std::make_unique<ChordMessage>(*this);
+  }
 
   NodeDescriptor sender;
   DescriptorList ring_part;

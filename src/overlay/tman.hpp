@@ -55,6 +55,9 @@ class TManMessage final : public Payload {
   const char* metric_tag() const override {
     return is_request ? "tman.request" : "tman.answer";
   }
+  std::unique_ptr<Payload> clone() const override {
+    return std::make_unique<TManMessage>(*this);
+  }
 
   NodeDescriptor sender;
   DescriptorList entries;

@@ -37,6 +37,9 @@ class NewscastMessage final : public Payload {
   const char* metric_tag() const override {
     return is_request ? "newscast.request" : "newscast.answer";
   }
+  std::unique_ptr<Payload> clone() const override {
+    return std::make_unique<NewscastMessage>(*this);
+  }
 
   std::vector<TimestampedDescriptor> entries;
   bool is_request;

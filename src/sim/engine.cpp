@@ -29,11 +29,34 @@ void Context::schedule_timer(std::uint64_t delay, std::uint64_t timer_id) {
   engine_.schedule_timer(self_, slot_, delay, timer_id);
 }
 
+// --- TransportConfig ----------------------------------------------------
+
+std::string TransportConfig::validate() const {
+  if (!(drop_probability >= 0.0 && drop_probability <= 1.0)) {
+    return "drop_probability " + std::to_string(drop_probability) +
+           " outside [0, 1]";
+  }
+  if (min_latency > max_latency) {
+    return "min_latency " + std::to_string(min_latency) + " > max_latency " +
+           std::to_string(max_latency);
+  }
+  return "";
+}
+
 // --- Engine ------------------------------------------------------------
 
 Engine::Engine(std::uint64_t seed, TransportConfig transport)
     : rng_(seed), node_seed_state_(seed ^ 0xA24BAED4963EE407ull), transport_(transport) {
-  BSVC_CHECK(transport_.min_latency <= transport_.max_latency);
+  BSVC_CHECK_MSG(transport_.validate().empty(), "invalid TransportConfig");
+}
+
+void Engine::set_fault_model(FaultModel* model) {
+  fault_ = model;
+  if (model != nullptr && fault_dup_ == nullptr) {
+    fault_dup_ = &metrics_.counter("msg.dup");
+    fault_dark_dropped_ = &metrics_.counter("fault.dark.dropped");
+    fault_dark_deferred_ = &metrics_.counter("fault.dark.deferred");
+  }
 }
 
 Address Engine::add_node(NodeId id) {
@@ -146,18 +169,36 @@ void Engine::send_message(Address from, Address to, ProtocolSlot slot,
     if (trace_ != nullptr) trace_message(obs::TraceKind::Drop, from, to, slot, *payload);
     return;
   }
+  // Fault verdict before the base drop: a partition cut or correlated link
+  // loss kills the message outright; survivors still face the i.i.d. drop.
+  FaultModel::SendDecision fault;
+  if (fault_ != nullptr) {
+    fault = fault_->on_send(now_, from, to);
+    if (fault.drop) {
+      ++traffic_.messages_dropped;
+      if (trace_ != nullptr) trace_message(obs::TraceKind::Drop, from, to, slot, *payload);
+      return;
+    }
+  }
   if (rng_.chance(transport_.drop_probability)) {
     ++traffic_.messages_dropped;
     if (trace_ != nullptr) trace_message(obs::TraceKind::Drop, from, to, slot, *payload);
     return;
   }
   SimTime latency;
-  if (latency_model_) {
+  if (fault.replace_latency) {
+    // Heavy-tail mode replaces the base draw entirely; the base RNG is NOT
+    // advanced, which is fine — determinism only requires that the same
+    // trajectory makes the same draws, not that draw counts match the
+    // no-fault run.
+    latency = fault.latency;
+  } else if (latency_model_) {
     latency = latency_model_(from, to) + rng_.below(transport_.min_latency + 1);
   } else {
     latency = transport_.min_latency +
               rng_.below(transport_.max_latency - transport_.min_latency + 1);
   }
+  latency += fault.extra_delay;
 
   SlimEvent ev;
   ev.time = now_ + latency;
@@ -165,8 +206,23 @@ void Engine::send_message(Address from, Address to, ProtocolSlot slot,
   ev.addr = to;
   ev.from = from;
   ev.slot = slot;
+  // Inject one extra copy, arriving duplicate_delay after the original (and
+  // sequenced after it on ties). Skipped silently when the payload type has
+  // no clone() override; the duplicate bypasses the base drop model (it
+  // already survived the fault layer's own verdict).
+  std::unique_ptr<Payload> copy;
+  if (fault.duplicate) copy = payload->clone();
   ev.aux = payload_pool_.store(std::move(payload));
   push(ev);
+  if (copy != nullptr) {
+    ++traffic_.messages_duplicated;
+    traffic_.bytes_sent += copy->wire_bytes() + kUdpIpHeaderBytes;
+    fault_dup_->inc();
+    SlimEvent dup = ev;
+    dup.time = ev.time + fault.duplicate_delay;
+    dup.aux = payload_pool_.store(std::move(copy));
+    push(dup);
+  }
 }
 
 void Engine::schedule_timer(Address addr, ProtocolSlot slot, SimTime delay,
@@ -229,6 +285,28 @@ void Engine::dispatch(const SlimEvent& ev) {
       }
     }
     return;  // dead nodes neither receive nor act
+  }
+  if (fault_ != nullptr) {
+    const SimTime recover = fault_->dark_until(now_, ev.addr);
+    if (recover > now_) {
+      // Crash–recover semantics: a dark node keeps its state but neither
+      // receives nor acts. Messages to it are lost; its timers and starts
+      // are deferred to the recovery time (re-sequenced, so relative order
+      // among a node's deferred events is preserved).
+      if (ev.kind == EventKind::Message) {
+        ++traffic_.messages_dropped;
+        fault_dark_dropped_->inc();
+        if (trace_ != nullptr) {
+          trace_message(obs::TraceKind::Drop, ev.from, ev.addr, ev.slot, *payload);
+        }
+      } else {
+        fault_dark_deferred_->inc();
+        SlimEvent deferred = ev;
+        deferred.time = recover;
+        push(deferred);
+      }
+      return;
+    }
   }
   BSVC_CHECK(ev.slot < node.stack.size());
   Context ctx(*this, ev.addr, ev.slot);

@@ -10,9 +10,11 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "fault/fault_model.hpp"
 #include "id/descriptor.hpp"
 #include "id/node_id.hpp"
 #include "obs/metrics.hpp"
@@ -33,6 +35,12 @@ struct TransportConfig {
   /// Defaults keep request+answer well inside one cycle.
   SimTime min_latency = 10;
   SimTime max_latency = 150;
+
+  /// Returns "" when the configuration is sane, else a description of the
+  /// first problem (drop_probability outside [0,1], min_latency >
+  /// max_latency). Experiment setup rejects a bad config with this message;
+  /// the Engine constructor aborts on it as a backstop.
+  std::string validate() const;
 };
 
 /// Pairwise one-way base latency between two endpoints, in ticks. When a
@@ -47,6 +55,7 @@ struct TrafficStats {
   std::uint64_t messages_dropped = 0;    // lost by the drop model
   std::uint64_t messages_to_dead = 0;    // addressed to a dead/removed node
   std::uint64_t messages_delivered = 0;  // reached a live protocol
+  std::uint64_t messages_duplicated = 0; // extra copies injected by faults
   std::uint64_t bytes_sent = 0;          // wire bytes incl. UDP/IP headers
 };
 
@@ -136,6 +145,15 @@ class Engine {
   }
   void clear_link_filter() { link_filter_ = nullptr; }
 
+  /// Installs a fault model (nullptr uninstalls). Consulted once per send
+  /// (drop/latency/duplicate verdict) and once per non-Call dispatch
+  /// (dark-node query). With no model installed every hook is a single
+  /// pointer test and the simulation is bit-identical to the pre-fault
+  /// engine — witnessed by the golden-replay tests. The caller keeps
+  /// ownership and must keep the model alive while installed.
+  void set_fault_model(FaultModel* model);
+  FaultModel* fault_model() const { return fault_; }
+
   /// Installs a pairwise latency model (nullptr restores the uniform
   /// default). See LatencyModel.
   void set_latency_model(LatencyModel model) { latency_model_ = std::move(model); }
@@ -222,6 +240,11 @@ class Engine {
   std::function<bool(Address, Address)> link_filter_;
   std::function<std::unique_ptr<Payload>(const Payload&)> transcoder_;
   LatencyModel latency_model_;
+  FaultModel* fault_ = nullptr;
+  // Fault-path metric handles, bound when a model is installed.
+  obs::Counter* fault_dup_ = nullptr;            // msg.dup
+  obs::Counter* fault_dark_dropped_ = nullptr;   // fault.dark.dropped
+  obs::Counter* fault_dark_deferred_ = nullptr;  // fault.dark.deferred
   // Mutable: observers holding `const Engine&` record measurements; metric
   // state never feeds back into event ordering or RNG streams.
   mutable obs::MetricsRegistry metrics_;

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 
 namespace bsvc {
 
@@ -31,6 +32,12 @@ class Payload {
   /// message reporting "newscast.request" vs "newscast.answer"). Must return
   /// a string literal (or other storage outliving the engine).
   virtual const char* metric_tag() const { return type_name(); }
+
+  /// Deep copy, used by the fault layer to inject duplicate deliveries.
+  /// The default (nullptr) marks the payload as unclonable: duplication is
+  /// silently skipped for it. Concrete payloads override with a one-liner
+  /// `return std::make_unique<T>(*this);`.
+  virtual std::unique_ptr<Payload> clone() const { return nullptr; }
 };
 
 }  // namespace bsvc

@@ -121,5 +121,20 @@ TEST(FlagsDeathTest, NonFlagArgumentRejected) {
   EXPECT_EXIT(make_flags({"positional"}), testing::ExitedWithCode(2), "expected --flag");
 }
 
+TEST(FlagsDeathTest, BadDropFlagRejectedAtExperimentSetup) {
+  // The bench path: --drop feeds ExperimentConfig::drop_probability; an
+  // out-of-range value is rejected at setup with a clear error, not deep in
+  // the transport.
+  EXPECT_EXIT(
+      {
+        const Flags f = make_flags({"--drop=1.5", "--n=8"});
+        ExperimentConfig cfg;
+        cfg.n = static_cast<std::size_t>(f.get_int("n", 8));
+        cfg.drop_probability = f.get_double("drop", 0.0);
+        BootstrapExperiment exp(cfg);
+      },
+      testing::ExitedWithCode(2), "drop_probability");
+}
+
 }  // namespace
 }  // namespace bsvc
