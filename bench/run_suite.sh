@@ -28,6 +28,7 @@ benches=(
   merge_split
   partition_heal
   newscast_service
+  adversary
 )
 
 # Benches that support per-replica JSONL event traces (--trace); the suite
@@ -35,6 +36,10 @@ benches=(
 traced=(fig3_no_failures fig4_message_drop churn)
 
 mkdir -p "${out_dir}"
+
+# A failing bench must not abort the suite: run everything, record which
+# benches failed, and exit nonzero at the end with a summary.
+failed=()
 
 for bench in "${benches[@]}"; do
   bin="${build_dir}/bench/${bench}"
@@ -49,15 +54,29 @@ for bench in "${benches[@]}"; do
     fi
   done
   echo "=== ${bench} ===" >&2
+  status=0
   "${bin}" --json "${out_dir}/BENCH_${bench}.json" "${trace_flags[@]}" "$@" \
-    > "${out_dir}/${bench}.out"
+    > "${out_dir}/${bench}.out" || status=$?
+  if (( status != 0 )); then
+    echo "FAIL ${bench} (exit ${status})" >&2
+    failed+=("${bench}")
+  fi
 done
 
 # Micro benchmarks use google-benchmark's native JSON reporter.
 micro="${build_dir}/bench/micro_ops"
 if [[ -x "${micro}" ]]; then
   echo "=== micro_ops ===" >&2
-  "${micro}" --benchmark_format=json > "${out_dir}/BENCH_micro_ops.json"
+  status=0
+  "${micro}" --benchmark_format=json > "${out_dir}/BENCH_micro_ops.json" || status=$?
+  if (( status != 0 )); then
+    echo "FAIL micro_ops (exit ${status})" >&2
+    failed+=(micro_ops)
+  fi
 fi
 
 echo "results in ${out_dir}/" >&2
+if (( ${#failed[@]} > 0 )); then
+  echo "FAILED benches (${#failed[@]}): ${failed[*]}" >&2
+  exit 1
+fi

@@ -27,11 +27,35 @@ def load_reports(directory: Path) -> dict:
     for path in sorted(directory.glob("BENCH_*.json")):
         try:
             with open(path, encoding="utf-8") as f:
-                reports[path.name] = json.load(f)
+                report = json.load(f)
         except (OSError, json.JSONDecodeError) as err:
             print(f"error: cannot read {path}: {err}", file=sys.stderr)
             sys.exit(2)
+        if not isinstance(report, dict):
+            print(
+                f"error: {path}: expected a JSON object, got {type(report).__name__}",
+                file=sys.stderr,
+            )
+            sys.exit(2)
+        reports[path.name] = report
     return reports
+
+
+def events_per_sec(report: dict, name: str, side: str) -> float:
+    """The report's events_per_sec, or a clear exit-2 error when the key is
+    absent or not a number (a truncated or hand-edited report must fail the
+    gate loudly, not crash it with a traceback)."""
+    if "events_per_sec" not in report:
+        print(f"error: {name}: {side} report has no 'events_per_sec' key", file=sys.stderr)
+        sys.exit(2)
+    value = report["events_per_sec"]
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        print(
+            f"error: {name}: {side} 'events_per_sec' is not a number: {value!r}",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+    return float(value)
 
 
 def main() -> int:
@@ -64,10 +88,10 @@ def main() -> int:
         if name not in baseline:
             print(f"{name}: no baseline yet -- skipped")
             continue
-        base_eps = float(baseline[name].get("events_per_sec", 0.0))
-        cur_eps = float(current[name].get("events_per_sec", 0.0))
+        base_eps = events_per_sec(baseline[name], name, "baseline")
+        cur_eps = events_per_sec(current[name], name, "current")
         if base_eps <= 0.0:
-            print(f"{name}: baseline has no events_per_sec -- skipped")
+            print(f"{name}: baseline events_per_sec is not positive -- skipped")
             continue
         ratio = cur_eps / base_eps
         verdict = "OK"

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Tests for the compare_bench.py perf gate.
+
+Exercises the exit-code contract: 0 = pass/skip, 1 = regression,
+2 = unreadable or malformed input (clear message, never a traceback).
+Run directly or via ctest (registered as compare_bench_py).
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+SCRIPT = Path(__file__).resolve().parent / "compare_bench.py"
+
+
+def run_gate(baseline: Path, current: Path, *extra: str):
+    return subprocess.run(
+        [sys.executable, str(SCRIPT), str(baseline), str(current), *extra],
+        capture_output=True,
+        text=True,
+    )
+
+
+class CompareBenchTest(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        root = Path(self._tmp.name)
+        self.baseline = root / "baseline"
+        self.current = root / "current"
+        self.baseline.mkdir()
+        self.current.mkdir()
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    def write(self, side: Path, name: str, payload):
+        path = side / name
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        return path
+
+    def test_no_regression_passes(self):
+        self.write(self.baseline, "BENCH_a.json", {"events_per_sec": 1000.0})
+        self.write(self.current, "BENCH_a.json", {"events_per_sec": 990.0})
+        proc = run_gate(self.baseline, self.current)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("OK", proc.stdout)
+
+    def test_regression_fails_with_exit_1(self):
+        self.write(self.baseline, "BENCH_a.json", {"events_per_sec": 1000.0})
+        self.write(self.current, "BENCH_a.json", {"events_per_sec": 100.0})
+        proc = run_gate(self.baseline, self.current)
+        self.assertEqual(proc.returncode, 1, proc.stderr)
+        self.assertIn("REGRESSION", proc.stdout)
+
+    def test_tolerance_flag_widens_gate(self):
+        self.write(self.baseline, "BENCH_a.json", {"events_per_sec": 1000.0})
+        self.write(self.current, "BENCH_a.json", {"events_per_sec": 600.0})
+        self.assertEqual(run_gate(self.baseline, self.current).returncode, 1)
+        self.assertEqual(
+            run_gate(self.baseline, self.current, "--tolerance", "0.5").returncode, 0
+        )
+
+    def test_bench_only_in_current_is_skipped(self):
+        self.write(self.baseline, "BENCH_a.json", {"events_per_sec": 1000.0})
+        self.write(self.current, "BENCH_a.json", {"events_per_sec": 1000.0})
+        self.write(self.current, "BENCH_new.json", {"events_per_sec": 5.0})
+        proc = run_gate(self.baseline, self.current)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("no baseline yet", proc.stdout)
+
+    def test_missing_baseline_dir_is_clear_error(self):
+        proc = run_gate(self.baseline / "nope", self.current)
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("not a directory", proc.stderr)
+        self.assertNotIn("Traceback", proc.stderr)
+
+    def test_empty_baseline_dir_is_clear_error(self):
+        self.write(self.current, "BENCH_a.json", {"events_per_sec": 1000.0})
+        proc = run_gate(self.baseline, self.current)
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("no BENCH_*.json", proc.stderr)
+
+    def test_invalid_json_is_clear_error(self):
+        (self.baseline / "BENCH_a.json").write_text("{not json", encoding="utf-8")
+        self.write(self.current, "BENCH_a.json", {"events_per_sec": 1.0})
+        proc = run_gate(self.baseline, self.current)
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("cannot read", proc.stderr)
+        self.assertNotIn("Traceback", proc.stderr)
+
+    def test_non_object_report_is_clear_error(self):
+        self.write(self.baseline, "BENCH_a.json", [1, 2, 3])
+        self.write(self.current, "BENCH_a.json", {"events_per_sec": 1.0})
+        proc = run_gate(self.baseline, self.current)
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("expected a JSON object", proc.stderr)
+        self.assertNotIn("Traceback", proc.stderr)
+
+    def test_absent_metric_key_is_clear_error(self):
+        self.write(self.baseline, "BENCH_a.json", {"wall_seconds": 3.0})
+        self.write(self.current, "BENCH_a.json", {"events_per_sec": 1.0})
+        proc = run_gate(self.baseline, self.current)
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("no 'events_per_sec' key", proc.stderr)
+        self.assertNotIn("Traceback", proc.stderr)
+
+    def test_non_numeric_metric_is_clear_error(self):
+        self.write(self.baseline, "BENCH_a.json", {"events_per_sec": 1000.0})
+        self.write(self.current, "BENCH_a.json", {"events_per_sec": "fast"})
+        proc = run_gate(self.baseline, self.current)
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("not a number", proc.stderr)
+        self.assertNotIn("Traceback", proc.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,20 @@
+#include "adversary/adversary_plan.hpp"
+
+namespace bsvc {
+
+std::string AdversaryPlan::validate() const {
+  if (fraction < 0.0 || fraction > 1.0) return "adversary fraction outside [0, 1]";
+  if (suppress_probability < 0.0 || suppress_probability > 1.0) {
+    return "suppress_probability outside [0, 1]";
+  }
+  if (corrupt_probability < 0.0 || corrupt_probability > 1.0) {
+    return "corrupt_probability outside [0, 1]";
+  }
+  if (window.end != 0 && window.start >= window.end) {
+    return "adversary window start >= end";
+  }
+  if (poison && pool_size == 0) return "poison requires pool_size > 0";
+  return "";
+}
+
+}  // namespace bsvc

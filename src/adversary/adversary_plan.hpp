@@ -1,0 +1,78 @@
+// AdversaryPlan: a deterministic, seeded description of Byzantine behavior.
+//
+// A plan names which nodes misbehave (an explicit list, a fraction of the
+// population, or both), when (a virtual-time window), and how: descriptor
+// poisoning (fabricated ID/address bindings planted into gossip), eclipse
+// floods (replies filled with colluder descriptors crafted prefix-close to
+// the victim), sender-ID spoofing, suppression of gossip answers, and
+// bit-level corruption of frames on the wire. Like FaultPlan it is plain
+// data — build it programmatically, copy it freely — and all randomness
+// downstream comes from the plan's own seed, so the same plan replays
+// identically over any base trajectory and across bench thread counts.
+// ByzantineModel (byzantine_model.hpp) turns a plan into a live FaultModel.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/fault_plan.hpp"
+#include "id/node_id.hpp"
+
+namespace bsvc {
+
+struct AdversaryPlan {
+  /// Seeds the model's private RNG (adversary-set picks, sybil ID pools,
+  /// per-message behavior draws). Independent of the engine seed.
+  std::uint64_t seed = 0xBAD5EED5ull;
+
+  /// Fraction of the population turned Byzantine (picked deterministically
+  /// at install time from the plan seed), in [0, 1].
+  double fraction = 0.0;
+  /// Explicitly Byzantine addresses, in addition to the fractional picks.
+  std::vector<Address> nodes;
+  /// Active window. end == 0 means "from `start` onward, forever".
+  TimeWindow window{};
+
+  // --- behaviors ----------------------------------------------------------
+
+  /// Descriptor poisoning: each adversary owns a fixed pool of `pool_size`
+  /// fabricated IDs bound to colluder addresses; outgoing gossip descriptors
+  /// are swapped for pool entries. Fixed pools (not fresh IDs per message)
+  /// keep the sybil population bounded, so tombstones can catch up with it.
+  bool poison = false;
+  std::size_t pool_size = 8;
+
+  /// Eclipse / hub attack: gossip replies to honest nodes are rebuilt to
+  /// carry only descriptors whose IDs are prefix-close to the victim's own
+  /// ID, all bound to colluding adversary addresses.
+  bool eclipse = false;
+
+  /// Sender-ID spoofing: the sender descriptor of outgoing gossip keeps its
+  /// truthful address but claims an ID prefix-close to the victim.
+  bool spoof = false;
+
+  /// Probability that an adversary silently withholds a gossip answer
+  /// (requests still go out, so the adversary keeps harvesting state).
+  double suppress_probability = 0.0;
+
+  /// Probability that an outgoing frame is corrupted on the wire (1–3 bit
+  /// flips on the encoded bytes; frames that no longer parse are dropped and
+  /// counted as msg.corrupt — never undefined behavior).
+  double corrupt_probability = 0.0;
+
+  bool empty() const {
+    return fraction == 0.0 && nodes.empty();
+  }
+
+  /// True when the plan is active at virtual time `t`.
+  bool active_at(SimTime t) const {
+    return t >= window.start && (window.end == 0 || t < window.end);
+  }
+
+  /// Returns "" when the plan is well-formed, else a description of the
+  /// first problem.
+  std::string validate() const;
+};
+
+}  // namespace bsvc

@@ -1,0 +1,266 @@
+#include "adversary/byzantine_model.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "core/bootstrap.hpp"
+#include "sampling/newscast.hpp"
+#include "sim/engine.hpp"
+#include "wire/message_codec.hpp"
+
+namespace bsvc {
+
+namespace {
+/// Minimum number of flood descriptors per eclipse reply (early messages may
+/// carry few entries; the adversary pads to keep the flood effective).
+constexpr std::size_t kEclipseFloor = 10;
+/// Per-descriptor swap probability under poisoning: half the payload stays
+/// truthful, so poisoned messages pass casual plausibility checks.
+constexpr double kPoisonSwapProbability = 0.5;
+}  // namespace
+
+ByzantineModel::ByzantineModel(AdversaryPlan plan)
+    : plan_(std::move(plan)), rng_(plan_.seed) {}
+
+void ByzantineModel::install(Engine& engine) {
+  const auto problem = plan_.validate();
+  BSVC_CHECK_MSG(problem.empty(), "invalid adversary plan");
+  engine_ = &engine;
+
+  const auto n = engine.node_count();
+  adversary_mask_.assign(n, 0);
+  adversaries_.clear();
+  for (const auto a : plan_.nodes) {
+    if (a < n && adversary_mask_[a] == 0) {
+      adversary_mask_[a] = 1;
+      adversaries_.push_back(a);
+    }
+  }
+  if (plan_.fraction > 0.0 && n > 0) {
+    const auto universe = static_cast<std::uint32_t>(n);
+    auto want = static_cast<std::uint32_t>(plan_.fraction * static_cast<double>(n) + 0.5);
+    want = std::min(want, universe);
+    for (const auto idx : rng_.distinct_indices(want, universe)) {
+      if (adversary_mask_[idx] == 0) {
+        adversary_mask_[idx] = 1;
+        adversaries_.push_back(idx);
+      }
+    }
+  }
+  std::sort(adversaries_.begin(), adversaries_.end());
+
+  // Fixed sybil pools: fabricated IDs at colluder addresses, round-robin so
+  // every colluder fronts for a share of the fake identities.
+  pools_.clear();
+  if (plan_.poison && !adversaries_.empty()) {
+    std::size_t rr = 0;
+    for (const auto a : adversaries_) {
+      DescriptorList pool;
+      pool.reserve(plan_.pool_size);
+      for (std::size_t i = 0; i < plan_.pool_size; ++i) {
+        pool.push_back({rng_.next_u64(), adversaries_[rr++ % adversaries_.size()]});
+      }
+      pools_.emplace(a, std::move(pool));
+    }
+  }
+
+  auto& m = engine.metrics();
+  poisoned_ = &m.counter("adv.poisoned");
+  eclipsed_ = &m.counter("adv.eclipsed");
+  spoofed_ = &m.counter("adv.spoofed");
+  suppressed_ = &m.counter("adv.suppressed");
+  corrupted_ = &m.counter("adv.corrupted");
+  m.gauge("adv.nodes").set(static_cast<double>(adversaries_.size()));
+
+  inner_ = engine.fault_model();
+  engine.set_fault_model(this);
+}
+
+double ByzantineModel::controlled_fraction(const DescriptorList& entries) const {
+  if (entries.empty()) return 0.0;
+  std::size_t controlled = 0;
+  for (const auto& d : entries) {
+    if (d.addr >= engine_->node_count() || is_adversary(d.addr) ||
+        engine_->id_of(d.addr) != d.id) {
+      ++controlled;
+    }
+  }
+  return static_cast<double>(controlled) / static_cast<double>(entries.size());
+}
+
+FaultModel::SendDecision ByzantineModel::on_send(SimTime now, Address from, Address to) {
+  return inner_ != nullptr ? inner_->on_send(now, from, to) : SendDecision{};
+}
+
+SimTime ByzantineModel::dark_until(SimTime now, Address addr) const {
+  return inner_ != nullptr ? inner_->dark_until(now, addr) : 0;
+}
+
+NodeId ByzantineModel::near_id(NodeId victim) {
+  // Keep the top 44 bits (11 of 16 digits at b = 4): close enough that the
+  // fake lands deep in the victim's prefix table and near it on the ring.
+  constexpr int kLowBits = 20;
+  constexpr NodeId kMask = (NodeId{1} << kLowBits) - 1;
+  NodeId fake = victim;
+  while (fake == victim) fake = (victim & ~kMask) | (rng_.next_u64() & kMask);
+  return fake;
+}
+
+bool ByzantineModel::addresses_deliverable(const Payload& payload) const {
+  const auto n = engine_->node_count();
+  const auto ok = [n](Address a) { return a < n; };
+  if (const auto* b = dynamic_cast<const BootstrapMessage*>(&payload)) {
+    if (!ok(b->sender.addr)) return false;
+    for (const auto& d : b->ring_part) {
+      if (!ok(d.addr)) return false;
+    }
+    for (const auto& d : b->prefix_part) {
+      if (!ok(d.addr)) return false;
+    }
+    return true;
+  }
+  if (const auto* nw = dynamic_cast<const NewscastMessage*>(&payload)) {
+    for (const auto& e : nw->entries) {
+      if (!ok(e.descriptor.addr)) return false;
+    }
+    return true;
+  }
+  if (dynamic_cast<const ProbeMessage*>(&payload) != nullptr) return true;
+  // A mutant of a type we cannot scan could smuggle an undeliverable
+  // address; drop it instead.
+  return false;
+}
+
+FaultModel::TamperVerdict ByzantineModel::corrupt_frame(const Payload& payload) {
+  TamperVerdict v;
+  auto bytes = encode_message(payload);
+  if (!bytes.has_value() || bytes->empty()) return v;  // no wire form
+  const auto flips = 1 + rng_.below(3);
+  for (std::uint64_t i = 0; i < flips; ++i) {
+    auto& b = (*bytes)[rng_.below(bytes->size())];
+    b = static_cast<std::uint8_t>(b ^ (1u << rng_.below(8)));
+  }
+  corrupted_->inc();
+  auto decoded = decode_message(*bytes);
+  if (decoded != nullptr && addresses_deliverable(*decoded)) {
+    v.action = TamperVerdict::Action::Replace;
+    v.replacement = std::move(decoded);
+  } else {
+    v.action = TamperVerdict::Action::Corrupt;
+  }
+  return v;
+}
+
+FaultModel::TamperVerdict ByzantineModel::on_payload(SimTime now, Address from, Address to,
+                                                     const Payload& payload) {
+  if (inner_ != nullptr) {
+    auto v = inner_->on_payload(now, from, to, payload);
+    if (v.action != TamperVerdict::Action::Deliver) return v;
+  }
+  // Adversaries coordinate: traffic among colluders stays truthful.
+  if (!plan_.active_at(now) || !is_adversary(from) || is_adversary(to)) return {};
+
+  const auto* boot = dynamic_cast<const BootstrapMessage*>(&payload);
+  const auto* news = dynamic_cast<const NewscastMessage*>(&payload);
+
+  if (plan_.corrupt_probability > 0.0 && rng_.chance(plan_.corrupt_probability)) {
+    return corrupt_frame(payload);
+  }
+
+  const bool is_answer = (boot != nullptr && !boot->is_request) ||
+                         (news != nullptr && !news->is_request);
+  if (is_answer && plan_.suppress_probability > 0.0 &&
+      rng_.chance(plan_.suppress_probability)) {
+    suppressed_->inc();
+    TamperVerdict v;
+    v.action = TamperVerdict::Action::Suppress;
+    return v;
+  }
+
+  if (boot != nullptr && (plan_.eclipse || plan_.poison || plan_.spoof)) {
+    auto mutated = std::make_unique<BootstrapMessage>(*boot);
+    bool changed = false;
+    if (plan_.eclipse) {
+      // Hub attack: rebuild the payload as a flood of descriptors crafted
+      // prefix-close to the victim, all fronted by colluders, so the
+      // victim's leaf set and deep prefix cells fill with adversaries.
+      const NodeId victim = engine_->id_of(to);
+      const std::size_t fill = std::max(
+          mutated->ring_part.size() + mutated->prefix_part.size(), kEclipseFloor);
+      mutated->ring_part.clear();
+      mutated->prefix_part.clear();
+      for (std::size_t i = 0; i < fill; ++i) {
+        mutated->ring_part.push_back(
+            {near_id(victim),
+             adversaries_[static_cast<std::size_t>(rng_.below(adversaries_.size()))]});
+      }
+      eclipsed_->add(fill);
+      changed = true;
+    } else if (plan_.poison) {
+      const auto& pool = pools_.at(from);
+      std::uint64_t swapped = 0;
+      const auto poison_list = [&](DescriptorList& list) {
+        for (auto& d : list) {
+          if (rng_.chance(kPoisonSwapProbability)) {
+            d = pool[static_cast<std::size_t>(rng_.below(pool.size()))];
+            ++swapped;
+          }
+        }
+      };
+      poison_list(mutated->ring_part);
+      poison_list(mutated->prefix_part);
+      if (swapped != 0) {
+        poisoned_->add(swapped);
+        changed = true;
+      }
+    }
+    if (plan_.spoof) {
+      // Keep the truthful (unforgeable) address but claim an ID next to the
+      // victim — the classic ID-spoofing wedge into its near-ring.
+      mutated->sender.id = near_id(engine_->id_of(to));
+      spoofed_->inc();
+      changed = true;
+    }
+    if (changed) {
+      TamperVerdict v;
+      v.action = TamperVerdict::Action::Replace;
+      v.replacement = std::move(mutated);
+      return v;
+    }
+    return {};
+  }
+
+  if (news != nullptr && plan_.poison) {
+    const auto& pool = pools_.at(from);
+    auto mutated = std::make_unique<NewscastMessage>(*news);
+    std::uint64_t swapped = 0;
+    for (auto& e : mutated->entries) {
+      if (rng_.chance(kPoisonSwapProbability)) {
+        e.descriptor = pool[static_cast<std::size_t>(rng_.below(pool.size()))];
+        // Freshness forgery: a future timestamp wins every dedupe, so the
+        // fake sticks in unhardened views (hardened merges reject it).
+        e.timestamp = now + kDelta;
+        ++swapped;
+      }
+    }
+    if (swapped != 0) {
+      poisoned_->add(swapped);
+      TamperVerdict v;
+      v.action = TamperVerdict::Action::Replace;
+      v.replacement = std::move(mutated);
+      return v;
+    }
+  }
+
+  return {};
+}
+
+std::unique_ptr<ByzantineModel> install_adversary_plan(Engine& engine,
+                                                       const AdversaryPlan& plan) {
+  if (plan.empty()) return nullptr;
+  auto model = std::make_unique<ByzantineModel>(plan);
+  model->install(engine);
+  return model;
+}
+
+}  // namespace bsvc

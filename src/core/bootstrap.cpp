@@ -38,6 +38,13 @@ void BootstrapProtocol::on_start(Context& ctx) {
   ctr_select_peer_empty_ = &metrics.counter("bootstrap.select_peer_empty");
   ctr_condemned_ = &metrics.counter("bootstrap.condemned");
   ctr_exchange_timeout_ = &metrics.counter("bootstrap.exchange_timeout");
+  if (config_.harden) {
+    ctr_q_held_ = &metrics.counter("quarantine.held");
+    ctr_q_promoted_ = &metrics.counter("quarantine.promoted");
+    ctr_q_rejected_ = &metrics.counter("quarantine.rejected");
+    ctr_sanity_rejected_ = &metrics.counter("bootstrap.sanity_rejected");
+    ctr_pin_mismatch_ = &metrics.counter("bootstrap.pin_mismatch");
+  }
   ctx.schedule_timer(start_delay_, kInitTimer);
 }
 
@@ -132,6 +139,14 @@ void BootstrapProtocol::maintenance_step(Context& ctx) {
       if (it->attempts >= kProbeAttempts) {
         condemn(it->target.id, now);
         last_heard_.erase(it->target.addr);
+        if (config_.harden) {
+          // A silent quarantined address never gets promoted.
+          const auto q = quarantine_.find(it->target.addr);
+          if (q != quarantine_.end()) {
+            quarantine_.erase(q);
+            if (ctr_q_rejected_ != nullptr) ctr_q_rejected_->inc();
+          }
+        }
         it = outstanding_probes_.erase(it);
         continue;
       }
@@ -174,6 +189,19 @@ void BootstrapProtocol::maintenance_step(Context& ctx) {
     const NodeDescriptor& d = entries[prefix_probe_cursor_];
     const auto it = last_heard_.find(d.addr);
     if (it == last_heard_.end() || now - it->second >= 2 * config_.delta) send_probe(ctx, d);
+  }
+
+  // 4. Probe-before-trust: a couple of quarantined descriptors per cycle
+  // get a verifying probe; the echo promotes or rejects them (on_probe_echo).
+  if (config_.harden) {
+    constexpr std::size_t kQuarantineProbesPerCycle = 2;
+    std::size_t sent = 0;
+    for (const auto& [addr, d] : quarantine_) {
+      if (sent >= kQuarantineProbesPerCycle) break;
+      if (already_probing(addr)) continue;
+      send_probe(ctx, d);
+      ++sent;
+    }
   }
 }
 
@@ -341,11 +369,15 @@ std::unique_ptr<BootstrapMessage> BootstrapProtocol::create_message(NodeId peer_
 }
 
 void BootstrapProtocol::on_message(Context& ctx, Address from, const Payload& payload) {
+  // Anything heard from a peer proves liveness. Remember which believed
+  // binding an answered probe was verifying — the hardened echo check needs
+  // it after the erase.
+  std::optional<NodeDescriptor> answered_probe;
   if (config_.evict_unresponsive) {
-    // Anything heard from a peer proves liveness.
     last_heard_[from] = ctx.now();
     for (auto it = outstanding_probes_.begin(); it != outstanding_probes_.end(); ++it) {
       if (it->target.addr == from) {
+        answered_probe = it->target;
         outstanding_probes_.erase(it);
         break;
       }
@@ -353,7 +385,13 @@ void BootstrapProtocol::on_message(Context& ctx, Address from, const Payload& pa
   }
   now_ = ctx.now();
   if (const auto* probe = dynamic_cast<const ProbeMessage*>(&payload)) {
-    if (!probe->is_reply) ctx.send(from, std::make_unique<ProbeMessage>(/*is_reply=*/true));
+    if (!probe->is_reply) {
+      ctx.send(from, std::make_unique<ProbeMessage>(/*is_reply=*/true, self_.id));
+      return;
+    }
+    if (config_.harden && probe->responder_id != 0 && active()) {
+      on_probe_echo(ctx, from, probe->responder_id, answered_probe);
+    }
     return;
   }
   const auto* msg = dynamic_cast<const BootstrapMessage*>(&payload);
@@ -367,6 +405,23 @@ void BootstrapProtocol::on_message(Context& ctx, Address from, const Payload& pa
     // because the sender retries every cycle.
     return;
   }
+  if (config_.harden) {
+    // Sender self-consistency: the claimed descriptor must match the
+    // transport-level source address, and — once a probe echo pinned the
+    // address — the pinned ID. A mismatch marks the peer as caught lying
+    // and rejects the whole message.
+    if (msg->sender.addr != from) {
+      if (ctr_sanity_rejected_ != nullptr) ctr_sanity_rejected_->inc();
+      mark_suspect(from);
+      return;
+    }
+    const auto pin = pinned_.find(from);
+    if (pin != pinned_.end() && pin->second != msg->sender.id) {
+      if (ctr_sanity_rejected_ != nullptr) ctr_sanity_rejected_->inc();
+      mark_suspect(from);
+      return;
+    }
+  }
   if (from == probe_peer_.addr) probe_answered_ = true;
   if (msg->is_request) {
     auto reply = create_message(msg->sender.id, /*is_request=*/false);
@@ -376,7 +431,7 @@ void BootstrapProtocol::on_message(Context& ctx, Address from, const Payload& pa
   }
   if (stats_ != nullptr) ++stats_->messages_received;
   if (config_.evict_unresponsive) adopt_tombstones(msg->tombstones, ctx.now());
-  update_from(*msg);
+  update_from(*msg, from);
 }
 
 void BootstrapProtocol::condemn(NodeId id, SimTime now) {
@@ -405,7 +460,7 @@ void BootstrapProtocol::adopt_tombstones(const std::vector<Tombstone>& incoming,
   }
 }
 
-void BootstrapProtocol::update_from(const BootstrapMessage& msg) {
+void BootstrapProtocol::update_from(const BootstrapMessage& msg, Address from) {
   // One combined pass: both methods take "a set of node descriptors", and a
   // single leaf-set rebuild is cheaper than three.
   DescriptorList combined;
@@ -420,8 +475,124 @@ void BootstrapProtocol::update_from(const BootstrapMessage& msg) {
                                   }),
                    combined.end());
   }
+  if (config_.harden) {
+    // Per-sender contribution cap: one message may carry at most what an
+    // honest CREATEMESSAGE can structurally produce — c ring entries, cr
+    // random samples, and a prefix part bounded by k entries per cell of a
+    // full table — plus the sender. Flooded messages are truncated, not
+    // trusted; compliant messages are never touched.
+    const std::size_t cap =
+        config_.c + config_.cr +
+        static_cast<std::size_t>(config_.k) *
+            static_cast<std::size_t>(config_.digits.radix()) *
+            static_cast<std::size_t>(config_.digits.num_digits<NodeId>()) +
+        1;
+    if (combined.size() > cap) {
+      if (ctr_sanity_rejected_ != nullptr) {
+        ctr_sanity_rejected_->add(combined.size() - cap);
+      }
+      combined.resize(cap);
+    }
+    // Descriptor sanity: identity theft (our ID or address under a foreign
+    // binding) and bindings contradicting a probe-confirmed pin are dropped.
+    combined.erase(std::remove_if(combined.begin(), combined.end(),
+                                  [this](const NodeDescriptor& d) {
+                                    if ((d.addr == self_.addr) != (d.id == self_.id)) {
+                                      if (ctr_sanity_rejected_ != nullptr) {
+                                        ctr_sanity_rejected_->inc();
+                                      }
+                                      return true;
+                                    }
+                                    const auto pin = pinned_.find(d.addr);
+                                    if (pin != pinned_.end() && pin->second != d.id) {
+                                      if (ctr_pin_mismatch_ != nullptr) {
+                                        ctr_pin_mismatch_->inc();
+                                      }
+                                      return true;
+                                    }
+                                    return false;
+                                  }),
+                   combined.end());
+    // A peer caught lying gets no direct say anymore: its contributions go
+    // to the quarantine and enter the tables only after a probe echo
+    // confirms each binding (probe-before-trust).
+    if (probing_defense() && suspects_.count(from) != 0) {
+      for (const auto& d : combined) quarantine(d);
+      return;
+    }
+    // Bounded provenance: remember who first vouched for each address, so a
+    // later catch can purge the liar's plantings.
+    if (contributed_by_.size() < kProvenanceCap) {
+      for (const auto& d : combined) contributed_by_.emplace(d.addr, from);
+    }
+  }
   leaf_->update(combined);
   prefix_->insert_all(combined);
+}
+
+void BootstrapProtocol::on_probe_echo(Context& /*ctx*/, Address from, NodeId echoed_id,
+                                      const std::optional<NodeDescriptor>& believed) {
+  // The echo is ground truth for the address→ID binding (transport
+  // addresses are unforgeable in this threat model; IDs are what gets lied
+  // about). Newest echo wins.
+  pinned_[from] = echoed_id;
+  if (believed.has_value() && believed->id != echoed_id) {
+    // Fabricated binding caught: the advertised ID does not live at this
+    // address. Condemn the fake ID (the tombstone spreads the suppression)
+    // and stop trusting whoever planted it.
+    if (ctr_pin_mismatch_ != nullptr) ctr_pin_mismatch_->inc();
+    condemn(believed->id, now_);
+    const auto planter = contributed_by_.find(from);
+    if (planter != contributed_by_.end()) mark_suspect(planter->second);
+  }
+  // The echo also tells us the true descriptor of the responder — adopt it
+  // (unless it is tombstoned, e.g. a recently condemned flapper).
+  if (!is_tombstoned(echoed_id, now_)) {
+    const NodeDescriptor truth{echoed_id, from};
+    leaf_->update({&truth, 1});
+    prefix_->insert(truth);
+  }
+  // Settle a quarantined entry for this address: promote on a matching
+  // echo, reject on a contradiction.
+  const auto q = quarantine_.find(from);
+  if (q != quarantine_.end()) {
+    if (q->second.id == echoed_id) {
+      if (ctr_q_promoted_ != nullptr) ctr_q_promoted_->inc();
+    } else if (ctr_q_rejected_ != nullptr) {
+      ctr_q_rejected_->inc();
+    }
+    quarantine_.erase(q);
+  }
+}
+
+void BootstrapProtocol::mark_suspect(Address peer) {
+  if (peer == kNullAddress || suspects_.count(peer) != 0) return;
+  suspects_.insert(peer);
+  if (leaf_.has_value()) {
+    // Purge the liar's unverified plantings: table entries whose address it
+    // vouched for and whose binding no probe echo has confirmed. Local
+    // removal only — no tombstones, because the liar may have relayed some
+    // honest descriptors and spreading certificates would amplify the lie.
+    for (const auto& d : leaf_->all()) {
+      const auto it = contributed_by_.find(d.addr);
+      if (it == contributed_by_.end() || it->second != peer) continue;
+      const auto pin = pinned_.find(d.addr);
+      if (pin != pinned_.end() && pin->second == d.id) continue;
+      leaf_->remove(d.id);
+      prefix_->remove(d.id);
+      if (ctr_q_rejected_ != nullptr) ctr_q_rejected_->inc();
+    }
+  }
+}
+
+void BootstrapProtocol::quarantine(const NodeDescriptor& d) {
+  if (d.addr == kNullAddress || d.addr == self_.addr) return;
+  const auto pin = pinned_.find(d.addr);
+  if (pin != pinned_.end()) return;  // already settled, either way
+  if (quarantine_.size() >= kQuarantineCap) return;
+  if (quarantine_.emplace(d.addr, d).second && ctr_q_held_ != nullptr) {
+    ctr_q_held_->inc();
+  }
 }
 
 const LeafSet& BootstrapProtocol::leaf_set() const {

@@ -15,6 +15,7 @@
 #include <memory>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/stats.hpp"
 #include "core/config.hpp"
@@ -70,11 +71,16 @@ class BootstrapMessage final : public Payload {
 };
 
 /// Tiny liveness probe (and its echo) used by the evict_unresponsive
-/// extension's maintenance loop.
+/// extension's maintenance loop. The echo carries the responder's own ID,
+/// which doubles as the binding confirmation of the hardened protocol: a
+/// probe to an address whose echo contradicts the advertised ID exposes a
+/// fabricated ID/address binding (the probe request itself discloses
+/// nothing, so a malicious responder cannot tailor its answer).
 class ProbeMessage final : public Payload {
  public:
-  explicit ProbeMessage(bool is_reply) : is_reply(is_reply) {}
-  std::size_t wire_bytes() const override { return 1; }
+  explicit ProbeMessage(bool is_reply, NodeId responder_id = 0)
+      : responder_id(responder_id), is_reply(is_reply) {}
+  std::size_t wire_bytes() const override { return 1 + 8; }
   const char* type_name() const override { return "probe"; }
   const char* metric_tag() const override {
     return is_reply ? "probe.reply" : "probe.request";
@@ -82,6 +88,8 @@ class ProbeMessage final : public Payload {
   std::unique_ptr<Payload> clone() const override {
     return std::make_unique<ProbeMessage>(*this);
   }
+  /// The responder's own ID (echo only; 0 on requests).
+  NodeId responder_id;
   bool is_reply;
 };
 
@@ -150,8 +158,9 @@ class BootstrapProtocol final : public Protocol {
   /// ring distance from the own ID.
   std::optional<NodeDescriptor> select_peer(Context& ctx);
 
-  /// UPDATELEAFSET + UPDATEPREFIXTABLE over one received message.
-  void update_from(const BootstrapMessage& msg);
+  /// UPDATELEAFSET + UPDATEPREFIXTABLE over one received message. `from` is
+  /// the transport-level sender (hardened filtering keys off it).
+  void update_from(const BootstrapMessage& msg, Address from);
 
   BootstrapConfig config_;
   PeerSampler* sampler_;
@@ -163,6 +172,13 @@ class BootstrapProtocol final : public Protocol {
   obs::Counter* ctr_select_peer_empty_ = nullptr;
   obs::Counter* ctr_condemned_ = nullptr;
   obs::Counter* ctr_exchange_timeout_ = nullptr;
+  // Hardening counters (registered only with config_.harden, so unhardened
+  // runs keep an unchanged metrics registry).
+  obs::Counter* ctr_q_held_ = nullptr;          // quarantine.held
+  obs::Counter* ctr_q_promoted_ = nullptr;      // quarantine.promoted
+  obs::Counter* ctr_q_rejected_ = nullptr;      // quarantine.rejected
+  obs::Counter* ctr_sanity_rejected_ = nullptr; // bootstrap.sanity_rejected
+  obs::Counter* ctr_pin_mismatch_ = nullptr;    // bootstrap.pin_mismatch
   SimTime start_delay_;
   NodeDescriptor self_{};
   std::optional<LeafSet> leaf_;
@@ -209,6 +225,34 @@ class BootstrapProtocol final : public Protocol {
   bool is_tombstoned(NodeId id, SimTime now) const;
   /// Adopts certificates received from a peer.
   void adopt_tombstones(const std::vector<Tombstone>& incoming, SimTime now);
+
+  // --- Byzantine hardening (config_.harden) -------------------------------
+
+  /// Whether the probe-based defenses are live (harden reuses the
+  /// evict_unresponsive maintenance machinery).
+  bool probing_defense() const { return config_.harden && config_.evict_unresponsive; }
+  /// Handles a probe echo: pins the address→ID binding, exposes fabricated
+  /// bindings (believed ID ≠ echoed ID), and settles quarantined entries.
+  /// `believed` is the outstanding-probe target this echo answered, if any.
+  void on_probe_echo(Context& ctx, Address from, NodeId echoed_id,
+                     const std::optional<NodeDescriptor>& believed);
+  /// Marks a peer as caught lying and purges its unverified contributions.
+  void mark_suspect(Address peer);
+  /// Places a descriptor in the bounded quarantine (probe-before-trust).
+  void quarantine(const NodeDescriptor& d);
+
+  // Address→ID bindings confirmed by probe echoes (ground truth under the
+  // "addresses are unforgeable" transport assumption).
+  std::unordered_map<Address, NodeId> pinned_;
+  // Peers caught lying; their future contributions are quarantined.
+  std::unordered_set<Address> suspects_;
+  // Descriptor address -> the peer that first contributed it (bounded
+  // provenance, enough to purge a liar's plantings when it is caught).
+  std::unordered_map<Address, Address> contributed_by_;
+  // Quarantined descriptors awaiting a confirming probe echo.
+  std::unordered_map<Address, NodeDescriptor> quarantine_;
+  static constexpr std::size_t kQuarantineCap = 64;
+  static constexpr std::size_t kProvenanceCap = 4096;
   // Scratch buffers reused across create_message calls to avoid per-message
   // allocations on the hot path.
   DescriptorList union_buf_;

@@ -58,6 +58,16 @@ struct BootstrapConfig {
   /// through real non-answers — partitions, crashed-but-recovering nodes
   /// and heavy loss trigger it without any oracle liveness.
   SimTime exchange_timeout = 0;
+
+  /// Byzantine hardening (see docs/faults.md, threat model): sender
+  /// self-consistency checks, per-message contribution caps, address→ID
+  /// pinning confirmed by probe echoes, and a quarantine with
+  /// probe-before-trust for descriptors contributed by peers caught lying.
+  /// The probe-based defenses require evict_unresponsive (they reuse its
+  /// maintenance machinery). Off by default: with harden = false the
+  /// protocol is byte-identical to the unhardened build — the golden
+  /// replays witness this.
+  bool harden = false;
 };
 
 }  // namespace bsvc

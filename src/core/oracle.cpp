@@ -100,18 +100,21 @@ ConvergenceMetrics ConvergenceOracle::measure(bool check_liveness) const {
 
     // Prefix: every held entry is a real node in its correct cell, and per
     // cell the count cannot exceed min(k, available), so the filled count is
-    // directly comparable to the perfect total — as long as every entry
-    // refers to a member. Under churn or subset (partition) measurement,
-    // entries pointing outside the membership must be discounted.
+    // directly comparable to the perfect total — as long as every entry is a
+    // truthful member binding. Under churn or subset (partition)
+    // measurement, entries pointing outside the membership must be
+    // discounted; under a fault model, a Byzantine adversary may have
+    // planted fabricated ID/address bindings, which never count as present.
     // The O(1) fast path (trusting filled()) is only sound when every entry
-    // is necessarily a member: no node has ever died and the membership is
-    // the full alive set.
+    // is necessarily a truthful member: no node has ever died, no fault
+    // model is installed and the membership is the full alive set.
     const bool maybe_stale = engine_.alive_count() != engine_.node_count();
-    if (check_liveness || subset_ || maybe_stale) {
+    if (check_liveness || subset_ || maybe_stale || engine_.fault_model() != nullptr) {
       std::uint64_t member_entries = 0;
       for (const auto& e : node_prefix.entries()) {
         const bool is_member =
-            e.addr < rank_by_addr_.size() && rank_by_addr_[e.addr] != 0xFFFFFFFFu;
+            e.addr < rank_by_addr_.size() && rank_by_addr_[e.addr] != 0xFFFFFFFFu &&
+            members[rank_by_addr_[e.addr]].id == e.id;
         if (!is_member) continue;
         if (check_liveness && !engine_.is_alive(e.addr)) continue;
         ++member_entries;

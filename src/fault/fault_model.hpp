@@ -10,8 +10,11 @@
 // src/fault the engine depends on.
 #pragma once
 
+#include <memory>
+
 #include "id/node_id.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/payload.hpp"
 
 namespace bsvc {
 
@@ -50,6 +53,33 @@ class FaultModel {
   /// messages to it are dropped, its timers are deferred to the recovery
   /// time, and it resumes where it left off — distinct from kill_node.
   virtual SimTime dark_until(SimTime now, Address addr) const = 0;
+
+  /// Verdict of on_payload: what happens to the message content itself.
+  struct TamperVerdict {
+    enum class Action : std::uint8_t {
+      Deliver,   // untouched (the default for every benign model)
+      Suppress,  // silently withheld by the sender (Byzantine reply drop)
+      Corrupt,   // damaged beyond parsing: counted as a msg.corrupt drop
+      Replace,   // content rewritten in flight; `replacement` is delivered
+    };
+    Action action = Action::Deliver;
+    std::unique_ptr<Payload> replacement;
+  };
+
+  /// Consulted once per send after the on_send verdict (survivors only),
+  /// letting a model act on message *content* — the hook Byzantine behavior
+  /// models build on (descriptor poisoning, reply suppression, wire
+  /// corruption). Benign models inherit this no-op, so the scripted
+  /// FaultInjector and the null model stay bit-identical to the pre-tamper
+  /// engine.
+  virtual TamperVerdict on_payload(SimTime now, Address from, Address to,
+                                   const Payload& payload) {
+    (void)now;
+    (void)from;
+    (void)to;
+    (void)payload;
+    return {};
+  }
 };
 
 }  // namespace bsvc

@@ -23,13 +23,16 @@ void NewscastProtocol::add_contact(const NodeDescriptor& contact, SimTime now) {
     pending_seeds_.push_back(contact);
     return;
   }
-  merge({{contact, now}});
+  merge({{contact, now}}, now);
 }
 
 void NewscastProtocol::on_start(Context& ctx) {
   self_ = {ctx.self_id(), ctx.self()};
   rng_ = &ctx.rng();
   ctr_exchanges_ = &ctx.engine().metrics().counter("newscast.exchanges");
+  if (config_.harden) {
+    ctr_rejected_ = &ctx.engine().metrics().counter("newscast.rejected");
+  }
   started_ = true;
   view_.clear();
   for (const auto& seed : pending_seeds_) {
@@ -63,7 +66,7 @@ void NewscastProtocol::on_message(Context& ctx, Address from, const Payload& pay
   if (msg->is_request) {
     ctx.send(from, std::make_unique<NewscastMessage>(outgoing(ctx), /*is_request=*/false));
   }
-  merge(msg->entries);
+  merge(msg->entries, ctx.now());
 }
 
 DescriptorList NewscastProtocol::sample(std::size_t n) {
@@ -79,11 +82,23 @@ DescriptorList NewscastProtocol::sample(std::size_t n) {
   return out;
 }
 
-void NewscastProtocol::merge(const std::vector<TimestampedDescriptor>& incoming) {
+void NewscastProtocol::merge(const std::vector<TimestampedDescriptor>& incoming, SimTime now) {
   // Union of view and incoming; per address keep the freshest timestamp.
   std::vector<TimestampedDescriptor> merged = view_;
+  std::size_t accepted = 0;
   for (const auto& entry : incoming) {
     if (entry.descriptor.addr == self_.addr || entry.descriptor.addr == kNullAddress) continue;
+    if (config_.harden) {
+      // Future timestamps are freshness forgery — a poisoned entry stamped
+      // ahead of the clock would win every dedupe until the horizon. The
+      // flood cap bounds what a single message may change; a compliant
+      // exchange carries at most the peer's view plus its self entry.
+      if (entry.timestamp > now || accepted >= config_.view_size + 1) {
+        if (ctr_rejected_ != nullptr) ctr_rejected_->inc();
+        continue;
+      }
+      ++accepted;
+    }
     auto it = std::find_if(merged.begin(), merged.end(), [&](const TimestampedDescriptor& e) {
       return e.descriptor.addr == entry.descriptor.addr;
     });

@@ -52,6 +52,12 @@ struct NewscastConfig {
   /// Gossip period in ticks (the paper's "typically long" interval; one
   /// exchange per node per period).
   SimTime period = kDelta;
+  /// Byzantine hardening: reject descriptors timestamped in the future
+  /// (freshness forgery would otherwise make a poisoned entry win every
+  /// dedupe for the rest of the run) and cap the entries accepted from one
+  /// message at view_size (flood cap). Off by default; with harden = false
+  /// the merge is byte-identical to the unhardened build.
+  bool harden = false;
 };
 
 /// The Newscast protocol instance of one node. Also implements PeerSampler
@@ -83,8 +89,10 @@ class NewscastProtocol final : public Protocol, public PeerSampler {
 
  private:
   /// Merges incoming entries into the view: dedupe by address keeping the
-  /// freshest, drop self, keep the `view_size` freshest overall.
-  void merge(const std::vector<TimestampedDescriptor>& incoming);
+  /// freshest, drop self, keep the `view_size` freshest overall. With
+  /// config_.harden, future-stamped and over-cap entries are rejected
+  /// (counted in "newscast.rejected").
+  void merge(const std::vector<TimestampedDescriptor>& incoming, SimTime now);
 
   /// The view plus a fresh self-descriptor, for sending.
   std::vector<TimestampedDescriptor> outgoing(Context& ctx) const;
@@ -98,6 +106,8 @@ class NewscastProtocol final : public Protocol, public PeerSampler {
   Rng* rng_ = nullptr;
   // Engine-registry counter ("newscast.exchanges"), cached at on_start.
   obs::Counter* ctr_exchanges_ = nullptr;
+  // Hardening rejections ("newscast.rejected"; registered only with harden).
+  obs::Counter* ctr_rejected_ = nullptr;
 };
 
 }  // namespace bsvc

@@ -57,6 +57,9 @@ void Engine::set_fault_model(FaultModel* model) {
     fault_dark_dropped_ = &metrics_.counter("fault.dark.dropped");
     fault_dark_deferred_ = &metrics_.counter("fault.dark.deferred");
   }
+  if (model != nullptr && msg_corrupt_ == nullptr) {
+    msg_corrupt_ = &metrics_.counter("msg.corrupt");
+  }
 }
 
 Address Engine::add_node(NodeId id) {
@@ -178,6 +181,21 @@ void Engine::send_message(Address from, Address to, ProtocolSlot slot,
       ++traffic_.messages_dropped;
       if (trace_ != nullptr) trace_message(obs::TraceKind::Drop, from, to, slot, *payload);
       return;
+    }
+    // Tamper verdict: Byzantine senders may withhold, damage or rewrite the
+    // content. The byte accounting above already charged the original
+    // transmission; a rewritten payload travels in its place.
+    auto tamper = fault_->on_payload(now_, from, to, *payload);
+    using Action = FaultModel::TamperVerdict::Action;
+    if (tamper.action == Action::Suppress || tamper.action == Action::Corrupt) {
+      ++traffic_.messages_dropped;
+      if (tamper.action == Action::Corrupt) msg_corrupt_->inc();
+      if (trace_ != nullptr) trace_message(obs::TraceKind::Drop, from, to, slot, *payload);
+      return;
+    }
+    if (tamper.action == Action::Replace) {
+      BSVC_CHECK(tamper.replacement != nullptr);
+      payload = std::move(tamper.replacement);
     }
   }
   if (rng_.chance(transport_.drop_probability)) {
@@ -330,7 +348,12 @@ void Engine::dispatch(const SlimEvent& ev) {
       if (transcoder_) {
         auto decoded = transcoder_(*payload);
         if (decoded == nullptr) {
+          // A frame the wire codec cannot decode is a corrupt datagram: a
+          // counted drop, never a crash. Lazy binding keeps the registry of
+          // clean runs untouched.
           ++traffic_.messages_dropped;
+          if (msg_corrupt_ == nullptr) msg_corrupt_ = &metrics_.counter("msg.corrupt");
+          msg_corrupt_->inc();
           if (trace_ != nullptr) {
             trace_message(obs::TraceKind::Drop, ev.from, ev.addr, ev.slot, *payload);
           }

@@ -245,6 +245,10 @@ class Engine {
   obs::Counter* fault_dup_ = nullptr;            // msg.dup
   obs::Counter* fault_dark_dropped_ = nullptr;   // fault.dark.dropped
   obs::Counter* fault_dark_deferred_ = nullptr;  // fault.dark.deferred
+  // Corrupt-frame drops (tamper verdicts and transcoder decode failures).
+  // Bound lazily at the first corrupt frame (or with the fault model), so
+  // runs that never see one keep an unchanged metrics registry.
+  obs::Counter* msg_corrupt_ = nullptr;          // msg.corrupt
   // Mutable: observers holding `const Engine&` record measurements; metric
   // state never feeds back into event ordering or RNG streams.
   mutable obs::MetricsRegistry metrics_;

@@ -90,6 +90,7 @@ std::optional<std::vector<std::uint8_t>> encode_message(const Payload& payload) 
   } else if (const auto* m = dynamic_cast<const ProbeMessage*>(&payload)) {
     w.u8(static_cast<std::uint8_t>(MessageType::Probe));
     w.u8(m->is_reply ? 1 : 0);
+    w.u64(m->responder_id);
   } else {
     return std::nullopt;
   }
@@ -157,8 +158,9 @@ std::unique_ptr<Payload> decode_message(const std::vector<std::uint8_t>& bytes) 
     }
     case MessageType::Probe: {
       const auto flag = r.u8();
-      if (!flag || *flag > 1 || !r.exhausted()) return nullptr;
-      return std::make_unique<ProbeMessage>(*flag == 1);
+      const auto responder = r.u64();
+      if (!flag || !responder || *flag > 1 || !r.exhausted()) return nullptr;
+      return std::make_unique<ProbeMessage>(*flag == 1, *responder);
     }
   }
   return nullptr;

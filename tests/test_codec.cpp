@@ -79,6 +79,31 @@ TEST(Codec, TruncatedReadsReturnNullopt) {
   }
 }
 
+TEST(Codec, BitflipsNeverOverread) {
+  // Bit flips anywhere in a serialized descriptor list — including the
+  // count prefix — must either still parse (the flip landed in a value
+  // byte) or fail cleanly; the reader never reads past its buffer.
+  const auto list = test::random_descriptors(5, 7);
+  ByteWriter w;
+  w.descriptor_list(list);
+  const auto& full = w.bytes();
+  for (std::size_t byte = 0; byte < full.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<std::uint8_t> mutant(full.begin(), full.end());
+      mutant[byte] = static_cast<std::uint8_t>(mutant[byte] ^ (1u << bit));
+      ByteReader r(mutant.data(), mutant.size());
+      const auto back = r.descriptor_list();
+      if (back.has_value()) {
+        // A value-byte flip keeps the element count; a count flip that
+        // still parses can only have shrunk the list (fewer elements than
+        // bytes provide fails the exhausted check in message decoding, but
+        // the primitive accepts a short read).
+        EXPECT_LE(back->size(), (mutant.size() - 2) / kDescriptorWireBytes + 1);
+      }
+    }
+  }
+}
+
 TEST(Codec, ReaderPastEnd) {
   ByteReader r(nullptr, 0);
   EXPECT_FALSE(r.u8().has_value());

@@ -444,6 +444,44 @@ TEST(ExchangeTimeout, SilentWithoutEviction) {
   EXPECT_EQ(exp.engine().metrics().counter("bootstrap.exchange_timeout").value(), 0u);
 }
 
+TEST(FaultInteraction, EvictedCrashRecoverNodeIsReadmittedAfterProbe) {
+  // Eviction composed with a crash–recover plan: the dark node stops
+  // answering, gets condemned and tombstoned out of the overlay, and — once
+  // it recovers and the tombstone expires — answers its next probe and is
+  // re-admitted, so the network ends fully converged around it again.
+  ExperimentConfig cfg;
+  cfg.n = 64;
+  cfg.seed = 7;
+  cfg.max_cycles = 24;
+  cfg.stop_at_convergence = false;
+  cfg.bootstrap.evict_unresponsive = true;
+  cfg.bootstrap.tombstone_ttl_cycles = 3;
+  const SimTime delta = cfg.bootstrap.delta;
+  const SimTime epoch = cfg.warmup_cycles * delta;
+  const Address victim = 3;
+  cfg.fault_plan.crashes.push_back({{epoch + 2 * delta, epoch + 8 * delta}, victim, 0.0});
+
+  BootstrapExperiment exp(cfg);
+  const auto result = exp.run();
+  obs::MetricsRegistry& m = exp.engine().metrics();
+  // The dark node was condemned while unresponsive...
+  EXPECT_GT(m.counter("bootstrap.condemned").value(), 0u);
+  // ...and after recovery it answered probes again.
+  EXPECT_GT(m.counter("msg.sent.probe.reply").value(), 0u);
+  EXPECT_TRUE(exp.engine().is_alive(victim));
+
+  // Re-admission is visible in the others' leaf sets and in the oracle.
+  std::size_t appearances = 0;
+  for (Address a = 0; a < cfg.n; ++a) {
+    if (a == victim) continue;
+    for (const auto& d : exp.bootstrap_of(a).leaf_set().all()) {
+      appearances += d.addr == victim;
+    }
+  }
+  EXPECT_GT(appearances, 0u);
+  EXPECT_LT(result.final_metrics.missing_leaf_fraction(), 0.01);
+}
+
 // --- scenario config -------------------------------------------------------
 
 TEST(ScenarioConfigTest, ResolvePrefersFileAndReportsErrors) {

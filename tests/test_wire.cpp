@@ -71,6 +71,17 @@ TEST(Wire, TManRumorAggregationRoundtrip) {
   EXPECT_TRUE(roundtrip(agg)->is_request);
 }
 
+TEST(Wire, ProbeRoundtrip) {
+  const ProbeMessage request(/*is_reply=*/false);
+  EXPECT_FALSE(roundtrip(request)->is_reply);
+  EXPECT_EQ(roundtrip(request)->responder_id, 0u);
+
+  const ProbeMessage reply(/*is_reply=*/true, 0xFEEDFACECAFEBEEFull);
+  const auto back = roundtrip(reply);
+  EXPECT_TRUE(back->is_reply);
+  EXPECT_EQ(back->responder_id, reply.responder_id);
+}
+
 TEST(Wire, EncodedSizeMatchesDeclaredWireBytes) {
   // The engine's byte accounting must equal the real encoding (minus the
   // 1-byte type tag, which the accounting folds into header overhead).
@@ -95,6 +106,9 @@ TEST(Wire, EncodedSizeMatchesDeclaredWireBytes) {
 
   const AggregationMessage ag(2.5, false);
   EXPECT_EQ(encode_message(ag)->size() - 1, ag.wire_bytes());
+
+  const ProbeMessage pr(true, 42);
+  EXPECT_EQ(encode_message(pr)->size() - 1, pr.wire_bytes());
 }
 
 TEST(Wire, UnknownPayloadIsRejected) {
@@ -122,6 +136,79 @@ TEST(Wire, MalformedDatagramsNeverCrash) {
   EXPECT_EQ(decode_message(padded), nullptr);
 }
 
+// One exemplar of every message type with a wire format (all 7 tags).
+std::vector<std::unique_ptr<Payload>> wire_exemplars() {
+  std::vector<std::unique_ptr<Payload>> out;
+  {
+    auto b = std::make_unique<BootstrapMessage>(NodeDescriptor{1, 1},
+                                                test::random_descriptors(6, 21),
+                                                test::random_descriptors(4, 22), true);
+    b->tombstones.push_back({0x123456789ABCDEFull, 42});
+    b->tombstones.push_back({7, 99});
+    out.push_back(std::move(b));
+  }
+  {
+    std::vector<TimestampedDescriptor> entries;
+    for (const auto& d : test::random_descriptors(5, 23)) entries.push_back({d, 777});
+    out.push_back(std::make_unique<NewscastMessage>(entries, false));
+  }
+  out.push_back(std::make_unique<ChordMessage>(NodeDescriptor{2, 2},
+                                               test::random_descriptors(5, 24),
+                                               test::random_descriptors(3, 25), false));
+  out.push_back(std::make_unique<TManMessage>(NodeDescriptor{3, 3},
+                                              test::random_descriptors(7, 26), true));
+  out.push_back(std::make_unique<RumorMessage>(0xCAFEF00Dull));
+  out.push_back(std::make_unique<AggregationMessage>(3.25, true));
+  out.push_back(std::make_unique<ProbeMessage>(true, 0xABCDull));
+  return out;
+}
+
+TEST(Wire, TruncationAtEveryOffsetAllTypes) {
+  // For every message type: cutting the datagram at every byte offset must
+  // yield a clean nullptr — the strict decoder never accepts a partial
+  // frame, never crashes, never overreads (ASan/UBSan-clean via check.sh).
+  for (const auto& msg : wire_exemplars()) {
+    const auto bytes = encode_message(*msg);
+    ASSERT_TRUE(bytes.has_value()) << msg->type_name();
+    for (std::size_t cut = 0; cut < bytes->size(); ++cut) {
+      const std::vector<std::uint8_t> prefix(
+          bytes->begin(), bytes->begin() + static_cast<std::ptrdiff_t>(cut));
+      EXPECT_EQ(decode_message(prefix), nullptr)
+          << msg->type_name() << " cut=" << cut;
+    }
+    // The full frame still parses; one trailing byte breaks exhaustion.
+    EXPECT_NE(decode_message(*bytes), nullptr) << msg->type_name();
+    auto padded = *bytes;
+    padded.push_back(0);
+    EXPECT_EQ(decode_message(padded), nullptr) << msg->type_name();
+  }
+}
+
+TEST(Wire, BitflipFuzzAllTypes) {
+  // Random 1–3 bit flips on valid frames of every type: decode must either
+  // reject cleanly or produce a message that itself re-encodes under the
+  // same type tag (no half-parsed state, no crash).
+  Rng rng(4242);
+  for (const auto& msg : wire_exemplars()) {
+    const auto bytes = encode_message(*msg);
+    ASSERT_TRUE(bytes.has_value()) << msg->type_name();
+    for (int trial = 0; trial < 2000; ++trial) {
+      auto mutant = *bytes;
+      const auto flips = 1 + rng.below(3);
+      for (std::uint64_t i = 0; i < flips; ++i) {
+        auto& b = mutant[rng.below(mutant.size())];
+        b = static_cast<std::uint8_t>(b ^ (1u << rng.below(8)));
+      }
+      const auto decoded = decode_message(mutant);
+      if (decoded == nullptr) continue;  // clean rejection
+      const auto reencoded = encode_message(*decoded);
+      ASSERT_TRUE(reencoded.has_value()) << msg->type_name() << " trial=" << trial;
+      EXPECT_NE(decode_message(*reencoded), nullptr)
+          << msg->type_name() << " trial=" << trial;
+    }
+  }
+}
+
 TEST(Wire, RandomBytesFuzz) {
   // The decoder must be total: arbitrary byte strings either parse into a
   // message or return nullptr — never crash or overread.
@@ -132,7 +219,7 @@ TEST(Wire, RandomBytesFuzz) {
     for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.below(256));
     // Bias half of the trials toward valid type tags to reach deeper paths.
     if (!bytes.empty() && trial % 2 == 0) {
-      bytes[0] = static_cast<std::uint8_t>(1 + rng.below(6));
+      bytes[0] = static_cast<std::uint8_t>(1 + rng.below(7));
     }
     (void)decode_message(bytes);  // must simply not crash
   }
