@@ -20,9 +20,8 @@ using namespace bsvc::bench;
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
-  const bool full_t = full_tier(flags);
   const std::size_t n =
-      static_cast<std::size_t>(flags.get_int("n", full_t ? (1 << 14) : (1 << 12)));
+      static_cast<std::size_t>(flags.get_int("n", static_cast<std::int64_t>(default_n(flags))));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   const auto max_cycles = static_cast<std::size_t>(flags.get_int("max-cycles", 120));
   const std::size_t threads = threads_flag(flags);

@@ -43,8 +43,10 @@ int main(int argc, char** argv) {
   flags.finish();
   report.set_threads(threads);
 
-  std::vector<std::size_t> sizes{1u << 10, 1u << 12, 1u << 14};
-  if (full) sizes.push_back(1u << 16);
+  // Smoke ladder, with --full extending one rung (sequential joins make the
+  // top full size impractical here).
+  std::vector<std::size_t> sizes{std::begin(kSmokeSizes), std::end(kSmokeSizes)};
+  if (full) sizes.push_back(kFullSizes[1]);
 
   std::printf("=== From-scratch bootstrap vs sequential Pastry joins ===\n");
 

@@ -25,6 +25,18 @@ struct Tier {
   std::vector<std::size_t> repeats;  // per size, mirroring the paper's 50/10/4
 };
 
+/// The single source of truth for the network-size ladder. Every bench's
+/// tier, every per-bench --n default, bench/scale's sweep, and the size
+/// tables quoted in EXPERIMENTS.md derive from these arrays — do not
+/// hard-code 2^10..2^18 anywhere else.
+inline constexpr std::size_t kSmokeSizes[] = {std::size_t{1} << 10, std::size_t{1} << 12,
+                                              std::size_t{1} << 14};
+inline constexpr std::size_t kSmokeRepeats[] = {3, 2, 1};
+/// The paper's exact sizes (Fig. 3: N = 2^14, 2^16, 2^18).
+inline constexpr std::size_t kFullSizes[] = {std::size_t{1} << 14, std::size_t{1} << 16,
+                                             std::size_t{1} << 18};
+inline constexpr std::size_t kFullRepeats[] = {4, 2, 1};
+
 /// True when an environment variable value means "on" (set, non-empty, and
 /// not "0"/"false").
 inline bool env_truthy(const char* value) {
@@ -44,8 +56,20 @@ inline bool full_tier(const Flags& flags) {
 /// Default tier keeps the whole bench suite to minutes; --full (or env
 /// REPRO_FULL=1) runs the paper's exact sizes 2^14 / 2^16 / 2^18.
 inline Tier pick_tier(const Flags& flags) {
-  if (full_tier(flags)) return {{1u << 14, 1u << 16, 1u << 18}, {4, 2, 1}};
-  return {{1u << 10, 1u << 12, 1u << 14}, {3, 2, 1}};
+  if (full_tier(flags)) {
+    return {{std::begin(kFullSizes), std::end(kFullSizes)},
+            {std::begin(kFullRepeats), std::end(kFullRepeats)}};
+  }
+  return {{std::begin(kSmokeSizes), std::end(kSmokeSizes)},
+          {std::begin(kSmokeRepeats), std::end(kSmokeRepeats)}};
+}
+
+/// Default network size for single-N benches: the tier's headline size
+/// (smallest full size / middle smoke size), optionally shifted down for
+/// benches whose workload is superlinear in N. Always fed through --n so
+/// the user can override.
+inline std::size_t default_n(const Flags& flags, int full_shift = 0, int smoke_shift = 0) {
+  return full_tier(flags) ? kFullSizes[0] >> full_shift : kSmokeSizes[1] >> smoke_shift;
 }
 
 /// Worker count from --threads (default: all hardware threads; 1 restores

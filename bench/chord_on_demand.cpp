@@ -71,8 +71,10 @@ int main(int argc, char** argv) {
   flags.finish();
   report.set_threads(threads);
 
-  std::vector<std::size_t> sizes{1u << 10, 1u << 12};
-  sizes.push_back(full ? (1u << 14) : (1u << 13));
+  // The ladder's small sizes plus one headline size (halved off-tier: the
+  // per-cycle oracle sweep is superlinear in N).
+  std::vector<std::size_t> sizes{kSmokeSizes[0], kSmokeSizes[1]};
+  sizes.push_back(full ? kFullSizes[0] : kSmokeSizes[2] / 2);
 
   std::printf("=== Chord on demand: finger-table bootstrap (c=20, cr=30) ===\n");
 
@@ -80,7 +82,7 @@ int main(int argc, char** argv) {
     SizeOutcome out;
     std::fprintf(stderr, "chord N=%zu...\n", n);
     ChordNet net(n, seed, /*warmup=*/10);
-    const ChordOracle oracle(*net.engine, 1);
+    const ChordOracle oracle(*net.engine, SlotRef<ChordBootstrapProtocol>::assume(1));
     for (std::size_t cycle = 0; cycle < max_cycles; ++cycle) {
       net.engine->run_until(net.epoch + (cycle + 1) * kDelta);
       const auto m = oracle.measure();

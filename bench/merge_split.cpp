@@ -23,9 +23,8 @@ using namespace bsvc::bench;
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
-  const bool full = full_tier(flags);
   const std::size_t n =
-      static_cast<std::size_t>(flags.get_int("n", full ? (1 << 14) : (1 << 12)));
+      static_cast<std::size_t>(flags.get_int("n", static_cast<std::int64_t>(default_n(flags))));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   // Accepted for run_suite.sh flag uniformity; the three scenarios share
   // engine state stagewise and run sequentially.
@@ -60,8 +59,7 @@ int main(int argc, char** argv) {
       for (int i = 0; i < 10; ++i) {
         const auto a = static_cast<Address>(e.rng().below(n / 2));
         const auto b = static_cast<Address>(n / 2 + e.rng().below(n / 2));
-        dynamic_cast<NewscastProtocol&>(e.protocol(a, newscast_slot))
-            .add_contact(e.descriptor_of(b), e.now());
+        newscast_slot.of(e, a).add_contact(e.descriptor_of(b), e.now());
       }
     });
 
@@ -124,8 +122,8 @@ int main(int argc, char** argv) {
                            for (int i = 0; i < 10; ++i) {
                              const auto a = static_cast<Address>(e.rng().below(n / 2));
                              const auto b = static_cast<Address>(n / 2 + e.rng().below(n / 2));
-                             dynamic_cast<NewscastProtocol&>(e.protocol(a, newscast_slot))
-                                 .add_contact(e.descriptor_of(b), e.now());
+                             newscast_slot.of(e, a).add_contact(e.descriptor_of(b),
+                                                               e.now());
                            }
                          });
     engine.schedule_call((cfg.warmup_cycles + restart_cycle) * cfg.bootstrap.delta,

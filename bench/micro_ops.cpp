@@ -10,6 +10,7 @@
 #include <queue>
 
 #include "common/rng.hpp"
+#include "core/experiment.hpp"
 #include "core/leaf_set.hpp"
 #include "core/perfect_tables.hpp"
 #include "core/prefix_table.hpp"
@@ -212,17 +213,61 @@ struct BenchPayload final : Payload {
 };
 
 void BM_PayloadPoolStoreTake(benchmark::State& state) {
-  // The overhauled send path: the payload's unique_ptr parks in the slot
-  // pool while its slim event is queued, then is taken back at dispatch.
-  SlotPool<std::unique_ptr<Payload>> pool;
+  // The send path: the payload's shared ref parks in the slot pool while its
+  // slim event is queued, then is taken back at dispatch.
+  SlotPool<PayloadRef> pool;
   for (auto _ : state) {
-    const std::uint32_t slot = pool.store(std::make_unique<BenchPayload>());
+    const std::uint32_t slot = pool.store(make_payload<BenchPayload>());
     auto payload = pool.take(slot);
     benchmark::DoNotOptimize(payload.get());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_PayloadPoolStoreTake);
+
+void BM_PayloadRefShare(benchmark::State& state) {
+  // What fault-layer duplication and multi-delivery now cost: a refcount
+  // bump, no heap traffic. Compare BM_PayloadDeepCopyBaseline — the price
+  // the old clone()-based duplication paid per copy.
+  const PayloadRef original = make_payload<BenchPayload>();
+  for (auto _ : state) {
+    PayloadRef copy = original;  // NOLINT(performance-unnecessary-copy-initialization)
+    benchmark::DoNotOptimize(copy.get());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PayloadRefShare);
+
+void BM_PayloadDeepCopyBaseline(benchmark::State& state) {
+  const BenchPayload original;
+  for (auto _ : state) {
+    auto copy = std::make_unique<BenchPayload>(original);
+    benchmark::DoNotOptimize(copy.get());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PayloadDeepCopyBaseline);
+
+void BM_CreateMessageSteadyState(benchmark::State& state) {
+  // CREATEMESSAGE on a converged node: one message allocation plus one
+  // reserve of its flat entry buffer. Before the flat-buffer refactor this
+  // path built ~6 intermediate vectors per call (union, ring copies, per-
+  // cell candidate lists, two message parts).
+  ExperimentConfig cfg;
+  cfg.n = 1 << 10;
+  cfg.seed = 99;
+  cfg.max_cycles = 60;
+  BootstrapExperiment exp(cfg);
+  exp.run();
+  auto& proto = exp.bootstrap_slot().of(exp.engine(), 0);
+  const NodeId peer = exp.engine().id_of(1);
+  for (auto _ : state) {
+    auto msg = proto.create_message(peer, true);
+    benchmark::DoNotOptimize(msg.get());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CreateMessageSteadyState);
 
 // Full engine send→dispatch round trip, quantifying the observability hook
 // overhead (docs/observability.md quotes these numbers). Arg(0): null trace

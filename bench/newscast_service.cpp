@@ -31,7 +31,7 @@ struct Net {
       engine->attach(a, std::make_unique<NewscastProtocol>(NewscastConfig{}));
     }
     for (Address a = 0; a < n; ++a) {
-      auto& nc = dynamic_cast<NewscastProtocol&>(engine->protocol(a, 0));
+      auto& nc = SlotRef<NewscastProtocol>::assume(0).of(*engine, a);
       DescriptorList seeds;
       if (degenerate_init) {
         if (a != 0) seeds.push_back(engine->descriptor_of(0));  // everyone knows only node 0
@@ -53,7 +53,7 @@ struct Net {
   void report(const char* scenario, std::size_t cycles, Table& table) {
     obs::Sampler sampler(*engine);
     sampler.add_probe([](Engine& e) {
-      const auto s = measure_view_graph(e, 0);
+      const auto s = measure_view_graph(e, SlotRef<NewscastProtocol>::assume(0));
       obs::MetricsRegistry& m = e.metrics();
       m.gauge("newscast.alive").set(static_cast<double>(s.alive_nodes));
       m.gauge("newscast.components").set(static_cast<double>(s.components));
@@ -93,9 +93,8 @@ struct Net {
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
-  const bool full = full_tier(flags);
   const std::size_t n =
-      static_cast<std::size_t>(flags.get_int("n", full ? (1 << 14) : (1 << 12)));
+      static_cast<std::size_t>(flags.get_int("n", static_cast<std::int64_t>(default_n(flags))));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   // Accepted for run_suite.sh flag uniformity; scenarios run sequentially.
   (void)threads_flag(flags);

@@ -13,9 +13,8 @@ using namespace bsvc::bench;
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
-  const bool full = full_tier(flags);
   const std::size_t n =
-      static_cast<std::size_t>(flags.get_int("n", full ? (1 << 13) : (1 << 11)));
+      static_cast<std::size_t>(flags.get_int("n", static_cast<std::int64_t>(default_n(flags, 1, 1))));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   const std::size_t threads = threads_flag(flags);
   BenchReport report(flags, "param_sweep");

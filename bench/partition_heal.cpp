@@ -29,9 +29,8 @@ using namespace bsvc::bench;
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
-  const bool full = full_tier(flags);
   const std::size_t n =
-      static_cast<std::size_t>(flags.get_int("n", full ? (1 << 14) : (1 << 12)));
+      static_cast<std::size_t>(flags.get_int("n", static_cast<std::int64_t>(default_n(flags))));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   (void)threads_flag(flags);  // accepted for run_suite.sh flag uniformity
   const std::int64_t sample_every = flags.get_int("sample-every", 1);

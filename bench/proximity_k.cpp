@@ -36,9 +36,8 @@ struct KOutcome {
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
-  const bool full = full_tier(flags);
   const std::size_t n =
-      static_cast<std::size_t>(flags.get_int("n", full ? (1 << 14) : (1 << 12)));
+      static_cast<std::size_t>(flags.get_int("n", static_cast<std::int64_t>(default_n(flags))));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   const auto lookups = static_cast<std::size_t>(flags.get_int("lookups", 2000));
   const std::size_t threads = threads_flag(flags);

@@ -29,6 +29,7 @@ benches=(
   partition_heal
   newscast_service
   adversary
+  scale
 )
 
 # Benches that support per-replica JSONL event traces (--trace); the suite

@@ -25,10 +25,13 @@ int main(int argc, char** argv) {
   flags.finish();
   report.set_threads(threads);
 
-  std::vector<std::size_t> sizes{1u << 10, 1u << 11, 1u << 12, 1u << 13, 1u << 14};
+  // Every power of two from the ladder's floor to its smoke headline (the
+  // dense grid pins the +constant-per-4x slope), then the full tier's tail.
+  std::vector<std::size_t> sizes;
+  for (std::size_t n = kSmokeSizes[0]; n <= kSmokeSizes[2]; n *= 2) sizes.push_back(n);
   if (full) {
-    sizes.push_back(1u << 16);
-    sizes.push_back(1u << 18);
+    sizes.push_back(kFullSizes[1]);
+    sizes.push_back(kFullSizes[2]);
   }
 
   std::printf("=== Scalability: convergence time vs network size ===\n");

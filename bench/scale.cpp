@@ -1,0 +1,131 @@
+// Scale sweep: the paper-full convergence run (N = 2^14, 2^16, 2^18 under
+// --full; the smoke ladder otherwise) with one replica per size, timed
+// per size. Exports BENCH_scale.json carrying the headline throughput
+// (events_per_sec), peak RSS, and a heap-allocation census: this TU
+// replaces the global operator new/delete so every run reports
+// allocations per bootstrap exchange — the tripwire for the
+// allocation-lean CREATEMESSAGE path (docs/architecture.md).
+//
+// Sizes come from bench_common.hpp's kSmokeSizes/kFullSizes ladder — the
+// single source of truth shared with every other bench and EXPERIMENTS.md.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+
+#include "bench/bench_common.hpp"
+
+// ---------------------------------------------------------------------------
+// Global allocation census. Counting only — every path defers to malloc/free,
+// so behavior (and determinism) is untouched. Relaxed atomics: the harness
+// runs replicas sequentially, but engine teardown may race with nothing; the
+// counter only needs to be well-defined, not ordered.
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+
+void* counted_alloc(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  // aligned_alloc requires size to be a multiple of the alignment.
+  const std::size_t rounded = (size + align - 1) / align * align;
+  if (void* p = std::aligned_alloc(align, rounded ? rounded : align)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+// ---------------------------------------------------------------------------
+
+using namespace bsvc;
+using namespace bsvc::bench;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const Tier tier = pick_tier(flags);
+  const auto base_seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const auto max_cycles = static_cast<std::size_t>(flags.get_int("max-cycles", 60));
+  const std::size_t threads = threads_flag(flags);
+  BenchReport report(flags, "scale");
+  apply_log_level_flag(flags);
+
+  // One replica per size: the sweep measures how throughput and memory move
+  // with N, so per-size wall clocks must not share a core with a sibling
+  // replica. Runs are sequential whatever --threads says; output is
+  // byte-identical across thread counts by construction.
+  std::vector<ReplicaSpec> specs;
+  for (std::size_t s = 0; s < tier.sizes.size(); ++s) {
+    ReplicaSpec spec;
+    spec.cfg.n = tier.sizes[s];
+    spec.cfg.seed = replica_seed(base_seed, s);
+    spec.cfg.max_cycles = max_cycles;
+    spec.label = "N=" + std::to_string(spec.cfg.n);
+    specs.push_back(std::move(spec));
+  }
+  apply_obs_flags(flags, specs);
+  flags.finish();
+  report.set_threads(threads);
+
+  std::printf("=== scale sweep: %zu sizes, b=4, k=3, c=20, cr=30 ===\n", specs.size());
+  std::vector<LabelledRun> runs;
+  for (const auto& spec : specs) {
+    std::fprintf(stderr, "running %s...\n", spec.label.c_str());
+    const std::uint64_t allocs_before = g_alloc_count.load(std::memory_order_relaxed);
+    const auto t0 = std::chrono::steady_clock::now();
+    ExperimentResult result = run_experiment(spec.cfg);
+    const auto t1 = std::chrono::steady_clock::now();
+    const std::uint64_t allocs =
+        g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
+    const double secs = std::chrono::duration<double>(t1 - t0).count();
+
+    const std::uint64_t exchanges =
+        result.bootstrap_stats.requests_sent + result.bootstrap_stats.replies_sent;
+    const double eps = secs > 0.0 ? static_cast<double>(result.events_dispatched) / secs : 0.0;
+    const double ape = exchanges > 0 ? static_cast<double>(allocs) /
+                                           static_cast<double>(exchanges)
+                                     : 0.0;
+    std::printf("%-10s converged at cycle %3d  events=%llu  wall=%.2fs  "
+                "events/sec=%.0f  allocs/exchange=%.1f\n",
+                spec.label.c_str(), result.converged_cycle,
+                static_cast<unsigned long long>(result.events_dispatched), secs, eps, ape);
+    report.add_metric(spec.label + " events_per_sec", eps);
+    report.add_metric(spec.label + " wall_seconds", secs);
+    report.add_metric(spec.label + " allocs_per_exchange", ape);
+    report.add_metric(spec.label + " heap_allocations", static_cast<double>(allocs));
+    runs.push_back({spec.label, std::move(result)});
+  }
+  print_runs("scale sweep", runs);
+  for (const auto& run : runs) report.add_run(run.label, run.result);
+  report.write();
+  return 0;
+}

@@ -109,23 +109,20 @@ NodeId ByzantineModel::near_id(NodeId victim) {
 bool ByzantineModel::addresses_deliverable(const Payload& payload) const {
   const auto n = engine_->node_count();
   const auto ok = [n](Address a) { return a < n; };
-  if (const auto* b = dynamic_cast<const BootstrapMessage*>(&payload)) {
+  if (const auto* b = payload_cast<BootstrapMessage>(&payload)) {
     if (!ok(b->sender.addr)) return false;
-    for (const auto& d : b->ring_part) {
-      if (!ok(d.addr)) return false;
-    }
-    for (const auto& d : b->prefix_part) {
+    for (const auto& d : b->all_entries()) {
       if (!ok(d.addr)) return false;
     }
     return true;
   }
-  if (const auto* nw = dynamic_cast<const NewscastMessage*>(&payload)) {
+  if (const auto* nw = payload_cast<NewscastMessage>(&payload)) {
     for (const auto& e : nw->entries) {
       if (!ok(e.descriptor.addr)) return false;
     }
     return true;
   }
-  if (dynamic_cast<const ProbeMessage*>(&payload) != nullptr) return true;
+  if (payload_cast<ProbeMessage>(&payload) != nullptr) return true;
   // A mutant of a type we cannot scan could smuggle an undeliverable
   // address; drop it instead.
   return false;
@@ -160,8 +157,8 @@ FaultModel::TamperVerdict ByzantineModel::on_payload(SimTime now, Address from, 
   // Adversaries coordinate: traffic among colluders stays truthful.
   if (!plan_.active_at(now) || !is_adversary(from) || is_adversary(to)) return {};
 
-  const auto* boot = dynamic_cast<const BootstrapMessage*>(&payload);
-  const auto* news = dynamic_cast<const NewscastMessage*>(&payload);
+  const auto* boot = payload_cast<BootstrapMessage>(&payload);
+  const auto* news = payload_cast<NewscastMessage>(&payload);
 
   if (plan_.corrupt_probability > 0.0 && rng_.chance(plan_.corrupt_probability)) {
     return corrupt_frame(payload);
@@ -178,40 +175,41 @@ FaultModel::TamperVerdict ByzantineModel::on_payload(SimTime now, Address from, 
   }
 
   if (boot != nullptr && (plan_.eclipse || plan_.poison || plan_.spoof)) {
-    auto mutated = std::make_unique<BootstrapMessage>(*boot);
+    std::unique_ptr<BootstrapMessage> mutated;
     bool changed = false;
     if (plan_.eclipse) {
       // Hub attack: rebuild the payload as a flood of descriptors crafted
       // prefix-close to the victim, all fronted by colluders, so the
       // victim's leaf set and deep prefix cells fill with adversaries.
       const NodeId victim = engine_->id_of(to);
-      const std::size_t fill = std::max(
-          mutated->ring_part.size() + mutated->prefix_part.size(), kEclipseFloor);
-      mutated->ring_part.clear();
-      mutated->prefix_part.clear();
+      const std::size_t fill = std::max(boot->entry_count(), kEclipseFloor);
+      mutated = std::make_unique<BootstrapMessage>(boot->sender, boot->is_request);
+      mutated->tombstones = boot->tombstones;
+      mutated->reserve_entries(fill);
       for (std::size_t i = 0; i < fill; ++i) {
-        mutated->ring_part.push_back(
+        mutated->append_ring_entry(
             {near_id(victim),
              adversaries_[static_cast<std::size_t>(rng_.below(adversaries_.size()))]});
       }
       eclipsed_->add(fill);
       changed = true;
-    } else if (plan_.poison) {
-      const auto& pool = pools_.at(from);
-      std::uint64_t swapped = 0;
-      const auto poison_list = [&](DescriptorList& list) {
-        for (auto& d : list) {
+    } else {
+      mutated = std::make_unique<BootstrapMessage>(*boot);
+      if (plan_.poison) {
+        const auto& pool = pools_.at(from);
+        std::uint64_t swapped = 0;
+        // Flat buffer is ring-then-prefix, so this walks the same descriptor
+        // order (and draws the same randomness) as the old two-list sweep.
+        for (auto& d : mutated->mutable_entries()) {
           if (rng_.chance(kPoisonSwapProbability)) {
             d = pool[static_cast<std::size_t>(rng_.below(pool.size()))];
             ++swapped;
           }
         }
-      };
-      poison_list(mutated->ring_part);
-      poison_list(mutated->prefix_part);
-      if (swapped != 0) {
-        poisoned_->add(swapped);
-        changed = true;
+        if (swapped != 0) {
+          poisoned_->add(swapped);
+          changed = true;
+        }
       }
     }
     if (plan_.spoof) {

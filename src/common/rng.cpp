@@ -83,9 +83,16 @@ double Rng::exponential(double mean) {
 }
 
 std::vector<std::uint32_t> Rng::distinct_indices(std::uint32_t n, std::uint32_t universe) {
+  std::vector<std::uint32_t> out;
+  distinct_indices_into(n, universe, out);
+  return out;
+}
+
+void Rng::distinct_indices_into(std::uint32_t n, std::uint32_t universe,
+                                std::vector<std::uint32_t>& out) {
   BSVC_CHECK(n <= universe);
   // Floyd's algorithm: O(n) draws, no O(universe) allocation.
-  std::vector<std::uint32_t> out;
+  out.clear();
   out.reserve(n);
   for (std::uint32_t j = universe - n; j < universe; ++j) {
     const auto t = static_cast<std::uint32_t>(below(j + 1));
@@ -98,7 +105,6 @@ std::vector<std::uint32_t> Rng::distinct_indices(std::uint32_t n, std::uint32_t 
     }
     out.push_back(seen ? j : t);
   }
-  return out;
 }
 
 Rng Rng::split() { return Rng(next_u64()); }

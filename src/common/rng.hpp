@@ -70,6 +70,11 @@ class Rng {
   /// Floyd's algorithm; order is unspecified but deterministic.
   std::vector<std::uint32_t> distinct_indices(std::uint32_t n, std::uint32_t universe);
 
+  /// As distinct_indices, but fills a caller-provided buffer (cleared
+  /// first), so hot paths can reuse one scratch vector. Identical draws.
+  void distinct_indices_into(std::uint32_t n, std::uint32_t universe,
+                             std::vector<std::uint32_t>& out);
+
   /// Derives an independent child generator; the parent sequence advances.
   Rng split();
 

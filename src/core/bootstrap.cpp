@@ -17,8 +17,8 @@ std::size_t BootstrapMessage::wire_bytes() const {
   // sender descriptor + flag byte + the two length-prefixed lists + the
   // length-prefixed tombstone list (id u64 + coarse expiry u32 each),
   // matching the binary codec (tests assert the equivalence).
-  return kDescriptorWireBytes + 1 + descriptor_list_wire_bytes(ring_part.size()) +
-         descriptor_list_wire_bytes(prefix_part.size()) + 2 + tombstones.size() * 12;
+  return kDescriptorWireBytes + 1 + descriptor_list_wire_bytes(ring_part().size()) +
+         descriptor_list_wire_bytes(prefix_part().size()) + 2 + tombstones.size() * 12;
 }
 
 BootstrapProtocol::BootstrapProtocol(BootstrapConfig config, PeerSampler* sampler,
@@ -265,8 +265,9 @@ std::unique_ptr<BootstrapMessage> BootstrapProtocol::create_message(NodeId peer_
     un.insert(un.end(), pred.begin(), pred.end());
   }
   if (config_.use_random_samples) {
-    const DescriptorList samples = sampler_->sample(config_.cr);
-    un.insert(un.end(), samples.begin(), samples.end());
+    // Appends in place with the exact RNG draws sample() would make —
+    // golden replays pin the equivalence.
+    sampler_->sample_into(config_.cr, un);
   }
   if (config_.prefix_entries_in_union) {
     const auto& tbl = prefix_->entries();
@@ -314,28 +315,24 @@ std::unique_ptr<BootstrapMessage> BootstrapProtocol::create_message(NodeId peer_
   spare -= extra_s;
   take_p += std::min(pred.size() - take_p, spare);
 
-  DescriptorList ring_part;
-  ring_part.reserve(take_s + take_p);
-  ring_part.insert(ring_part.end(), succ.begin(), succ.begin() + static_cast<std::ptrdiff_t>(take_s));
-  ring_part.insert(ring_part.end(), pred.begin(), pred.begin() + static_cast<std::ptrdiff_t>(take_p));
-
-  // Leftovers feed the prefix part below.
-  un.clear();
-  un.insert(un.end(), succ.begin() + static_cast<std::ptrdiff_t>(take_s), succ.end());
-  un.insert(un.end(), pred.begin() + static_cast<std::ptrdiff_t>(take_p), pred.end());
-  const std::size_t ring_n = 0;  // un now holds only unselected descriptors
+  // Build the flat message: one buffer, one reserve (succ + pred bounds
+  // both the ring part and every prefix candidate), ring entries first.
+  auto msg = std::make_unique<BootstrapMessage>(self_, is_request);
+  msg->reserve_entries(succ.size() + pred.size());
+  for (std::size_t i = 0; i < take_s; ++i) msg->append_ring_entry(succ[i]);
+  for (std::size_t i = 0; i < take_p; ++i) msg->append_ring_entry(pred[i]);
 
   // Prefix part: everything else that is potentially useful for the peer's
   // prefix table — shares at least one digit of prefix with the peer — with
   // at most k entries per (i, j) cell, so the part is bounded by the size of
-  // a full prefix table.
-  DescriptorList prefix_part;
+  // a full prefix table. The leftovers are consumed straight from the
+  // directional scratch buffers (succ leftovers first, matching the
+  // pre-refactor candidate order).
   if (config_.send_prefix_part) {
     const int rows = config_.digits.num_digits<NodeId>();
     const int radix = config_.digits.radix();
     cell_fill_buf_.assign(static_cast<std::size_t>(rows) * static_cast<std::size_t>(radix), 0);
-    for (std::size_t idx = ring_n; idx < un.size(); ++idx) {
-      const NodeDescriptor& d = un[idx];
+    const auto consider = [&](const NodeDescriptor& d) {
       // Every candidate is potentially useful for exactly one (i, j) cell of
       // the peer's table; ship up to k per cell (row 0 included — without it
       // the first-digit cells would starve once leaf sets localize), so the
@@ -344,14 +341,13 @@ std::unique_ptr<BootstrapMessage> BootstrapProtocol::create_message(NodeId peer_
       const int j = digit(d.id, i, config_.digits);
       auto& fill = cell_fill_buf_[static_cast<std::size_t>(i) * static_cast<std::size_t>(radix) +
                                   static_cast<std::size_t>(j)];
-      if (fill >= config_.k) continue;
+      if (fill >= config_.k) return;
       ++fill;
-      prefix_part.push_back(d);
-    }
+      msg->append_prefix_entry(d);
+    };
+    for (std::size_t i = take_s; i < succ.size(); ++i) consider(succ[i]);
+    for (std::size_t i = take_p; i < pred.size(); ++i) consider(pred[i]);
   }
-
-  auto msg = std::make_unique<BootstrapMessage>(self_, std::move(ring_part),
-                                                std::move(prefix_part), is_request);
   if (config_.evict_unresponsive && !tombstones_.empty()) {
     for (const auto& [id, expiry] : tombstones_) {
       if (expiry <= now_) continue;
@@ -360,7 +356,7 @@ std::unique_ptr<BootstrapMessage> BootstrapProtocol::create_message(NodeId peer_
     }
   }
   if (stats_ != nullptr) {
-    stats_->entries_sent += msg->entries();
+    stats_->entries_sent += msg->entry_count();
     const auto bytes = static_cast<std::uint64_t>(msg->wire_bytes());
     stats_->payload_bytes_sent += bytes;
     stats_->max_message_bytes = std::max(stats_->max_message_bytes, bytes);
@@ -384,7 +380,7 @@ void BootstrapProtocol::on_message(Context& ctx, Address from, const Payload& pa
     }
   }
   now_ = ctx.now();
-  if (const auto* probe = dynamic_cast<const ProbeMessage*>(&payload)) {
+  if (const auto* probe = payload_cast<ProbeMessage>(payload)) {
     if (!probe->is_reply) {
       ctx.send(from, std::make_unique<ProbeMessage>(/*is_reply=*/true, self_.id));
       return;
@@ -394,7 +390,7 @@ void BootstrapProtocol::on_message(Context& ctx, Address from, const Payload& pa
     }
     return;
   }
-  const auto* msg = dynamic_cast<const BootstrapMessage*>(&payload);
+  const auto* msg = payload_cast<BootstrapMessage>(payload);
   if (msg == nullptr) {
     BSVC_WARN("bootstrap: unexpected payload type %s", payload.type_name());
     return;
@@ -462,11 +458,14 @@ void BootstrapProtocol::adopt_tombstones(const std::vector<Tombstone>& incoming,
 
 void BootstrapProtocol::update_from(const BootstrapMessage& msg, Address from) {
   // One combined pass: both methods take "a set of node descriptors", and a
-  // single leaf-set rebuild is cheaper than three.
-  DescriptorList combined;
-  combined.reserve(msg.entries() + 1);
-  combined.insert(combined.end(), msg.ring_part.begin(), msg.ring_part.end());
-  combined.insert(combined.end(), msg.prefix_part.begin(), msg.prefix_part.end());
+  // single leaf-set rebuild is cheaper than three. The flat message already
+  // holds ring-then-prefix in one buffer, and the scratch vector is reused
+  // across deliveries.
+  DescriptorList& combined = combined_buf_;
+  combined.clear();
+  combined.reserve(msg.entry_count() + 1);
+  const auto all = msg.all_entries();
+  combined.insert(combined.end(), all.begin(), all.end());
   combined.push_back(msg.sender);
   if (config_.evict_unresponsive && !tombstones_.empty()) {
     combined.erase(std::remove_if(combined.begin(), combined.end(),

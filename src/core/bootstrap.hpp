@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -38,36 +39,70 @@ struct Tombstone {
 /// locally known descriptors closest to the peer), the targeted prefix part
 /// (descriptors that fit the peer's prefix table), and — with the liveness
 /// extension — piggybacked death certificates.
+///
+/// Both parts live in one flat descriptor buffer (ring entries first) split
+/// by an index: CREATEMESSAGE fills the buffer once with a single reserve
+/// and receivers read span views — no per-part vector per message.
 class BootstrapMessage final : public Payload {
  public:
-  BootstrapMessage(NodeDescriptor sender, DescriptorList ring_part,
-                   DescriptorList prefix_part, bool is_request)
-      : sender(sender),
-        ring_part(std::move(ring_part)),
-        prefix_part(std::move(prefix_part)),
-        is_request(is_request) {}
+  static constexpr PayloadKind kKind = PayloadKind::Bootstrap;
+
+  /// Builder form: the caller fills entries() via append_ring_entry /
+  /// append_prefix_entry before publishing (CREATEMESSAGE's path).
+  BootstrapMessage(NodeDescriptor sender, bool is_request)
+      : Payload(kKind), sender(sender), is_request(is_request) {}
+
+  /// Assembles from separate lists (codec decode, adversary rewrites, tests).
+  BootstrapMessage(NodeDescriptor sender, const DescriptorList& ring,
+                   const DescriptorList& prefix, bool is_request)
+      : Payload(kKind), sender(sender), is_request(is_request) {
+    entries_.reserve(ring.size() + prefix.size());
+    entries_.insert(entries_.end(), ring.begin(), ring.end());
+    entries_.insert(entries_.end(), prefix.begin(), prefix.end());
+    ring_count_ = ring.size();
+  }
 
   std::size_t wire_bytes() const override;
   const char* type_name() const override { return "bootstrap"; }
   const char* metric_tag() const override {
     return is_request ? "bootstrap.request" : "bootstrap.answer";
   }
-  std::unique_ptr<Payload> clone() const override {
-    return std::make_unique<BootstrapMessage>(*this);
-  }
 
   /// Total descriptors carried (excluding the sender descriptor).
-  std::size_t entries() const { return ring_part.size() + prefix_part.size(); }
+  std::size_t entry_count() const { return entries_.size(); }
+
+  /// The two parts as views into the flat buffer.
+  std::span<const NodeDescriptor> ring_part() const { return {entries_.data(), ring_count_}; }
+  std::span<const NodeDescriptor> prefix_part() const {
+    return {entries_.data() + ring_count_, entries_.size() - ring_count_};
+  }
+  /// All descriptors, ring part first — receivers that merge both parts
+  /// (UPDATELEAFSET/UPDATEPREFIXTABLE) iterate once instead of twice.
+  std::span<const NodeDescriptor> all_entries() const { return entries_; }
+
+  // --- builder interface (pre-publication only) --------------------------
+  /// Mutable view over the flat buffer for pre-publication rewrites (the
+  /// adversary's copy-on-write path). Never call on a published message.
+  std::span<NodeDescriptor> mutable_entries() { return entries_; }
+  void reserve_entries(std::size_t n) { entries_.reserve(n); }
+  /// Ring entries must all be appended before the first prefix entry.
+  void append_ring_entry(const NodeDescriptor& d) {
+    entries_.push_back(d);
+    ring_count_ = entries_.size();
+  }
+  void append_prefix_entry(const NodeDescriptor& d) { entries_.push_back(d); }
 
   NodeDescriptor sender;
-  DescriptorList ring_part;
-  DescriptorList prefix_part;
   /// Death certificates piggybacked by the evict_unresponsive extension
   /// (empty when the extension is off). Bounded by kMaxTombstonesPerMessage.
   std::vector<Tombstone> tombstones;
   bool is_request;
 
   static constexpr std::size_t kMaxTombstonesPerMessage = 64;
+
+ private:
+  DescriptorList entries_;  // ring part, then prefix part
+  std::size_t ring_count_ = 0;
 };
 
 /// Tiny liveness probe (and its echo) used by the evict_unresponsive
@@ -78,15 +113,14 @@ class BootstrapMessage final : public Payload {
 /// nothing, so a malicious responder cannot tailor its answer).
 class ProbeMessage final : public Payload {
  public:
+  static constexpr PayloadKind kKind = PayloadKind::Probe;
+
   explicit ProbeMessage(bool is_reply, NodeId responder_id = 0)
-      : responder_id(responder_id), is_reply(is_reply) {}
+      : Payload(kKind), responder_id(responder_id), is_reply(is_reply) {}
   std::size_t wire_bytes() const override { return 1 + 8; }
   const char* type_name() const override { return "probe"; }
   const char* metric_tag() const override {
     return is_reply ? "probe.reply" : "probe.request";
-  }
-  std::unique_ptr<Payload> clone() const override {
-    return std::make_unique<ProbeMessage>(*this);
   }
   /// The responder's own ID (echo only; 0 on requests).
   NodeId responder_id;
@@ -253,11 +287,12 @@ class BootstrapProtocol final : public Protocol {
   std::unordered_map<Address, NodeDescriptor> quarantine_;
   static constexpr std::size_t kQuarantineCap = 64;
   static constexpr std::size_t kProvenanceCap = 4096;
-  // Scratch buffers reused across create_message calls to avoid per-message
-  // allocations on the hot path.
+  // Scratch buffers reused across create_message / update_from calls to
+  // avoid per-message allocations on the hot path.
   DescriptorList union_buf_;
   DescriptorList succ_buf_;
   DescriptorList pred_buf_;
+  DescriptorList combined_buf_;
   std::vector<std::uint8_t> cell_fill_buf_;
 };
 

@@ -73,14 +73,13 @@ Address BootstrapExperiment::make_node() {
              : config_.warmup_cycles * config_.bootstrap.delta + engine.rng().below(window);
   auto proto = std::make_unique<BootstrapProtocol>(config_.bootstrap, sampler, &stats_,
                                                    start_delay);
-  bootstrap_slot_ = engine.attach(addr, std::move(proto));
+  bootstrap_ref_ = attach_typed(engine, addr, std::move(proto));
 
   // Joiners seed their Newscast view from random alive contacts (a joining
   // node knows some existing members, as in any deployment).
   if (built_ && config_.sampler == SamplerKind::Newscast) {
     OracleSampler contacts(engine, addr);
-    auto& nc = dynamic_cast<NewscastProtocol&>(engine.protocol(addr, newscast_slot()));
-    nc.init_view(contacts.sample(config_.bootstrap_contacts));
+    newscast_ref_.of(engine, addr).init_view(contacts.sample(config_.bootstrap_contacts));
   }
   return addr;
 }
@@ -114,8 +113,7 @@ void BootstrapExperiment::build_network() {
           seeds.push_back(engine.descriptor_of(peer));
         }
       }
-      auto& nc = dynamic_cast<NewscastProtocol&>(engine.protocol(addr, newscast_slot()));
-      nc.init_view(std::move(seeds));
+      newscast_ref_.of(engine, addr).init_view(std::move(seeds));
     }
   }
   for (Address addr = 0; addr < config_.n; ++addr) engine.start_node(addr);
@@ -148,7 +146,7 @@ ExperimentResult BootstrapExperiment::run(
   result.n = config_.n;
 
   std::optional<ConvergenceOracle> oracle;
-  oracle.emplace(engine, config_.bootstrap, bootstrap_slot_);
+  oracle.emplace(engine, config_.bootstrap, bootstrap_ref_);
 
   if (config_.sample_every_cycles > 0) {
     sampler_ = std::make_unique<obs::Sampler>(engine);
@@ -167,7 +165,7 @@ ExperimentResult BootstrapExperiment::run(
       m.gauge("traffic.bytes_sent").set(static_cast<double>(t.bytes_sent));
     });
     if (config_.sampler == SamplerKind::Newscast) {
-      const ProtocolSlot nc_slot = newscast_slot();
+      const SlotRef<NewscastProtocol> nc_slot = newscast_slot();
       sampler_->add_probe([nc_slot](Engine& e) {
         const ViewGraphStats g = measure_view_graph(e, nc_slot);
         obs::MetricsRegistry& m = e.metrics();
@@ -183,7 +181,7 @@ ExperimentResult BootstrapExperiment::run(
 
   for (std::size_t cycle = 0; cycle < config_.max_cycles; ++cycle) {
     engine.run_until(bootstrap_epoch_ + (cycle + 1) * delta);
-    if (churn) oracle.emplace(engine, config_.bootstrap, bootstrap_slot_);
+    if (churn) oracle.emplace(engine, config_.bootstrap, bootstrap_ref_);
     const ConvergenceMetrics metrics = oracle->measure(churn);
     result.final_metrics = metrics;
     const auto& traffic = engine.traffic();
@@ -225,7 +223,7 @@ ExperimentResult BootstrapExperiment::run(
 }
 
 const BootstrapProtocol& BootstrapExperiment::bootstrap_of(Address addr) const {
-  return dynamic_cast<const BootstrapProtocol&>(engine_->protocol(addr, bootstrap_slot_));
+  return bootstrap_ref_.of(*engine_, addr);
 }
 
 }  // namespace bsvc

@@ -19,6 +19,7 @@
 #include "sampling/newscast.hpp"
 #include "sim/engine.hpp"
 #include "sim/scenario.hpp"
+#include "sim/slot_ref.hpp"
 
 namespace bsvc {
 
@@ -114,8 +115,12 @@ class BootstrapExperiment {
 
   Engine& engine() { return *engine_; }
   const ExperimentConfig& config() const { return config_; }
-  ProtocolSlot newscast_slot() const { return 0; }
-  ProtocolSlot bootstrap_slot() const { return bootstrap_slot_; }
+  /// Typed handle to the sampling slot. Only dereference protocols through
+  /// it when sampler == Newscast (under SamplerKind::Oracle the slot holds
+  /// an OracleSamplerProtocol); decaying it to a raw ProtocolSlot is always
+  /// fine.
+  SlotRef<NewscastProtocol> newscast_slot() const { return newscast_ref_; }
+  SlotRef<BootstrapProtocol> bootstrap_slot() const { return bootstrap_ref_; }
 
   /// The bootstrap protocol instance of a node.
   const BootstrapProtocol& bootstrap_of(Address addr) const;
@@ -139,7 +144,8 @@ class BootstrapExperiment {
   std::unique_ptr<obs::Sampler> sampler_;
   std::unique_ptr<IdGenerator> ids_;
   BootstrapStats stats_;
-  ProtocolSlot bootstrap_slot_ = 1;
+  SlotRef<NewscastProtocol> newscast_ref_ = SlotRef<NewscastProtocol>::assume(0);
+  SlotRef<BootstrapProtocol> bootstrap_ref_ = SlotRef<BootstrapProtocol>::assume(1);
   SimTime bootstrap_epoch_ = 0;
   bool built_ = false;
 };

@@ -14,26 +14,25 @@ std::vector<NodeDescriptor> ConvergenceOracle::alive_members(const Engine& engin
   return members;
 }
 
-TableAccess bootstrap_table_access(const Engine& engine, ProtocolSlot slot) {
+TableAccess bootstrap_table_access(const Engine& engine, SlotRef<BootstrapProtocol> slot) {
   TableAccess access;
-  access.active = [&engine, slot](Address a) {
-    return dynamic_cast<const BootstrapProtocol&>(engine.protocol(a, slot)).active();
-  };
+  access.active = [&engine, slot](Address a) { return slot.of(engine, a).active(); };
   access.leaf = [&engine, slot](Address a) -> const LeafSet& {
-    return dynamic_cast<const BootstrapProtocol&>(engine.protocol(a, slot)).leaf_set();
+    return slot.of(engine, a).leaf_set();
   };
   access.prefix = [&engine, slot](Address a) -> const PrefixTable& {
-    return dynamic_cast<const BootstrapProtocol&>(engine.protocol(a, slot)).prefix_table();
+    return slot.of(engine, a).prefix_table();
   };
   return access;
 }
 
 ConvergenceOracle::ConvergenceOracle(const Engine& engine, const BootstrapConfig& config,
-                                     ProtocolSlot bootstrap_slot)
+                                     SlotRef<BootstrapProtocol> bootstrap_slot)
     : ConvergenceOracle(engine, alive_members(engine), config, bootstrap_slot) {}
 
 ConvergenceOracle::ConvergenceOracle(const Engine& engine, std::vector<NodeDescriptor> members,
-                                     const BootstrapConfig& config, ProtocolSlot bootstrap_slot)
+                                     const BootstrapConfig& config,
+                                     SlotRef<BootstrapProtocol> bootstrap_slot)
     : ConvergenceOracle(engine, std::move(members), config,
                         bootstrap_table_access(engine, bootstrap_slot)) {}
 

@@ -16,6 +16,7 @@
 #include "core/config.hpp"
 #include "core/perfect_tables.hpp"
 #include "sim/engine.hpp"
+#include "sim/slot_ref.hpp"
 
 namespace bsvc {
 
@@ -53,20 +54,20 @@ struct TableAccess {
 };
 
 /// Accessor for BootstrapProtocol instances at `slot`.
-TableAccess bootstrap_table_access(const Engine& engine, ProtocolSlot slot);
+TableAccess bootstrap_table_access(const Engine& engine, SlotRef<BootstrapProtocol> slot);
 
 class ConvergenceOracle {
  public:
   /// Snapshots the engine's alive membership and precomputes perfect
   /// structures. Reconstruct after membership changes.
   ConvergenceOracle(const Engine& engine, const BootstrapConfig& config,
-                    ProtocolSlot bootstrap_slot);
+                    SlotRef<BootstrapProtocol> bootstrap_slot);
 
   /// Same, but over an explicit member subset (e.g. one side of a
   /// partition). All members must be engine addresses with the bootstrap
   /// protocol at `bootstrap_slot`.
   ConvergenceOracle(const Engine& engine, std::vector<NodeDescriptor> members,
-                    const BootstrapConfig& config, ProtocolSlot bootstrap_slot);
+                    const BootstrapConfig& config, SlotRef<BootstrapProtocol> bootstrap_slot);
 
   /// Fully general form: explicit membership and table accessor.
   ConvergenceOracle(const Engine& engine, std::vector<NodeDescriptor> members,

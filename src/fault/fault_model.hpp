@@ -63,7 +63,11 @@ class FaultModel {
       Replace,   // content rewritten in flight; `replacement` is delivered
     };
     Action action = Action::Deliver;
-    std::unique_ptr<Payload> replacement;
+    /// Published replacement for Action::Replace. Models build a fresh
+    /// payload and publish it here — the original stays untouched, so other
+    /// references to it (duplicates, multicast peers) are unaffected
+    /// (copy-on-write at the tamper point).
+    PayloadRef replacement;
   };
 
   /// Consulted once per send after the on_send verdict (survivors only),

@@ -31,7 +31,7 @@ void AggregationProtocol::on_timer(Context& ctx, std::uint64_t timer_id) {
 }
 
 void AggregationProtocol::on_message(Context& ctx, Address from, const Payload& payload) {
-  const auto* msg = dynamic_cast<const AggregationMessage*>(&payload);
+  const auto* msg = payload_cast<AggregationMessage>(payload);
   if (msg == nullptr) {
     BSVC_WARN("aggregation: unexpected payload type %s", payload.type_name());
     return;

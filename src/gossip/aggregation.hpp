@@ -19,12 +19,12 @@ namespace bsvc {
 /// answer carries the value the responder held before averaging.
 class AggregationMessage final : public Payload {
  public:
-  AggregationMessage(double value, bool is_request) : value(value), is_request(is_request) {}
+  static constexpr PayloadKind kKind = PayloadKind::Aggregation;
+
+  AggregationMessage(double value, bool is_request)
+      : Payload(kKind), value(value), is_request(is_request) {}
   std::size_t wire_bytes() const override { return 8 + 1; }
   const char* type_name() const override { return "aggregation"; }
-  std::unique_ptr<Payload> clone() const override {
-    return std::make_unique<AggregationMessage>(*this);
-  }
   double value;
   bool is_request;
 };

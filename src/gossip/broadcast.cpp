@@ -46,7 +46,7 @@ void BroadcastProtocol::on_timer(Context& ctx, std::uint64_t timer_id) {
 }
 
 void BroadcastProtocol::on_message(Context& ctx, Address /*from*/, const Payload& payload) {
-  const auto* msg = dynamic_cast<const RumorMessage*>(&payload);
+  const auto* msg = payload_cast<RumorMessage>(payload);
   if (msg == nullptr) {
     BSVC_WARN("broadcast: unexpected payload type %s", payload.type_name());
     return;

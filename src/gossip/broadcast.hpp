@@ -21,12 +21,11 @@ namespace bsvc {
 /// bootstrap protocol at time T").
 class RumorMessage final : public Payload {
  public:
-  explicit RumorMessage(std::uint64_t tag) : tag(tag) {}
+  static constexpr PayloadKind kKind = PayloadKind::Rumor;
+
+  explicit RumorMessage(std::uint64_t tag) : Payload(kKind), tag(tag) {}
   std::size_t wire_bytes() const override { return 8; }
   const char* type_name() const override { return "rumor"; }
-  std::unique_ptr<Payload> clone() const override {
-    return std::make_unique<RumorMessage>(*this);
-  }
   std::uint64_t tag;
 };
 

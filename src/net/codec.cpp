@@ -25,7 +25,7 @@ void ByteWriter::descriptor(const NodeDescriptor& d) {
   u16(static_cast<std::uint16_t>(d.addr % 65536));  // stands in for port
 }
 
-void ByteWriter::descriptor_list(const DescriptorList& list) {
+void ByteWriter::descriptor_list(std::span<const NodeDescriptor> list) {
   BSVC_CHECK_MSG(list.size() <= 65535, "descriptor list too long for wire format");
   u16(static_cast<std::uint16_t>(list.size()));
   for (const auto& d : list) descriptor(d);

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -30,8 +31,10 @@ class ByteWriter {
   void descriptor(const NodeDescriptor& d);
 
   /// Encodes a u16 length prefix followed by each descriptor.
-  /// Lists longer than 65535 are a protocol error.
-  void descriptor_list(const DescriptorList& list);
+  /// Lists longer than 65535 are a protocol error. Accepts any contiguous
+  /// descriptor range (DescriptorList converts implicitly; flat messages
+  /// pass their span views directly).
+  void descriptor_list(std::span<const NodeDescriptor> list);
 
   const std::vector<std::uint8_t>& bytes() const { return buf_; }
   std::size_t size() const { return buf_.size(); }

@@ -229,7 +229,7 @@ std::unique_ptr<ChordMessage> ChordBootstrapProtocol::create_message(NodeId peer
 }
 
 void ChordBootstrapProtocol::on_message(Context& ctx, Address from, const Payload& payload) {
-  const auto* msg = dynamic_cast<const ChordMessage*>(&payload);
+  const auto* msg = payload_cast<ChordMessage>(payload);
   if (msg == nullptr) {
     BSVC_WARN("chord: unexpected payload type %s", payload.type_name());
     return;
@@ -263,7 +263,7 @@ const FingerTable& ChordBootstrapProtocol::fingers() const {
 
 // --- ChordOracle ---------------------------------------------------------
 
-ChordOracle::ChordOracle(const Engine& engine, ProtocolSlot chord_slot)
+ChordOracle::ChordOracle(const Engine& engine, SlotRef<ChordBootstrapProtocol> chord_slot)
     : engine_(engine), slot_(chord_slot) {
   for (const Address addr : engine.alive_addresses()) {
     members_.push_back(engine.descriptor_of(addr));
@@ -282,7 +282,7 @@ NodeDescriptor ChordOracle::true_finger(NodeId id, int i) const {
 ChordMetrics ChordOracle::measure() const {
   ChordMetrics metrics;
   for (const auto& m : members_) {
-    const auto& proto = dynamic_cast<const ChordBootstrapProtocol&>(engine_.protocol(m.addr, slot_));
+    const auto& proto = slot_.of(engine_, m.addr);
     for (int i = 0; i < FingerTable::kBits; ++i) {
       const NodeDescriptor truth = true_finger(m.id, i);
       if (truth.id == m.id) continue;  // degenerate slot (self)

@@ -19,6 +19,7 @@
 #include "sampling/peer_sampler.hpp"
 #include "sim/engine.hpp"
 #include "sim/protocol.hpp"
+#include "sim/slot_ref.hpp"
 
 namespace bsvc {
 
@@ -62,9 +63,12 @@ class FingerTable {
 /// peer (nodes lying just past the peer's finger targets).
 class ChordMessage final : public Payload {
  public:
+  static constexpr PayloadKind kKind = PayloadKind::Chord;
+
   ChordMessage(NodeDescriptor sender, DescriptorList ring_part, DescriptorList finger_part,
                bool is_request)
-      : sender(sender),
+      : Payload(kKind),
+        sender(sender),
         ring_part(std::move(ring_part)),
         finger_part(std::move(finger_part)),
         is_request(is_request) {}
@@ -74,10 +78,6 @@ class ChordMessage final : public Payload {
   const char* metric_tag() const override {
     return is_request ? "chord.request" : "chord.answer";
   }
-  std::unique_ptr<Payload> clone() const override {
-    return std::make_unique<ChordMessage>(*this);
-  }
-
   NodeDescriptor sender;
   DescriptorList ring_part;
   DescriptorList finger_part;
@@ -155,7 +155,7 @@ struct ChordMetrics {
 /// Measures finger correctness against the true membership.
 class ChordOracle {
  public:
-  ChordOracle(const Engine& engine, ProtocolSlot chord_slot);
+  ChordOracle(const Engine& engine, SlotRef<ChordBootstrapProtocol> chord_slot);
 
   ChordMetrics measure() const;
 
@@ -164,7 +164,7 @@ class ChordOracle {
 
  private:
   const Engine& engine_;
-  ProtocolSlot slot_;
+  SlotRef<ChordBootstrapProtocol> slot_;
   std::vector<NodeDescriptor> members_;  // sorted by id
 };
 

@@ -7,7 +7,7 @@
 
 namespace bsvc {
 
-KademliaLookup::KademliaLookup(const Engine& engine, ProtocolSlot bootstrap_slot,
+KademliaLookup::KademliaLookup(const Engine& engine, SlotRef<BootstrapProtocol> bootstrap_slot,
                                KademliaConfig config)
     : engine_(engine), slot_(bootstrap_slot), config_(config) {
   BSVC_CHECK(config_.alpha >= 1);
@@ -15,7 +15,7 @@ KademliaLookup::KademliaLookup(const Engine& engine, ProtocolSlot bootstrap_slot
 }
 
 std::vector<NodeDescriptor> KademliaLookup::closest_known(Address node, NodeId target) const {
-  const auto& proto = dynamic_cast<const BootstrapProtocol&>(engine_.protocol(node, slot_));
+  const auto& proto = slot_.of(engine_, node);
   std::vector<NodeDescriptor> known;
   if (proto.active()) {
     const auto leaf = proto.leaf_set().all();

@@ -46,7 +46,8 @@ struct KademliaStats {
 
 class KademliaLookup {
  public:
-  KademliaLookup(const Engine& engine, ProtocolSlot bootstrap_slot, KademliaConfig config = {});
+  KademliaLookup(const Engine& engine, SlotRef<BootstrapProtocol> bootstrap_slot,
+                 KademliaConfig config = {});
 
   /// Iterative FIND_NODE for `target` starting from `origin`'s tables.
   KademliaResult find_node(Address origin, NodeId target, const ConvergenceOracle& oracle) const;
@@ -59,7 +60,7 @@ class KademliaLookup {
   std::vector<NodeDescriptor> closest_known(Address node, NodeId target) const;
 
   const Engine& engine_;
-  ProtocolSlot slot_;
+  SlotRef<BootstrapProtocol> slot_;
   KademliaConfig config_;
 };
 

@@ -71,7 +71,7 @@ Address pastry_next_hop(NodeId own, Address own_addr, const LeafSet& leaf,
   return best_addr;
 }
 
-PastryRouter::PastryRouter(const Engine& engine, ProtocolSlot bootstrap_slot,
+PastryRouter::PastryRouter(const Engine& engine, SlotRef<BootstrapProtocol> bootstrap_slot,
                            std::size_t max_hops)
     : PastryRouter(engine, bootstrap_table_access(engine, bootstrap_slot), max_hops) {}
 

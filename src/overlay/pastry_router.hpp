@@ -59,7 +59,8 @@ Address pastry_next_hop(NodeId own, Address own_addr, const LeafSet& leaf,
 class PastryRouter {
  public:
   /// `max_hops` bounds traversals (loops indicate broken tables).
-  PastryRouter(const Engine& engine, ProtocolSlot bootstrap_slot, std::size_t max_hops = 64);
+  PastryRouter(const Engine& engine, SlotRef<BootstrapProtocol> bootstrap_slot,
+               std::size_t max_hops = 64);
 
   /// Routes over any protocol exposing leaf set + prefix table.
   PastryRouter(const Engine& engine, TableAccess access, std::size_t max_hops = 64);

@@ -34,12 +34,12 @@ void CoordinateSpace::install(Engine& engine) const {
   engine.set_latency_model([this](Address a, Address b) { return latency(a, b); });
 }
 
-ProximityRouter::ProximityRouter(const Engine& engine, ProtocolSlot bootstrap_slot,
+ProximityRouter::ProximityRouter(const Engine& engine, SlotRef<BootstrapProtocol> bootstrap_slot,
                                  const CoordinateSpace& space, HopSelection selection)
     : engine_(engine), slot_(bootstrap_slot), space_(space), selection_(selection) {}
 
 Address ProximityRouter::next_hop(Address node, NodeId key) const {
-  const auto& proto = dynamic_cast<const BootstrapProtocol&>(engine_.protocol(node, slot_));
+  const auto& proto = slot_.of(engine_, node);
   if (!proto.active()) return node;
   const NodeId own = engine_.id_of(node);
   const auto& prefix = proto.prefix_table();

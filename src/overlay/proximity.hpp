@@ -69,7 +69,7 @@ enum class HopSelection {
 /// the k alternatives of each prefix cell.
 class ProximityRouter {
  public:
-  ProximityRouter(const Engine& engine, ProtocolSlot bootstrap_slot,
+  ProximityRouter(const Engine& engine, SlotRef<BootstrapProtocol> bootstrap_slot,
                   const CoordinateSpace& space, HopSelection selection);
 
   /// Routes one key; returns (delivered?, total latency, hops).
@@ -89,7 +89,7 @@ class ProximityRouter {
   Address next_hop(Address node, NodeId key) const;
 
   const Engine& engine_;
-  ProtocolSlot slot_;
+  SlotRef<BootstrapProtocol> slot_;
   const CoordinateSpace& space_;
   HopSelection selection_;
 };

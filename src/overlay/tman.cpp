@@ -133,7 +133,7 @@ void TManProtocol::update_from(const DescriptorList& entries, const NodeDescript
 }
 
 void TManProtocol::on_message(Context& ctx, Address from, const Payload& payload) {
-  const auto* msg = dynamic_cast<const TManMessage*>(&payload);
+  const auto* msg = payload_cast<TManMessage>(payload);
   if (msg == nullptr) {
     BSVC_WARN("tman: unexpected payload type %s", payload.type_name());
     return;
@@ -146,7 +146,7 @@ void TManProtocol::on_message(Context& ctx, Address from, const Payload& payload
   update_from(msg->entries, msg->sender);
 }
 
-TManOracle::TManOracle(const Engine& engine, ProtocolSlot slot, RankingFunction ranking,
+TManOracle::TManOracle(const Engine& engine, SlotRef<TManProtocol> slot, RankingFunction ranking,
                        std::size_t m)
     : engine_(engine), slot_(slot), ranking_(std::move(ranking)), m_(m) {
   for (const Address addr : engine.alive_addresses()) {
@@ -172,7 +172,7 @@ double TManOracle::missing_fraction() const {
   std::uint64_t perfect = 0;
   std::uint64_t present = 0;
   for (const auto& member : members_) {
-    const auto& proto = dynamic_cast<const TManProtocol&>(engine_.protocol(member.addr, slot_));
+    const auto& proto = slot_.of(engine_, member.addr);
     const auto truth = true_neighbours(member.id);
     perfect += truth.size();
     if (!proto.active()) continue;

@@ -27,6 +27,7 @@
 #include "sampling/peer_sampler.hpp"
 #include "sim/engine.hpp"
 #include "sim/protocol.hpp"
+#include "sim/slot_ref.hpp"
 
 namespace bsvc {
 
@@ -48,17 +49,15 @@ std::uint64_t torus_ranking(NodeId pivot, NodeId x);
 /// View exchange message.
 class TManMessage final : public Payload {
  public:
+  static constexpr PayloadKind kKind = PayloadKind::TMan;
+
   TManMessage(NodeDescriptor sender, DescriptorList entries, bool is_request)
-      : sender(sender), entries(std::move(entries)), is_request(is_request) {}
+      : Payload(kKind), sender(sender), entries(std::move(entries)), is_request(is_request) {}
   std::size_t wire_bytes() const override;
   const char* type_name() const override { return "tman"; }
   const char* metric_tag() const override {
     return is_request ? "tman.request" : "tman.answer";
   }
-  std::unique_ptr<Payload> clone() const override {
-    return std::make_unique<TManMessage>(*this);
-  }
-
   NodeDescriptor sender;
   DescriptorList entries;
   bool is_request;
@@ -115,7 +114,8 @@ class TManProtocol final : public Protocol {
 /// neighbours (per ranking) currently missing from the views.
 class TManOracle {
  public:
-  TManOracle(const Engine& engine, ProtocolSlot slot, RankingFunction ranking, std::size_t m);
+  TManOracle(const Engine& engine, SlotRef<TManProtocol> slot, RankingFunction ranking,
+             std::size_t m);
 
   /// Missing-neighbour fraction over all alive nodes. O(N^2) — intended for
   /// test/bench sizes.
@@ -126,7 +126,7 @@ class TManOracle {
 
  private:
   const Engine& engine_;
-  ProtocolSlot slot_;
+  SlotRef<TManProtocol> slot_;
   RankingFunction ranking_;
   std::size_t m_;
   std::vector<NodeDescriptor> members_;

@@ -33,7 +33,7 @@ std::size_t UnionFind::count_components(const std::vector<std::uint32_t>& member
   return roots.size();
 }
 
-ViewGraphStats measure_view_graph(const Engine& engine, ProtocolSlot slot,
+ViewGraphStats measure_view_graph(const Engine& engine, SlotRef<NewscastProtocol> slot,
                                   std::size_t clustering_sample) {
   ViewGraphStats stats;
   const auto alive = engine.alive_addresses();
@@ -49,7 +49,7 @@ ViewGraphStats measure_view_graph(const Engine& engine, ProtocolSlot slot,
   std::vector<std::vector<Address>> adj(engine.node_count());
 
   for (const auto addr : alive) {
-    const auto& nc = dynamic_cast<const NewscastProtocol&>(engine.protocol(addr, slot));
+    const auto& nc = slot.of(engine, addr);
     for (const auto& entry : nc.view()) {
       const Address peer = entry.descriptor.addr;
       ++total_entries;

@@ -10,7 +10,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "sampling/newscast.hpp"
 #include "sim/engine.hpp"
+#include "sim/slot_ref.hpp"
 
 namespace bsvc {
 
@@ -33,7 +35,7 @@ struct ViewGraphStats {
 
 /// Computes stats over the Newscast instances at `slot` on every alive node.
 /// `clustering_sample` bounds the nodes examined for the clustering metric.
-ViewGraphStats measure_view_graph(const Engine& engine, ProtocolSlot slot,
+ViewGraphStats measure_view_graph(const Engine& engine, SlotRef<NewscastProtocol> slot,
                                   std::size_t clustering_sample = 200);
 
 /// Union-find over alive nodes where each alive view edge joins components.

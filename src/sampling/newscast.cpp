@@ -50,41 +50,47 @@ void NewscastProtocol::on_timer(Context& ctx, std::uint64_t timer_id) {
   BSVC_CHECK(timer_id == kGossipTimer);
   if (!view_.empty()) {
     const auto& peer = view_[ctx.rng().below(view_.size())].descriptor;
-    ctx.send(peer.addr, std::make_unique<NewscastMessage>(outgoing(ctx), /*is_request=*/true));
+    ctx.send(peer.addr, outgoing(ctx, /*is_request=*/true));
     ctr_exchanges_->inc();
   }
   ctx.schedule_timer(config_.period, kGossipTimer);
 }
 
 void NewscastProtocol::on_message(Context& ctx, Address from, const Payload& payload) {
-  const auto* msg = dynamic_cast<const NewscastMessage*>(&payload);
+  const auto* msg = payload_cast<NewscastMessage>(payload);
   if (msg == nullptr) {
     BSVC_WARN("newscast: unexpected payload type %s", payload.type_name());
     return;
   }
   if (!started_) return;  // not yet initialized (staggered start): sender retries
   if (msg->is_request) {
-    ctx.send(from, std::make_unique<NewscastMessage>(outgoing(ctx), /*is_request=*/false));
+    ctx.send(from, outgoing(ctx, /*is_request=*/false));
   }
   merge(msg->entries, ctx.now());
 }
 
 DescriptorList NewscastProtocol::sample(std::size_t n) {
   DescriptorList out;
-  if (view_.empty() || n == 0) return out;
+  sample_into(n, out);
+  return out;
+}
+
+void NewscastProtocol::sample_into(std::size_t n, DescriptorList& out) {
+  if (view_.empty() || n == 0) return;
   BSVC_CHECK_MSG(rng_ != nullptr, "sample() before protocol start");
   const auto take = std::min(n, view_.size());
-  const auto idx =
-      rng_->distinct_indices(static_cast<std::uint32_t>(take),
-                             static_cast<std::uint32_t>(view_.size()));
-  out.reserve(take);
-  for (auto i : idx) out.push_back(view_[i].descriptor);
-  return out;
+  rng_->distinct_indices_into(static_cast<std::uint32_t>(take),
+                              static_cast<std::uint32_t>(view_.size()), idx_buf_);
+  out.reserve(out.size() + take);
+  for (auto i : idx_buf_) out.push_back(view_[i].descriptor);
 }
 
 void NewscastProtocol::merge(const std::vector<TimestampedDescriptor>& incoming, SimTime now) {
   // Union of view and incoming; per address keep the freshest timestamp.
-  std::vector<TimestampedDescriptor> merged = view_;
+  // The scratch buffer is reused across deliveries: a steady-state merge
+  // allocates nothing once both buffers reached view_size capacity.
+  std::vector<TimestampedDescriptor>& merged = merge_buf_;
+  merged.assign(view_.begin(), view_.end());
   std::size_t accepted = 0;
   for (const auto& entry : incoming) {
     if (entry.descriptor.addr == self_.addr || entry.descriptor.addr == kNullAddress) continue;
@@ -116,13 +122,16 @@ void NewscastProtocol::merge(const std::vector<TimestampedDescriptor>& incoming,
               return a.descriptor.addr < b.descriptor.addr;
             });
   if (merged.size() > config_.view_size) merged.resize(config_.view_size);
-  view_ = std::move(merged);
+  view_.swap(merged);
 }
 
-std::vector<TimestampedDescriptor> NewscastProtocol::outgoing(Context& ctx) const {
-  std::vector<TimestampedDescriptor> out = view_;
-  out.push_back({self_, ctx.now()});
-  return out;
+std::unique_ptr<NewscastMessage> NewscastProtocol::outgoing(Context& ctx,
+                                                            bool is_request) const {
+  auto msg = std::make_unique<NewscastMessage>(is_request);
+  msg->entries.reserve(view_.size() + 1);
+  msg->entries.assign(view_.begin(), view_.end());
+  msg->entries.push_back({self_, ctx.now()});
+  return msg;
 }
 
 }  // namespace bsvc

@@ -26,8 +26,14 @@ struct TimestampedDescriptor {
 /// View exchange message (request or answer).
 class NewscastMessage final : public Payload {
  public:
+  static constexpr PayloadKind kKind = PayloadKind::Newscast;
+
   NewscastMessage(std::vector<TimestampedDescriptor> entries, bool is_request)
-      : entries(std::move(entries)), is_request(is_request) {}
+      : Payload(kKind), entries(std::move(entries)), is_request(is_request) {}
+
+  /// Builder form: the sender reserves and fills `entries` in place before
+  /// publishing (one allocation for the whole message body).
+  explicit NewscastMessage(bool is_request) : Payload(kKind), is_request(is_request) {}
 
   std::size_t wire_bytes() const override {
     // count u16 + per entry: descriptor (14) + coarse timestamp u32 + 1 flag.
@@ -36,9 +42,6 @@ class NewscastMessage final : public Payload {
   const char* type_name() const override { return "newscast"; }
   const char* metric_tag() const override {
     return is_request ? "newscast.request" : "newscast.answer";
-  }
-  std::unique_ptr<Payload> clone() const override {
-    return std::make_unique<NewscastMessage>(*this);
   }
 
   std::vector<TimestampedDescriptor> entries;
@@ -83,6 +86,7 @@ class NewscastProtocol final : public Protocol, public PeerSampler {
 
   // PeerSampler interface: uniform picks from the current view.
   DescriptorList sample(std::size_t n) override;
+  void sample_into(std::size_t n, DescriptorList& out) override;
 
   /// Read access for metrics and tests.
   const std::vector<TimestampedDescriptor>& view() const { return view_; }
@@ -94,11 +98,16 @@ class NewscastProtocol final : public Protocol, public PeerSampler {
   /// (counted in "newscast.rejected").
   void merge(const std::vector<TimestampedDescriptor>& incoming, SimTime now);
 
-  /// The view plus a fresh self-descriptor, for sending.
-  std::vector<TimestampedDescriptor> outgoing(Context& ctx) const;
+  /// Builds an exchange message carrying the view plus a fresh
+  /// self-descriptor (one reserve for the whole body).
+  std::unique_ptr<NewscastMessage> outgoing(Context& ctx, bool is_request) const;
 
   NewscastConfig config_;
   std::vector<TimestampedDescriptor> view_;
+  // Scratch reused across merges and samples (steady-state exchanges stay
+  // allocation-free; see tests/test_alloc.cpp).
+  std::vector<TimestampedDescriptor> merge_buf_;
+  std::vector<std::uint32_t> idx_buf_;
   DescriptorList pending_seeds_;
   NodeDescriptor self_{};
   bool started_ = false;

@@ -18,10 +18,13 @@ class OracleSampler final : public PeerSampler {
   OracleSampler(Engine& engine, Address self) : engine_(engine), self_(self) {}
 
   DescriptorList sample(std::size_t n) override;
+  void sample_into(std::size_t n, DescriptorList& out) override;
 
  private:
   Engine& engine_;
   Address self_;
+  // Rejection-sampling scratch, reused across calls.
+  std::vector<bool> taken_;
 };
 
 /// Protocol-shaped adapter so an oracle-sampled node has the same stack
@@ -31,6 +34,7 @@ class OracleSamplerProtocol final : public Protocol, public PeerSampler {
  public:
   OracleSamplerProtocol(Engine& engine, Address self) : impl_(engine, self) {}
   DescriptorList sample(std::size_t n) override { return impl_.sample(n); }
+  void sample_into(std::size_t n, DescriptorList& out) override { impl_.sample_into(n, out); }
 
  private:
   OracleSampler impl_;

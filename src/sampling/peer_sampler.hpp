@@ -24,6 +24,16 @@ class PeerSampler {
   /// caller itself, distinct within one call. May return fewer than `n` if
   /// the locally known pool is small.
   virtual DescriptorList sample(std::size_t n) = 0;
+
+  /// Appends the sample to `out` instead of returning a fresh vector — the
+  /// allocation-free variant CREATEMESSAGE uses on its hot path.
+  /// Implementations MUST consume their randomness exactly as sample() does
+  /// (the golden-replay determinism suite pins the two paths to the same
+  /// trajectory); the default delegates to sample().
+  virtual void sample_into(std::size_t n, DescriptorList& out) {
+    const DescriptorList s = sample(n);
+    out.insert(out.end(), s.begin(), s.end());
+  }
 };
 
 }  // namespace bsvc

@@ -21,7 +21,7 @@ Rng& Context::rng() {
   return engine_.node_rng(self_);
 }
 
-void Context::send(Address to, std::unique_ptr<Payload> payload) {
+void Context::send(Address to, PayloadRef payload) {
   engine_.send_message(self_, to, slot_, std::move(payload));
 }
 
@@ -54,6 +54,7 @@ void Engine::set_fault_model(FaultModel* model) {
   fault_ = model;
   if (model != nullptr && fault_dup_ == nullptr) {
     fault_dup_ = &metrics_.counter("msg.dup");
+    fault_dup_skipped_ = &metrics_.counter("msg.dup.skipped");
     fault_dark_dropped_ = &metrics_.counter("fault.dark.dropped");
     fault_dark_deferred_ = &metrics_.counter("fault.dark.deferred");
   }
@@ -158,9 +159,8 @@ std::vector<Address> Engine::alive_addresses() const {
 
 Rng& Engine::node_rng(Address addr) { return node_at(addr).rng; }
 
-void Engine::send_message(Address from, Address to, ProtocolSlot slot,
-                          std::unique_ptr<Payload> payload) {
-  BSVC_CHECK(payload != nullptr);
+void Engine::send_message(Address from, Address to, ProtocolSlot slot, PayloadRef payload) {
+  BSVC_CHECK(payload);
   BSVC_CHECK_MSG(to < nodes_.size(), "send to unknown address");
   ++traffic_.messages_sent;
   traffic_.bytes_sent += payload->wire_bytes() + kUdpIpHeaderBytes;
@@ -194,7 +194,9 @@ void Engine::send_message(Address from, Address to, ProtocolSlot slot,
       return;
     }
     if (tamper.action == Action::Replace) {
-      BSVC_CHECK(tamper.replacement != nullptr);
+      // Copy-on-write at the tamper point: only this transmission switches
+      // to the rewritten payload; other refs to the original are untouched.
+      BSVC_CHECK(tamper.replacement);
       payload = std::move(tamper.replacement);
     }
   }
@@ -225,14 +227,17 @@ void Engine::send_message(Address from, Address to, ProtocolSlot slot,
   ev.from = from;
   ev.slot = slot;
   // Inject one extra copy, arriving duplicate_delay after the original (and
-  // sequenced after it on ties). Skipped silently when the payload type has
-  // no clone() override; the duplicate bypasses the base drop model (it
-  // already survived the fault layer's own verdict).
-  std::unique_ptr<Payload> copy;
-  if (fault.duplicate) copy = payload->clone();
+  // sequenced after it on ties). A duplicate is a second reference to the
+  // same immutable payload — no deep copy, and no payload type can opt out,
+  // so the old "silently skipped when unclonable" hole is gone by
+  // construction (msg.dup.skipped stays 0; kept as a tripwire). The
+  // duplicate bypasses the base drop model (it already survived the fault
+  // layer's own verdict).
+  PayloadRef copy;
+  if (fault.duplicate) copy = payload;
   ev.aux = payload_pool_.store(std::move(payload));
   push(ev);
-  if (copy != nullptr) {
+  if (copy) {
     ++traffic_.messages_duplicated;
     traffic_.bytes_sent += copy->wire_bytes() + kUdpIpHeaderBytes;
     fault_dup_->inc();
@@ -290,7 +295,7 @@ void Engine::dispatch(const SlimEvent& ev) {
   }
   // Message payloads are reclaimed from the pool unconditionally — even when
   // the destination died in flight, matching the old owning-event behavior.
-  std::unique_ptr<Payload> payload;
+  PayloadRef payload;
   if (ev.kind == EventKind::Message) {
     payload = payload_pool_.take(static_cast<std::uint32_t>(ev.aux));
   }
@@ -346,8 +351,8 @@ void Engine::dispatch(const SlimEvent& ev) {
       break;
     case EventKind::Message:
       if (transcoder_) {
-        auto decoded = transcoder_(*payload);
-        if (decoded == nullptr) {
+        PayloadRef decoded = transcoder_(*payload);
+        if (!decoded) {
           // A frame the wire codec cannot decode is a corrupt datagram: a
           // counted drop, never a crash. Lazy binding keeps the registry of
           // clean runs untouched.

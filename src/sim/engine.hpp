@@ -162,17 +162,18 @@ class Engine {
   /// Optional payload transcoder: when set, every payload is passed through
   /// it at delivery time (e.g. a binary encode→decode round trip from
   /// src/wire, proving protocols depend only on what is actually on the
-  /// wire). Returning nullptr drops the message as malformed.
-  void set_transcoder(std::function<std::unique_ptr<Payload>(const Payload&)> transcoder) {
+  /// wire). Returning an empty ref drops the message as malformed.
+  void set_transcoder(std::function<PayloadRef(const Payload&)> transcoder) {
     transcoder_ = std::move(transcoder);
   }
 
   // --- event injection ----------------------------------------------------
 
   /// Sends a payload from one node's protocol through the transport model.
-  /// Used by Context; exposed for tests.
-  void send_message(Address from, Address to, ProtocolSlot slot,
-                    std::unique_ptr<Payload> payload);
+  /// Takes the ref by value: callers publishing a fresh message move it in;
+  /// multicast callers pass a copy (refcount bump, no allocation). Used by
+  /// Context; exposed for tests.
+  void send_message(Address from, Address to, ProtocolSlot slot, PayloadRef payload);
 
   /// Schedules on_timer(timer_id) on (addr, slot) at now() + delay.
   void schedule_timer(Address addr, ProtocolSlot slot, SimTime delay,
@@ -235,14 +236,19 @@ class Engine {
   // Events are 40-byte PODs; payloads and Call closures are parked in slot
   // pools and referenced by index (see event_queue.hpp for the rationale).
   TwoTierQueue queue_;
-  SlotPool<std::unique_ptr<Payload>> payload_pool_;
+  SlotPool<PayloadRef> payload_pool_;
   SlotPool<std::function<void(Engine&)>> call_pool_;
   std::function<bool(Address, Address)> link_filter_;
-  std::function<std::unique_ptr<Payload>(const Payload&)> transcoder_;
+  std::function<PayloadRef(const Payload&)> transcoder_;
   LatencyModel latency_model_;
   FaultModel* fault_ = nullptr;
   // Fault-path metric handles, bound when a model is installed.
   obs::Counter* fault_dup_ = nullptr;            // msg.dup
+  // Duplications that could not produce a copy. Structurally pinned to zero
+  // since the PayloadRef refactor (a refcount bump cannot fail for any
+  // payload type); kept registered as a tripwire — see
+  // docs/observability.md#msg-dup-skipped.
+  obs::Counter* fault_dup_skipped_ = nullptr;    // msg.dup.skipped
   obs::Counter* fault_dark_dropped_ = nullptr;   // fault.dark.dropped
   obs::Counter* fault_dark_deferred_ = nullptr;  // fault.dark.deferred
   // Corrupt-frame drops (tamper verdicts and transcoder decode failures).

@@ -1,22 +1,58 @@
-// Type-erased message payloads for the simulated transport.
+// Type-erased message payloads for the simulated transport, and the shared
+// immutable reference (`PayloadRef`) through which the engine owns them.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <type_traits>
+#include <utility>
 
 namespace bsvc {
 
 /// UDP/IPv4 header overhead added to every message's byte accounting.
 inline constexpr std::size_t kUdpIpHeaderBytes = 28;
 
+/// Closed set of payload families on the simulated wire. One tag per
+/// concrete message class (mirroring net::MessageType for the seven wire
+/// types); `Custom` covers test doubles and experiment-local payloads.
+/// payload_cast<T> dispatches on this tag — a load and a compare — instead
+/// of a dynamic_cast, which keeps RTTI off the per-delivery hot path.
+enum class PayloadKind : std::uint8_t {
+  Bootstrap,
+  Probe,
+  Newscast,
+  Chord,
+  TMan,
+  Rumor,
+  Aggregation,
+  Custom,
+};
+
 /// Base class of everything a protocol can put on the wire.
 ///
-/// Payloads are heap-allocated, moved into the engine on send and handed to
-/// the receiver by const reference (the receiver copies what it keeps; in a
-/// real deployment it would deserialize from a datagram).
+/// Ownership model: a payload is built mutably (behind a unique_ptr), then
+/// *published* into a PayloadRef when handed to the engine — from that point
+/// it is logically immutable and shared by reference counting. Fault-layer
+/// duplication and multicast are refcount bumps; anything that needs to
+/// alter a published payload (the adversary's tamper hook, the wire
+/// transcoder) builds a fresh payload and publishes that instead
+/// (copy-on-write). The count is intentionally non-atomic: an Engine and
+/// everything it owns live on one thread, and parallel bench replicas own
+/// disjoint engines (docs/architecture.md#payload-ownership).
 class Payload {
  public:
+  explicit Payload(PayloadKind kind = PayloadKind::Custom) : kind_(kind) {}
   virtual ~Payload() = default;
+
+  /// Copies start a fresh life: the new object is uniquely owned by its
+  /// creator (refcount 0 until published), whatever the source's count was.
+  Payload(const Payload& other) : kind_(other.kind_) {}
+  Payload& operator=(const Payload&) { return *this; }
+
+  /// The dispatch tag set at construction; payload_cast<T> compares it
+  /// against T::kKind.
+  PayloadKind kind() const { return kind_; }
 
   /// Serialized size of the payload body in bytes, excluding UDP/IP headers.
   /// Drives the engine's traffic accounting; implementations must agree with
@@ -33,11 +69,82 @@ class Payload {
   /// a string literal (or other storage outliving the engine).
   virtual const char* metric_tag() const { return type_name(); }
 
-  /// Deep copy, used by the fault layer to inject duplicate deliveries.
-  /// The default (nullptr) marks the payload as unclonable: duplication is
-  /// silently skipped for it. Concrete payloads override with a one-liner
-  /// `return std::make_unique<T>(*this);`.
-  virtual std::unique_ptr<Payload> clone() const { return nullptr; }
+ private:
+  friend class PayloadRef;
+  PayloadKind kind_;
+  /// Intrusive count, touched only through PayloadRef. 0 while the object
+  /// is still uniquely owned by its builder.
+  mutable std::uint32_t refs_ = 0;
 };
+
+/// Shared, immutable reference to a published payload.
+///
+/// Constructible implicitly from a `std::unique_ptr` to any Payload
+/// subclass, so `ctx.send(addr, std::make_unique<Msg>(...))` publishes in
+/// place. Copying bumps the intrusive count; the last reference deletes.
+/// Not thread-safe by design — see the Payload ownership note above.
+class PayloadRef {
+ public:
+  PayloadRef() = default;
+
+  /// Publishes a uniquely owned payload (refcount must be 0, i.e. the
+  /// object has never been published before).
+  template <typename T, std::enable_if_t<std::is_base_of_v<Payload, T>, int> = 0>
+  PayloadRef(std::unique_ptr<T> payload) noexcept  // NOLINT(google-explicit-constructor)
+      : ptr_(payload.release()) {
+    if (ptr_ != nullptr) ptr_->refs_ = 1;
+  }
+
+  PayloadRef(const PayloadRef& other) noexcept : ptr_(other.ptr_) {
+    if (ptr_ != nullptr) ++ptr_->refs_;
+  }
+  PayloadRef(PayloadRef&& other) noexcept : ptr_(std::exchange(other.ptr_, nullptr)) {}
+  PayloadRef& operator=(PayloadRef other) noexcept {
+    std::swap(ptr_, other.ptr_);
+    return *this;
+  }
+  ~PayloadRef() { reset(); }
+
+  void reset() noexcept {
+    // The one sanctioned manual delete: PayloadRef IS the owner abstraction.
+    if (ptr_ != nullptr && --ptr_->refs_ == 0) delete ptr_;  // NOLINT(cppcoreguidelines-owning-memory)
+    ptr_ = nullptr;
+  }
+
+  const Payload* get() const { return ptr_; }
+  const Payload& operator*() const { return *ptr_; }
+  const Payload* operator->() const { return ptr_; }
+  explicit operator bool() const { return ptr_ != nullptr; }
+
+  /// True when this is the only reference — the copy-on-write fast path.
+  bool unique() const { return ptr_ != nullptr && ptr_->refs_ == 1; }
+
+  /// Current reference count (0 for an empty ref); exposed for tests.
+  std::uint32_t use_count() const { return ptr_ == nullptr ? 0 : ptr_->refs_; }
+
+ private:
+  const Payload* ptr_ = nullptr;
+};
+
+/// Builds and publishes a payload in one step.
+template <typename T, typename... Args>
+PayloadRef make_payload(Args&&... args) {
+  return PayloadRef(std::make_unique<T>(std::forward<Args>(args)...));
+}
+
+/// Checked downcast on the PayloadKind tag: nullptr unless the payload was
+/// constructed as a T (T must declare `static constexpr PayloadKind kKind`).
+/// Replaces dynamic_cast on every delivery path.
+template <typename T>
+const T* payload_cast(const Payload* payload) {
+  static_assert(std::is_base_of_v<Payload, T>);
+  return (payload != nullptr && payload->kind() == T::kKind) ? static_cast<const T*>(payload)
+                                                             : nullptr;
+}
+
+template <typename T>
+const T* payload_cast(const Payload& payload) {
+  return payload_cast<T>(&payload);
+}
 
 }  // namespace bsvc

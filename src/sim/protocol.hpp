@@ -38,7 +38,9 @@ class Context {
 
   /// Sends `payload` to the same protocol slot on node `to` through the
   /// unreliable transport (may be dropped/delayed per engine config).
-  void send(Address to, std::unique_ptr<Payload> payload);
+  /// Accepts a freshly built `std::unique_ptr<Msg>` (published into a
+  /// PayloadRef implicitly) or an existing ref (multicast: refcount bump).
+  void send(Address to, PayloadRef payload);
 
   /// Fires on_timer(timer_id) on this protocol after `delay` time units.
   void schedule_timer(std::uint64_t delay, std::uint64_t timer_id);

@@ -1,0 +1,59 @@
+// Typed protocol-slot handles.
+//
+// The engine stores protocol stacks type-erased (`Protocol&`), but almost
+// every observer — oracles, routers, graph metrics, benches — knows the
+// concrete type living in a slot because it wired the stack itself. A
+// SlotRef<T> captures that knowledge once, at wiring time, so lookups are a
+// bounds-checked static_cast instead of the dynamic_cast-per-node-per-cycle
+// the observers used to pay (docs/architecture.md#typed-slots).
+#pragma once
+
+#include <memory>
+
+#include "sim/engine.hpp"
+#include "sim/protocol.hpp"
+
+namespace bsvc {
+
+/// Handle to protocol slot `slot()` holding a T on every node it is used
+/// with. Created by attach_typed() (the safe path: the attachment itself
+/// proves the type) or by SlotRef<T>::assume() for stacks wired elsewhere.
+/// The cast is unchecked by design — creation sites are the type proof.
+template <typename T>
+class SlotRef {
+ public:
+  static_assert(std::is_base_of_v<Protocol, T>);
+
+  SlotRef() = default;
+
+  /// The caller asserts that every node this handle will ever dereference
+  /// has a T at `slot`. Use when the stack was wired by other code that
+  /// guarantees the layout (e.g. BootstrapExperiment's fixed slots).
+  static SlotRef assume(ProtocolSlot slot) { return SlotRef(slot); }
+
+  T& of(Engine& engine, Address addr) const {
+    return static_cast<T&>(engine.protocol(addr, slot_));
+  }
+  const T& of(const Engine& engine, Address addr) const {
+    return static_cast<const T&>(engine.protocol(addr, slot_));
+  }
+
+  ProtocolSlot slot() const { return slot_; }
+  /// Decays to the raw slot index for engine APIs (timers, traces) so typed
+  /// handles flow everywhere a ProtocolSlot used to.
+  operator ProtocolSlot() const { return slot_; }  // NOLINT(google-explicit-constructor)
+
+ private:
+  explicit SlotRef(ProtocolSlot slot) : slot_(slot) {}
+  ProtocolSlot slot_ = 0;
+};
+
+/// Attaches `protocol` to the node's stack and returns the typed handle for
+/// the slot it landed in — the one place where slot index and concrete type
+/// are bound together.
+template <typename T>
+SlotRef<T> attach_typed(Engine& engine, Address addr, std::unique_ptr<T> protocol) {
+  return SlotRef<T>::assume(engine.attach(addr, std::move(protocol)));
+}
+
+}  // namespace bsvc

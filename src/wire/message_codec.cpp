@@ -53,46 +53,71 @@ std::optional<std::vector<TimestampedDescriptor>> get_timestamped(ByteReader& r)
 }  // namespace
 
 std::optional<std::vector<std::uint8_t>> encode_message(const Payload& payload) {
+  // Dispatch on the PayloadKind tag set at construction — a single switch
+  // instead of the old dynamic_cast chain. PayloadKind::Custom (test
+  // doubles) has no wire format.
   ByteWriter w;
-  if (const auto* m = dynamic_cast<const BootstrapMessage*>(&payload)) {
-    w.u8(static_cast<std::uint8_t>(MessageType::Bootstrap));
-    w.descriptor(m->sender);
-    w.u8(m->is_request ? 1 : 0);
-    w.descriptor_list(m->ring_part);
-    w.descriptor_list(m->prefix_part);
-    w.u16(static_cast<std::uint16_t>(m->tombstones.size()));
-    for (const auto& ts : m->tombstones) {
-      w.u64(ts.id);
-      w.u32(static_cast<std::uint32_t>(ts.expiry));
+  switch (payload.kind()) {
+    case PayloadKind::Bootstrap: {
+      const auto* m = static_cast<const BootstrapMessage*>(&payload);
+      w.u8(static_cast<std::uint8_t>(MessageType::Bootstrap));
+      w.descriptor(m->sender);
+      w.u8(m->is_request ? 1 : 0);
+      w.descriptor_list(m->ring_part());
+      w.descriptor_list(m->prefix_part());
+      w.u16(static_cast<std::uint16_t>(m->tombstones.size()));
+      for (const auto& ts : m->tombstones) {
+        w.u64(ts.id);
+        w.u32(static_cast<std::uint32_t>(ts.expiry));
+      }
+      break;
     }
-  } else if (const auto* m = dynamic_cast<const NewscastMessage*>(&payload)) {
-    w.u8(static_cast<std::uint8_t>(MessageType::Newscast));
-    put_timestamped(w, m->entries);
-    w.u8(m->is_request ? 1 : 0);
-  } else if (const auto* m = dynamic_cast<const ChordMessage*>(&payload)) {
-    w.u8(static_cast<std::uint8_t>(MessageType::Chord));
-    w.descriptor(m->sender);
-    w.u8(m->is_request ? 1 : 0);
-    w.descriptor_list(m->ring_part);
-    w.descriptor_list(m->finger_part);
-  } else if (const auto* m = dynamic_cast<const TManMessage*>(&payload)) {
-    w.u8(static_cast<std::uint8_t>(MessageType::TMan));
-    w.descriptor(m->sender);
-    w.u8(m->is_request ? 1 : 0);
-    w.descriptor_list(m->entries);
-  } else if (const auto* m = dynamic_cast<const RumorMessage*>(&payload)) {
-    w.u8(static_cast<std::uint8_t>(MessageType::Rumor));
-    w.u64(m->tag);
-  } else if (const auto* m = dynamic_cast<const AggregationMessage*>(&payload)) {
-    w.u8(static_cast<std::uint8_t>(MessageType::Aggregation));
-    w.u64(double_to_bits(m->value));
-    w.u8(m->is_request ? 1 : 0);
-  } else if (const auto* m = dynamic_cast<const ProbeMessage*>(&payload)) {
-    w.u8(static_cast<std::uint8_t>(MessageType::Probe));
-    w.u8(m->is_reply ? 1 : 0);
-    w.u64(m->responder_id);
-  } else {
-    return std::nullopt;
+    case PayloadKind::Newscast: {
+      const auto* m = static_cast<const NewscastMessage*>(&payload);
+      w.u8(static_cast<std::uint8_t>(MessageType::Newscast));
+      put_timestamped(w, m->entries);
+      w.u8(m->is_request ? 1 : 0);
+      break;
+    }
+    case PayloadKind::Chord: {
+      const auto* m = static_cast<const ChordMessage*>(&payload);
+      w.u8(static_cast<std::uint8_t>(MessageType::Chord));
+      w.descriptor(m->sender);
+      w.u8(m->is_request ? 1 : 0);
+      w.descriptor_list(m->ring_part);
+      w.descriptor_list(m->finger_part);
+      break;
+    }
+    case PayloadKind::TMan: {
+      const auto* m = static_cast<const TManMessage*>(&payload);
+      w.u8(static_cast<std::uint8_t>(MessageType::TMan));
+      w.descriptor(m->sender);
+      w.u8(m->is_request ? 1 : 0);
+      w.descriptor_list(m->entries);
+      break;
+    }
+    case PayloadKind::Rumor: {
+      const auto* m = static_cast<const RumorMessage*>(&payload);
+      w.u8(static_cast<std::uint8_t>(MessageType::Rumor));
+      w.u64(m->tag);
+      break;
+    }
+    case PayloadKind::Aggregation: {
+      const auto* m = static_cast<const AggregationMessage*>(&payload);
+      w.u8(static_cast<std::uint8_t>(MessageType::Aggregation));
+      w.u64(double_to_bits(m->value));
+      w.u8(m->is_request ? 1 : 0);
+      break;
+    }
+    case PayloadKind::Probe: {
+      const auto* m = static_cast<const ProbeMessage*>(&payload);
+      w.u8(static_cast<std::uint8_t>(MessageType::Probe));
+      w.u8(m->is_reply ? 1 : 0);
+      w.u64(m->responder_id);
+      break;
+    }
+    case PayloadKind::Custom:
+      return std::nullopt;
   }
   return w.bytes();
 }
@@ -118,8 +143,7 @@ std::unique_ptr<Payload> decode_message(const std::vector<std::uint8_t>& bytes) 
         tombstones.push_back({*id, *expiry});
       }
       if (!r.exhausted()) return nullptr;
-      auto msg = std::make_unique<BootstrapMessage>(*sender, std::move(*ring),
-                                                    std::move(*prefix), *flag == 1);
+      auto msg = std::make_unique<BootstrapMessage>(*sender, *ring, *prefix, *flag == 1);
       msg->tombstones = std::move(tombstones);
       return msg;
     }
@@ -166,10 +190,12 @@ std::unique_ptr<Payload> decode_message(const std::vector<std::uint8_t>& bytes) 
   return nullptr;
 }
 
-std::function<std::unique_ptr<Payload>(const Payload&)> wire_roundtrip_transcoder() {
-  return [](const Payload& payload) -> std::unique_ptr<Payload> {
+std::function<PayloadRef(const Payload&)> wire_roundtrip_transcoder() {
+  return [](const Payload& payload) -> PayloadRef {
     const auto bytes = encode_message(payload);
-    if (!bytes) return nullptr;
+    if (!bytes) return {};
+    // Build-then-publish: decode constructs a fresh mutable message, the
+    // implicit conversion publishes it as an immutable ref.
     return decode_message(*bytes);
   };
 }

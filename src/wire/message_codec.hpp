@@ -44,6 +44,6 @@ std::unique_ptr<Payload> decode_message(const std::vector<std::uint8_t>& bytes);
 
 /// An Engine transcoder that round-trips every payload through
 /// encode_message/decode_message (Engine::set_transcoder).
-std::function<std::unique_ptr<Payload>(const Payload&)> wire_roundtrip_transcoder();
+std::function<PayloadRef(const Payload&)> wire_roundtrip_transcoder();
 
 }  // namespace bsvc

@@ -190,6 +190,44 @@ TEST(AdversarySet, ControlledFractionDetectsFabricatedBindings) {
 
 // --- behavior and replay ---------------------------------------------------
 
+TEST(AdversaryCow, TamperCopiesSharedPayloadInsteadOfMutatingIt) {
+  // Fault-layer duplication shares one immutable payload between two queued
+  // deliveries (a refcount bump). When the adversary then tampers with one
+  // delivery, it must copy-on-write a fresh message; the sibling delivery
+  // keeps reading the untouched original.
+  Engine engine(7);
+  for (std::uint64_t i = 0; i < 8; ++i) engine.add_node(1000 + i * 7);
+  AdversaryPlan plan;
+  plan.nodes = {0};
+  plan.eclipse = true;  // always rewrites bootstrap payloads
+  const auto model = install_adversary_plan(engine, plan);
+  ASSERT_NE(model, nullptr);
+
+  auto fresh = std::make_unique<BootstrapMessage>(engine.descriptor_of(0), true);
+  fresh->reserve_entries(3);
+  for (Address a = 2; a <= 4; ++a) fresh->append_ring_entry(engine.descriptor_of(a));
+  const DescriptorList before(fresh->all_entries().begin(), fresh->all_entries().end());
+
+  PayloadRef first = std::move(fresh);  // publish
+  PayloadRef second = first;            // the duplicate delivery's handle
+  ASSERT_EQ(first.get(), second.get());
+  ASSERT_EQ(first.use_count(), 2u);
+
+  const auto verdict = model->on_payload(/*now=*/0, /*from=*/0, /*to=*/1, *first);
+  ASSERT_EQ(verdict.action, FaultModel::TamperVerdict::Action::Replace);
+  ASSERT_TRUE(verdict.replacement);
+  EXPECT_NE(verdict.replacement.get(), first.get());
+
+  const auto* untouched = payload_cast<BootstrapMessage>(second.get());
+  ASSERT_NE(untouched, nullptr);
+  ASSERT_EQ(untouched->entry_count(), before.size());
+  const auto entries = untouched->all_entries();
+  for (std::size_t i = 0; i < before.size(); ++i) EXPECT_EQ(entries[i], before[i]);
+  // The replacement owns its own message: the shared original is still held
+  // by exactly the two delivery handles.
+  EXPECT_EQ(first.use_count(), 2u);
+}
+
 TEST(AdversaryBehavior, CountersTickAndReplayIsDeterministic) {
   const auto run_once = [](std::uint64_t* adv_counters, std::size_t n_counters) {
     ExperimentConfig cfg = small_config(21, 12, true);

@@ -77,16 +77,16 @@ TEST(BootstrapProtocol, MessageInvariants) {
     const auto msg = proto.create_message(peer, true);
 
     // Ring part bounded by c; never contains the peer itself.
-    EXPECT_LE(msg->ring_part.size(), proto.config().c);
+    EXPECT_LE(msg->ring_part().size(), proto.config().c);
     std::set<NodeId> seen;
-    for (const auto& d : msg->ring_part) {
+    for (const auto& d : msg->ring_part()) {
       EXPECT_NE(d.id, peer);
       EXPECT_TRUE(seen.insert(d.id).second);  // no duplicates
     }
     // Prefix part: at most k per (row, col) cell of the peer, disjoint from
     // the ring part.
     std::map<std::pair<int, int>, int> cells;
-    for (const auto& d : msg->prefix_part) {
+    for (const auto& d : msg->prefix_part()) {
       EXPECT_NE(d.id, peer);
       EXPECT_TRUE(seen.insert(d.id).second);
       const int i = common_prefix_digits(peer, d.id, proto.config().digits);
@@ -99,7 +99,7 @@ TEST(BootstrapProtocol, MessageInvariants) {
         static_cast<std::size_t>(proto.config().digits.num_digits<NodeId>()) *
         static_cast<std::size_t>(proto.config().digits.radix() - 1) *
         static_cast<std::size_t>(proto.config().k);
-    EXPECT_LE(msg->prefix_part.size(), full_table);
+    EXPECT_LE(msg->prefix_part().size(), full_table);
   }
 }
 
@@ -193,8 +193,8 @@ TEST(BootstrapProtocol, WireBytesMatchEntryCounts) {
   auto& proto = const_cast<BootstrapProtocol&>(exp.bootstrap_of(0));
   const auto msg = proto.create_message(exp.engine().id_of(1), true);
   const std::size_t expected = kDescriptorWireBytes + 1 +
-                               (2 + msg->ring_part.size() * kDescriptorWireBytes) +
-                               (2 + msg->prefix_part.size() * kDescriptorWireBytes) +
+                               (2 + msg->ring_part().size() * kDescriptorWireBytes) +
+                               (2 + msg->prefix_part().size() * kDescriptorWireBytes) +
                                (2 + msg->tombstones.size() * 12);
   EXPECT_EQ(msg->wire_bytes(), expected);
 }

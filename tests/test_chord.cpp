@@ -101,7 +101,7 @@ struct ChordNet {
   }
 
   const ChordBootstrapProtocol& proto(Address a) const {
-    return dynamic_cast<const ChordBootstrapProtocol&>(engine->protocol(a, 1));
+    return dynamic_cast<const ChordBootstrapProtocol&>(engine->protocol(a, 1));  // test-only checked cast
   }
 
   void run_cycles(std::size_t cycles) { engine->run_until(engine->now() + cycles * kDelta); }
@@ -109,7 +109,7 @@ struct ChordNet {
 
 TEST(ChordBootstrap, FingersConvergeToExactTargets) {
   ChordNet net(512, 1);
-  const ChordOracle oracle(*net.engine, 1);
+  const ChordOracle oracle(*net.engine, SlotRef<ChordBootstrapProtocol>::assume(1));
   net.run_cycles(40);
   const auto m = oracle.measure();
   EXPECT_TRUE(m.fingers_converged())
@@ -118,7 +118,7 @@ TEST(ChordBootstrap, FingersConvergeToExactTargets) {
 
 TEST(ChordBootstrap, ConvergenceIsFast) {
   ChordNet net(512, 2);
-  const ChordOracle oracle(*net.engine, 1);
+  const ChordOracle oracle(*net.engine, SlotRef<ChordBootstrapProtocol>::assume(1));
   int converged_at = -1;
   for (int cycle = 0; cycle < 40; ++cycle) {
     net.run_cycles(1);
@@ -155,7 +155,7 @@ TEST(ChordBootstrap, MessageInvariants) {
 
 TEST(ChordBootstrap, TrueFingerMatchesBruteForce) {
   ChordNet net(128, 5);
-  const ChordOracle oracle(*net.engine, 1);
+  const ChordOracle oracle(*net.engine, SlotRef<ChordBootstrapProtocol>::assume(1));
   std::vector<NodeDescriptor> members;
   for (Address a = 0; a < 128; ++a) members.push_back(net.engine->descriptor_of(a));
   Rng rng(6);

@@ -131,8 +131,8 @@ TEST(WireSizeEquivalence, BootstrapMessage) {
   ByteWriter w;
   w.descriptor(msg.sender);
   w.u8(msg.is_request ? 1 : 0);
-  w.descriptor_list(msg.ring_part);
-  w.descriptor_list(msg.prefix_part);
+  w.descriptor_list(msg.ring_part());
+  w.descriptor_list(msg.prefix_part());
   w.u16(static_cast<std::uint16_t>(msg.tombstones.size()));  // certificates (none here)
   EXPECT_EQ(msg.wire_bytes(), w.size());
 }

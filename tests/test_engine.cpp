@@ -32,7 +32,7 @@ class Recorder final : public Protocol {
     events.push_back({Event::Timer, ctx.now(), id, 0});
   }
   void on_message(Context& ctx, Address from, const Payload& p) override {
-    const auto& ip = dynamic_cast<const IntPayload&>(p);
+    const auto& ip = dynamic_cast<const IntPayload&>(p);  // test-only checked cast
     events.push_back({Event::Message, ctx.now(), static_cast<std::uint64_t>(ip.value), from});
   }
 
@@ -40,7 +40,7 @@ class Recorder final : public Protocol {
 };
 
 Recorder& recorder_at(Engine& e, Address a) {
-  return dynamic_cast<Recorder&>(e.protocol(a, 0));
+  return dynamic_cast<Recorder&>(e.protocol(a, 0));  // test-only checked cast
 }
 
 TEST(Engine, StartDispatchesOnStart) {
@@ -245,7 +245,7 @@ class PingPayload final : public Payload {
 class PingProtocol final : public Protocol {
  public:
   void on_message(Context& ctx, Address from, const Payload& p) override {
-    if (dynamic_cast<const PingPayload&>(p).is_request()) {
+    if (dynamic_cast<const PingPayload&>(p).is_request()) {  // test-only checked cast
       ctx.send(from, std::make_unique<PingPayload>(false));
     }
   }

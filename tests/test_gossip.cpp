@@ -30,10 +30,10 @@ std::unique_ptr<Engine> make_net(std::size_t n, std::uint64_t seed, ProtoFactory
 }
 
 BroadcastProtocol& bcast(Engine& e, Address a) {
-  return dynamic_cast<BroadcastProtocol&>(e.protocol(a, 1));
+  return dynamic_cast<BroadcastProtocol&>(e.protocol(a, 1));  // test-only checked cast
 }
 AggregationProtocol& aggr(Engine& e, Address a) {
-  return dynamic_cast<AggregationProtocol&>(e.protocol(a, 1));
+  return dynamic_cast<AggregationProtocol&>(e.protocol(a, 1));  // test-only checked cast
 }
 
 TEST(Broadcast, ReachesEveryNode) {

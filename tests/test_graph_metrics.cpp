@@ -52,14 +52,14 @@ TEST(ViewGraph, HandBuiltRingTopology) {
     e.attach(a, std::make_unique<NewscastProtocol>(NewscastConfig{}));
   }
   for (Address a = 0; a < kN; ++a) {
-    auto& nc = dynamic_cast<NewscastProtocol&>(e.protocol(a, 0));
+    auto& nc = dynamic_cast<NewscastProtocol&>(e.protocol(a, 0));  // test-only checked cast
     nc.init_view({e.descriptor_of((a + 1) % kN)});  // each points at its next
     e.start_node(a);
   }
   // Run only the time-0 start events: views hold exactly the seeds (message
   // latency keeps any first exchange from completing at t=0).
   e.run_until(0);
-  const auto stats = measure_view_graph(e, 0);
+  const auto stats = measure_view_graph(e, SlotRef<NewscastProtocol>::assume(0));
   EXPECT_EQ(stats.alive_nodes, kN);
   EXPECT_EQ(stats.components, 1u);
   EXPECT_DOUBLE_EQ(stats.indegree_mean, 1.0);
@@ -76,7 +76,7 @@ TEST(ViewGraph, DetectsDeadEntriesAndDisconnection) {
   }
   // Two disconnected pairs: 0<->1, 2<->3.
   const auto wire = [&](Address x, Address y) {
-    dynamic_cast<NewscastProtocol&>(e.protocol(x, 0)).init_view({e.descriptor_of(y)});
+    dynamic_cast<NewscastProtocol&>(e.protocol(x, 0)).init_view({e.descriptor_of(y)});  // test-only checked cast
   };
   wire(0, 1);
   wire(1, 0);
@@ -84,11 +84,11 @@ TEST(ViewGraph, DetectsDeadEntriesAndDisconnection) {
   wire(3, 2);
   for (Address a = 0; a < 4; ++a) e.start_node(a);
   e.run_until(0);
-  auto stats = measure_view_graph(e, 0);
+  auto stats = measure_view_graph(e, SlotRef<NewscastProtocol>::assume(0));
   EXPECT_EQ(stats.components, 2u);
 
   e.kill_node(3);
-  stats = measure_view_graph(e, 0);
+  stats = measure_view_graph(e, SlotRef<NewscastProtocol>::assume(0));
   EXPECT_EQ(stats.alive_nodes, 3u);
   // Node 2's single view entry points at the dead node 3.
   EXPECT_NEAR(stats.dead_entry_fraction, 1.0 / 3.0, 1e-9);

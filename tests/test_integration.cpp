@@ -61,7 +61,7 @@ TEST(Integration, ChordSurvivesWireRoundtrip) {
     engine.start_node(a);
   }
   engine.set_transcoder(wire_roundtrip_transcoder());
-  const ChordOracle oracle(engine, 1);
+  const ChordOracle oracle(engine, SlotRef<ChordBootstrapProtocol>::assume(1));
   engine.run_until(40 * kDelta);
   EXPECT_TRUE(oracle.measure().fingers_converged());
 }
@@ -85,7 +85,7 @@ TEST(Integration, TwoPoolMergeEndToEnd) {
                            const auto a = static_cast<Address>(e.rng().below(kN / 2));
                            const auto b =
                                static_cast<Address>(kN / 2 + e.rng().below(kN / 2));
-                           dynamic_cast<NewscastProtocol&>(e.protocol(a, newscast_slot))
+                           dynamic_cast<NewscastProtocol&>(e.protocol(a, newscast_slot))  // test-only checked cast
                                .add_contact(e.descriptor_of(b), e.now());
                          }
                        });

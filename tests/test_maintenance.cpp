@@ -73,7 +73,7 @@ TEST(Maintenance, TombstonesTravelOnTheWire) {
   EXPECT_EQ(bytes->size() - 1, with_ts->wire_bytes());
   auto decoded = decode_message(*bytes);
   ASSERT_NE(decoded, nullptr);
-  const auto& back = dynamic_cast<const BootstrapMessage&>(*decoded);
+  const auto& back = dynamic_cast<const BootstrapMessage&>(*decoded);  // test-only checked cast
   ASSERT_EQ(back.tombstones.size(), 2u);
   EXPECT_EQ(back.tombstones[0].id, 0xAAAAu);
   EXPECT_EQ(back.tombstones[0].expiry, 5000u);

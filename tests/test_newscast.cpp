@@ -39,7 +39,7 @@ struct NewscastNet {
   }
 
   NewscastProtocol& proto(Address a) {
-    return dynamic_cast<NewscastProtocol&>(engine.protocol(a, 0));
+    return dynamic_cast<NewscastProtocol&>(engine.protocol(a, 0));  // test-only checked cast
   }
 
   void run_cycles(std::size_t cycles, SimTime period = kDelta) {
@@ -102,7 +102,7 @@ TEST(Newscast, SampleZeroAndOversized) {
 TEST(Newscast, GraphStaysConnectedAndBalanced) {
   NewscastNet net(1024, 6);
   net.run_cycles(20);
-  const auto stats = measure_view_graph(net.engine, 0);
+  const auto stats = measure_view_graph(net.engine, SlotRef<NewscastProtocol>::assume(0));
   EXPECT_EQ(stats.components, 1u);
   EXPECT_EQ(stats.alive_nodes, 1024u);
   // In-degree should concentrate near the view size; a random graph with
@@ -117,7 +117,7 @@ TEST(Newscast, RandomizesFromDegenerateStarInit) {
   // samples"); the protocol must still mix into a balanced random graph.
   NewscastNet net(512, 7, {}, 5, /*star_init=*/true);
   net.run_cycles(25);
-  const auto stats = measure_view_graph(net.engine, 0);
+  const auto stats = measure_view_graph(net.engine, SlotRef<NewscastProtocol>::assume(0));
   EXPECT_EQ(stats.components, 1u);
   // Node 0 must no longer dominate in-degrees.
   EXPECT_LT(static_cast<double>(stats.indegree_max), 6.0 * stats.indegree_mean);
@@ -128,7 +128,7 @@ TEST(Newscast, SelfHealsAfterCatastrophicFailure) {
   net.run_cycles(10);
   schedule_catastrophe(net.engine, net.engine.now(), 0.7);
   net.run_cycles(25);
-  const auto stats = measure_view_graph(net.engine, 0);
+  const auto stats = measure_view_graph(net.engine, SlotRef<NewscastProtocol>::assume(0));
   EXPECT_EQ(stats.alive_nodes, 308u);  // 1024 - 716
   EXPECT_EQ(stats.components, 1u);
   // Dead entries age out of the views.

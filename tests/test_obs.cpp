@@ -132,7 +132,7 @@ class TaggedPayload final : public Payload {
 class EchoProtocol final : public Protocol {
  public:
   void on_message(Context& ctx, Address from, const Payload& p) override {
-    const auto& tp = dynamic_cast<const TaggedPayload&>(p);
+    const auto& tp = dynamic_cast<const TaggedPayload&>(p);  // test-only checked cast
     if (tp.metric_tag() == std::string("tagged.req")) {
       ctx.send(from, std::make_unique<TaggedPayload>(false));
     }

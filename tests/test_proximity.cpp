@@ -53,7 +53,7 @@ TEST(CoordinateSpace, InstallDrivesEngineTransport) {
   engine.start_node(1);
   engine.send_message(0, 1, 0, std::make_unique<Probe>());
   engine.run_all();
-  const auto& sink = dynamic_cast<const Sink&>(engine.protocol(1, 0));
+  const auto& sink = dynamic_cast<const Sink&>(engine.protocol(1, 0));  // test-only checked cast
   EXPECT_EQ(sink.delivered_at, space.latency(0, 1));
 }
 

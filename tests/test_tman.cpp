@@ -60,7 +60,7 @@ struct TManNet {
   }
 
   const TManProtocol& proto(Address a) const {
-    return dynamic_cast<const TManProtocol&>(engine->protocol(a, 1));
+    return dynamic_cast<const TManProtocol&>(engine->protocol(a, 1));  // test-only checked cast
   }
   void run_cycles(std::size_t c) { engine->run_until(engine->now() + c * kDelta); }
 };
@@ -78,14 +78,14 @@ class TManGeometry : public ::testing::TestWithParam<int> {
 
 TEST_P(TManGeometry, ConvergesToTrueNeighbourhoods) {
   TManNet net(256, 42 + static_cast<std::uint64_t>(GetParam()), ranking());
-  const TManOracle oracle(*net.engine, 1, ranking(), TManConfig{}.m);
+  const TManOracle oracle(*net.engine, SlotRef<TManProtocol>::assume(1), ranking(), TManConfig{}.m);
   net.run_cycles(40);
   EXPECT_LT(oracle.missing_fraction(), 0.01) << "geometry " << GetParam();
 }
 
 TEST_P(TManGeometry, MissingFractionDecreases) {
   TManNet net(256, 77 + static_cast<std::uint64_t>(GetParam()), ranking());
-  const TManOracle oracle(*net.engine, 1, ranking(), TManConfig{}.m);
+  const TManOracle oracle(*net.engine, SlotRef<TManProtocol>::assume(1), ranking(), TManConfig{}.m);
   net.run_cycles(2);
   const double early = oracle.missing_fraction();
   net.run_cycles(20);
@@ -156,7 +156,7 @@ TEST(TMan, TorusNeighbourhoodIsSpatiallyLocal) {
   // factor scales with N; at 256 nodes ~3-4x), and match the oracle.
   EXPECT_LT(view_dist / static_cast<double>(count),
             random_dist / static_cast<double>(count) / 2.0);
-  const TManOracle oracle(*net.engine, 1, torus_ranking, TManConfig{}.m);
+  const TManOracle oracle(*net.engine, SlotRef<TManProtocol>::assume(1), torus_ranking, TManConfig{}.m);
   EXPECT_LT(oracle.missing_fraction(), 0.05);
 }
 
