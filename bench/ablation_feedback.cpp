@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
   const auto max_cycles = static_cast<std::size_t>(flags.get_int("max-cycles", 120));
   const std::size_t threads = threads_flag(flags);
   BenchReport report(flags, "ablation_feedback");
+  const std::size_t shards = shards_flag(flags);
   apply_log_level_flag(flags);
   flags.finish();
   report.set_threads(threads);
@@ -50,6 +51,7 @@ int main(int argc, char** argv) {
     spec.label = v.name;
     spec.cfg.n = n;
     spec.cfg.seed = seed;
+    spec.cfg.shards = shards;
     spec.cfg.max_cycles = max_cycles;
     spec.cfg.bootstrap.send_prefix_part = v.send_prefix_part;
     spec.cfg.bootstrap.prefix_entries_in_union = v.prefix_in_union;

@@ -56,6 +56,7 @@ int main(int argc, char** argv) {
   const std::size_t threads = threads_flag(flags);
   const std::int64_t sample_every = flags.get_int("sample-every", 1);
   const auto cycles = static_cast<std::size_t>(flags.get_int("cycles", 60));
+  const std::size_t shards = shards_flag(flags);
   BenchReport report(flags, "adversary");
   report.set_threads(threads);
   apply_log_level_flag(flags);
@@ -79,6 +80,7 @@ int main(int argc, char** argv) {
       ExperimentConfig& cfg = s.cfg;
       cfg.n = n;
       cfg.seed = seed;  // shared base trajectory across the whole sweep
+      cfg.shards = shards;
       cfg.max_cycles = cycles;
       cfg.stop_at_convergence = false;
       cfg.sample_every_cycles =

@@ -79,6 +79,37 @@ inline std::size_t threads_flag(const Flags& flags) {
   return static_cast<std::size_t>(std::max<std::int64_t>(1, t));
 }
 
+/// Engine shard count from --shards. 0 (the default) runs the serial
+/// engine; K >= 1 runs the sharded conservative-time-window engine with K
+/// lanes inside ONE simulation (orthogonal to --threads, which parallelizes
+/// across replicas). See docs/architecture.md#sharded-execution.
+inline std::size_t shards_flag(const Flags& flags) {
+  const auto s = flags.get_int("shards", 0);
+  return static_cast<std::size_t>(std::max<std::int64_t>(0, s));
+}
+
+/// Parses a comma-separated list of shard counts ("1,2,4,8"); empty input
+/// yields an empty list. Exits 2 on garbage, like any other flag error.
+inline std::vector<std::size_t> parse_shard_list(const Flags& flags, const std::string& value) {
+  std::vector<std::size_t> out;
+  std::size_t pos = 0;
+  while (pos < value.size()) {
+    std::size_t end = value.find(',', pos);
+    if (end == std::string::npos) end = value.size();
+    const std::string item = value.substr(pos, end - pos);
+    char* rest = nullptr;
+    const long k = std::strtol(item.c_str(), &rest, 10);
+    if (item.empty() || rest == nullptr || *rest != '\0' || k < 1) {
+      std::fprintf(stderr, "%s: invalid shard count '%s' in shard sweep list\n",
+                   flags.program().c_str(), item.c_str());
+      std::exit(2);
+    }
+    out.push_back(static_cast<std::size_t>(k));
+    pos = end + 1;
+  }
+  return out;
+}
+
 /// Derives the seed of replica `replica_index` from the --seed base value
 /// (splitmix64 over base and index). Replicas get decorrelated engines while
 /// the whole suite stays reproducible from the single base seed, whatever
@@ -125,7 +156,12 @@ struct ReplicaSpec {
 inline void apply_obs_flags(const Flags& flags, std::vector<ReplicaSpec>& specs) {
   const std::int64_t sample_every = flags.get_int("sample-every", 1);
   const std::string trace_prefix = flags.get_string("trace", "");
+  // --shards rides along with the shared flags so every spec-driven bench
+  // can run on the sharded engine (benches that force SamplerKind::Oracle
+  // get the clear exit-2 setup error).
+  const std::size_t shards = shards_flag(flags);
   for (std::size_t i = 0; i < specs.size(); ++i) {
+    specs[i].cfg.shards = shards;
     specs[i].cfg.sample_every_cycles =
         sample_every <= 0 ? 0 : static_cast<std::size_t>(sample_every);
     if (!trace_prefix.empty()) {

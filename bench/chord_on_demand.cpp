@@ -67,6 +67,7 @@ int main(int argc, char** argv) {
   const auto max_cycles = static_cast<std::size_t>(flags.get_int("max-cycles", 60));
   const std::size_t threads = threads_flag(flags);
   BenchReport report(flags, "chord_on_demand");
+  const std::size_t shards = shards_flag(flags);
   apply_log_level_flag(flags);
   flags.finish();
   report.set_threads(threads);
@@ -101,6 +102,7 @@ int main(int argc, char** argv) {
     ExperimentConfig cfg;
     cfg.n = n;
     cfg.seed = seed;
+    cfg.shards = shards;
     cfg.max_cycles = max_cycles;
     std::fprintf(stderr, "prefix N=%zu...\n", n);
     out.prefix_result = run_experiment(cfg);

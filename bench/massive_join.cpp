@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
   // inherently sequential, so the value is unused.
   (void)threads_flag(flags);
   BenchReport report(flags, "massive_join");
+  const std::size_t shards = shards_flag(flags);
   apply_log_level_flag(flags);
   flags.finish();
 
@@ -39,6 +40,7 @@ int main(int argc, char** argv) {
     ExperimentConfig cfg;
     cfg.n = n0;
     cfg.seed = seed;
+    cfg.shards = shards;
     cfg.max_cycles = 60;
     BootstrapExperiment exp(cfg);
     const auto initial = exp.run();

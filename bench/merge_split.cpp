@@ -30,6 +30,7 @@ int main(int argc, char** argv) {
   // engine state stagewise and run sequentially.
   (void)threads_flag(flags);
   BenchReport report(flags, "merge_split");
+  const std::size_t shards = shards_flag(flags);
   apply_log_level_flag(flags);
   flags.finish();
 
@@ -39,6 +40,7 @@ int main(int argc, char** argv) {
     ExperimentConfig cfg;
     cfg.n = n;
     cfg.seed = seed;
+    cfg.shards = shards;
     cfg.max_cycles = 60;
     cfg.stop_at_convergence = false;
     // Two genuinely independent pools from t=0 (separate Newscast seeding
@@ -106,6 +108,7 @@ int main(int argc, char** argv) {
     ExperimentConfig cfg;
     cfg.n = n;
     cfg.seed = seed;
+    cfg.shards = shards;
     cfg.max_cycles = 60;
     cfg.stop_at_convergence = false;
     cfg.initial_groups.resize(n);
@@ -148,6 +151,7 @@ int main(int argc, char** argv) {
     ExperimentConfig cfg;
     cfg.n = n;
     cfg.seed = seed + 1;
+    cfg.shards = shards;
     cfg.max_cycles = 110;
     cfg.stop_at_convergence = false;
     // Liveness maintenance (extension, DESIGN.md): without eviction, dead

@@ -9,6 +9,7 @@
 #include <memory>
 #include <queue>
 
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "core/experiment.hpp"
 #include "core/leaf_set.hpp"
@@ -300,6 +301,86 @@ void BM_EngineSendDispatch(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_EngineSendDispatch)->Arg(0)->Arg(1);
+
+// ---------------------------------------------------------------------------
+// Sharded-engine primitives (docs/architecture.md#sharded-execution): the
+// per-window costs the conservative time window must amortize.
+
+void BM_WindowCrewRound(benchmark::State& state) {
+  // One empty window round: wake the K-1 workers, run a no-op lane each,
+  // barrier back to the coordinator. Arg(1) is the inline (no-thread) case.
+  // A window is profitable when the events it batches outweigh this floor.
+  WindowCrew crew(static_cast<std::size_t>(state.range(0)));
+  const std::function<void(std::size_t)> nop = [](std::size_t) {};
+  for (auto _ : state) crew.run(nop);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_WindowCrewRound)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_CrossShardMailbox(benchmark::State& state) {
+  // The cross-shard message hand-off, isolated: a source shard buffers
+  // `range(0)` sends into its mailbox vector, then the barrier drain moves
+  // each into the destination shard's queue with the payload parked in the
+  // destination pool — exactly the engine's window phase 2.
+  struct MailboxEntry {
+    SlimEvent ev;
+    PayloadRef payload;
+  };
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  TwoTierQueue queue;
+  queue.set_keyed_ordering(true);
+  SlotPool<PayloadRef> pool;
+  std::vector<MailboxEntry> mailbox;
+  mailbox.reserve(batch);
+  const PayloadRef shared = make_payload<BenchPayload>();
+  SimTime now = 0;
+  std::uint64_t counter = 0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < batch; ++i) {
+      SlimEvent ev{};
+      ev.time = now + 10;
+      ev.seq = counter++;  // content-addressed key, as in the sharded engine
+      ev.kind = EventKind::Message;
+      mailbox.push_back(MailboxEntry{ev, shared});
+    }
+    for (auto& entry : mailbox) {
+      entry.ev.aux = pool.store(std::move(entry.payload));
+      queue.push(entry.ev);
+    }
+    mailbox.clear();
+    SlimEvent ev{};
+    while (queue.pop_if_at_most(~SimTime{0}, ev)) {
+      benchmark::DoNotOptimize(pool.take(static_cast<std::uint32_t>(ev.aux)).get());
+    }
+    now += 10;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_CrossShardMailbox)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_ShardedSendDispatch(benchmark::State& state) {
+  // Full sharded send→window→dispatch round trip. Arg(1): both nodes live in
+  // the single shard (no mailbox, inline crew). Arg(2): sender and receiver
+  // on different shards, so every message crosses a mailbox and each window
+  // pays a real crew round. The delta against BM_EngineSendDispatch is the
+  // total window-machinery overhead per message.
+  Engine engine(13, TransportConfig{}, static_cast<std::size_t>(state.range(0)));
+  const Address a = engine.add_node(1);
+  const Address b = engine.add_node(2);
+  engine.attach(a, std::make_unique<SinkProtocol>());
+  engine.attach(b, std::make_unique<SinkProtocol>());
+  engine.start_node(a);
+  engine.start_node(b);
+  engine.run_all();
+  for (auto _ : state) {
+    engine.send_message(a, b, 0, std::make_unique<BenchPayload>());
+    engine.run_all();
+    benchmark::DoNotOptimize(engine.events_dispatched());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ShardedSendDispatch)->Arg(1)->Arg(2);
 
 void BM_PayloadMakeUniqueBaseline(benchmark::State& state) {
   // Baseline for BM_PayloadPoolStoreTake: the allocation alone, without the

@@ -24,8 +24,8 @@ struct Net {
   std::unique_ptr<Engine> engine;
   std::size_t n;
 
-  Net(std::size_t n, std::uint64_t seed, bool degenerate_init) : n(n) {
-    engine = std::make_unique<Engine>(seed);
+  Net(std::size_t n, std::uint64_t seed, std::size_t shards, bool degenerate_init) : n(n) {
+    engine = std::make_unique<Engine>(seed, TransportConfig{}, shards);
     for (std::size_t i = 0; i < n; ++i) {
       const Address a = engine->add_node(static_cast<NodeId>(i * 2654435761u + 17));
       engine->attach(a, std::make_unique<NewscastProtocol>(NewscastConfig{}));
@@ -99,6 +99,7 @@ int main(int argc, char** argv) {
   // Accepted for run_suite.sh flag uniformity; scenarios run sequentially.
   (void)threads_flag(flags);
   BenchReport report(flags, "newscast_service");
+  const std::size_t shards = shards_flag(flags);
   apply_log_level_flag(flags);
   flags.finish();
 
@@ -107,7 +108,7 @@ int main(int argc, char** argv) {
                "indeg_max", "dead_frac", "clustering"});
 
   {
-    Net net(n, seed, /*degenerate_init=*/false);
+    Net net(n, seed, shards, /*degenerate_init=*/false);
     net.report("steady", 10, table);
     // Message cost check: ~2 transmissions (request+answer) per node/cycle,
     // each a small UDP datagram.
@@ -120,14 +121,14 @@ int main(int argc, char** argv) {
                       static_cast<double>(t.messages_sent) / (static_cast<double>(n) * 10.0));
   }
   {
-    Net net(n, seed + 1, /*degenerate_init=*/false);
+    Net net(n, seed + 1, shards, /*degenerate_init=*/false);
     net.engine->run_until(10 * kDelta);
     schedule_catastrophe(*net.engine, net.engine->now(), 0.7);
     net.report("kill70%", 15, table);
     report.add_events(net.engine->events_dispatched());
   }
   {
-    Net net(n, seed + 2, /*degenerate_init=*/true);
+    Net net(n, seed + 2, shards, /*degenerate_init=*/true);
     net.report("star-init", 15, table);
     report.add_events(net.engine->events_dispatched());
   }

@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   const std::size_t threads = threads_flag(flags);
   BenchReport report(flags, "param_sweep");
+  const std::size_t shards = shards_flag(flags);
   apply_log_level_flag(flags);
   flags.finish();
   report.set_threads(threads);
@@ -28,6 +29,7 @@ int main(int argc, char** argv) {
     ExperimentConfig cfg;
     cfg.n = n;
     cfg.seed = seed;
+    cfg.shards = shards;
     cfg.max_cycles = 150;
     return cfg;
   };

@@ -35,6 +35,7 @@ int main(int argc, char** argv) {
   (void)threads_flag(flags);  // accepted for run_suite.sh flag uniformity
   const std::int64_t sample_every = flags.get_int("sample-every", 1);
   BenchReport report(flags, "partition_heal");
+  const std::size_t shards = shards_flag(flags);
   apply_log_level_flag(flags);
   flags.finish();
 
@@ -47,6 +48,7 @@ int main(int argc, char** argv) {
     ExperimentConfig cfg;
     cfg.n = n;
     cfg.seed = seed;
+    cfg.shards = shards;
     cfg.max_cycles = 48;
     cfg.stop_at_convergence = false;
     cfg.sample_every_cycles = sample_every <= 0 ? 0 : static_cast<std::size_t>(sample_every);
@@ -107,6 +109,7 @@ int main(int argc, char** argv) {
     ExperimentConfig cfg;
     cfg.n = n;
     cfg.seed = seed + 1;
+    cfg.shards = shards;
     cfg.max_cycles = 40;
     cfg.stop_at_convergence = false;
     cfg.sample_every_cycles = sample_every <= 0 ? 0 : static_cast<std::size_t>(sample_every);

@@ -42,6 +42,7 @@ int main(int argc, char** argv) {
   const auto lookups = static_cast<std::size_t>(flags.get_int("lookups", 2000));
   const std::size_t threads = threads_flag(flags);
   BenchReport report(flags, "proximity_k");
+  const std::size_t shards = shards_flag(flags);
   apply_log_level_flag(flags);
   flags.finish();
   report.set_threads(threads);
@@ -54,6 +55,7 @@ int main(int argc, char** argv) {
     ExperimentConfig cfg;
     cfg.n = n;
     cfg.seed = seed;
+    cfg.shards = shards;
     cfg.bootstrap.k = k;
     cfg.max_cycles = 80;
     std::fprintf(stderr, "bootstrapping with k=%d...\n", k);

@@ -8,6 +8,12 @@
 #   build_dir  defaults to ./build
 #   out_dir    defaults to ./bench-results
 # Extra flags are passed to every binary, e.g. --threads 8 or --full=true.
+#
+# Flags only some binaries understand must not go through the shared extra
+# flags (an unknown flag is a per-bench usage error, exit 2). Per-bench
+# extras come from BSVC_<NAME>_FLAGS environment variables instead, e.g.
+#   BSVC_SCALE_FLAGS="--shards 8 --xl --max-cycles 10" bench/run_suite.sh
+# appends those flags to the scale invocation only.
 set -euo pipefail
 
 build_dir="${1:-build}"
@@ -54,9 +60,13 @@ for bench in "${benches[@]}"; do
       trace_flags=(--trace "${out_dir}/TRACE_${bench}")
     fi
   done
+  # Per-bench extra flags from BSVC_<NAME>_FLAGS (word-split on purpose).
+  extra_var="BSVC_$(echo "${bench}" | tr '[:lower:]' '[:upper:]')_FLAGS"
+  read -r -a extra_flags <<< "${!extra_var:-}"
   echo "=== ${bench} ===" >&2
   status=0
   "${bin}" --json "${out_dir}/BENCH_${bench}.json" "${trace_flags[@]}" "$@" \
+    ${extra_flags[@]+"${extra_flags[@]}"} \
     > "${out_dir}/${bench}.out" || status=$?
   if (( status != 0 )); then
     echo "FAIL ${bench} (exit ${status})" >&2

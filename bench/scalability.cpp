@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   const std::size_t threads = threads_flag(flags);
   BenchReport report(flags, "scalability");
+  const std::size_t shards = shards_flag(flags);
   apply_log_level_flag(flags);
   flags.finish();
   report.set_threads(threads);
@@ -40,6 +41,7 @@ int main(int argc, char** argv) {
     ReplicaSpec spec;
     spec.cfg.n = n;
     spec.cfg.seed = seed;  // the same seed across sizes isolates the N axis
+    spec.cfg.shards = shards;
     spec.cfg.max_cycles = 80;
     spec.label = "N=" + std::to_string(n);
     specs.push_back(std::move(spec));

@@ -72,10 +72,23 @@ using namespace bsvc::bench;
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
-  const Tier tier = pick_tier(flags);
+  Tier tier = pick_tier(flags);
+  // --xl swaps in the sharded-engine scale tier (N = 2^20, 2^21): one
+  // replica each, far beyond what the serial sweep attempts. Meant to be
+  // combined with --shards and usually a reduced --max-cycles.
+  if (flags.get_bool("xl", false)) {
+    tier.sizes = {std::size_t{1} << 20, std::size_t{1} << 21};
+    tier.repeats = {1, 1};
+  }
   const auto base_seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   const auto max_cycles = static_cast<std::size_t>(flags.get_int("max-cycles", 60));
   const std::size_t threads = threads_flag(flags);
+  const std::size_t shards = shards_flag(flags);
+  // --shard-sweep=1,2,4,8 re-runs the tier's largest size once per shard
+  // count after the main sweep ("N=<n> K=<k>" series) — the intra-run
+  // scaling measurement.
+  const std::vector<std::size_t> shard_sweep =
+      parse_shard_list(flags, flags.get_string("shard-sweep", ""));
   BenchReport report(flags, "scale");
   apply_log_level_flag(flags);
 
@@ -89,12 +102,14 @@ int main(int argc, char** argv) {
     spec.cfg.n = tier.sizes[s];
     spec.cfg.seed = replica_seed(base_seed, s);
     spec.cfg.max_cycles = max_cycles;
+    spec.cfg.shards = shards;
     spec.label = "N=" + std::to_string(spec.cfg.n);
     specs.push_back(std::move(spec));
   }
   apply_obs_flags(flags, specs);
   flags.finish();
   report.set_threads(threads);
+  report.add_metric("shards", static_cast<double>(shards));
 
   std::printf("=== scale sweep: %zu sizes, b=4, k=3, c=20, cr=30 ===\n", specs.size());
   std::vector<LabelledRun> runs;
@@ -126,6 +141,38 @@ int main(int argc, char** argv) {
   }
   print_runs("scale sweep", runs);
   for (const auto& run : runs) report.add_run(run.label, run.result);
+
+  if (!shard_sweep.empty()) {
+    // Same network, same seed, one run per shard count: within the sharded
+    // family the trajectory is identical for every K, so the wall-clock
+    // ratio isolates the engine's intra-run scaling.
+    const std::size_t sweep_n = tier.sizes.back();
+    std::printf("=== shard sweep: N=%zu, K in {", sweep_n);
+    for (std::size_t i = 0; i < shard_sweep.size(); ++i) {
+      std::printf("%s%zu", i == 0 ? "" : ",", shard_sweep[i]);
+    }
+    std::printf("} ===\n");
+    for (const std::size_t k : shard_sweep) {
+      ExperimentConfig cfg;
+      cfg.n = sweep_n;
+      cfg.seed = replica_seed(base_seed, tier.sizes.size() - 1);
+      cfg.max_cycles = max_cycles;
+      cfg.shards = k;
+      const std::string label = "N=" + std::to_string(sweep_n) + " K=" + std::to_string(k);
+      std::fprintf(stderr, "running %s...\n", label.c_str());
+      const auto t0 = std::chrono::steady_clock::now();
+      ExperimentResult result = run_experiment(cfg);
+      const auto t1 = std::chrono::steady_clock::now();
+      const double secs = std::chrono::duration<double>(t1 - t0).count();
+      const double eps =
+          secs > 0.0 ? static_cast<double>(result.events_dispatched) / secs : 0.0;
+      std::printf("%-16s converged at cycle %3d  events=%llu  wall=%.2fs  events/sec=%.0f\n",
+                  label.c_str(), result.converged_cycle,
+                  static_cast<unsigned long long>(result.events_dispatched), secs, eps);
+      report.add_metric(label + " events_per_sec", eps);
+      report.add_metric(label + " wall_seconds", secs);
+    }
+  }
   report.write();
   return 0;
 }

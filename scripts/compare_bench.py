@@ -8,6 +8,15 @@ both as a fraction, e.g. 0.25). Benches present on only one side are
 reported but never fail the gate, so adding a bench does not require
 regenerating every baseline in the same commit.
 
+Per-tier gating: when a report carries a `metrics` object, every
+"<label> events_per_sec" series present on BOTH sides is gated
+individually. Tiers present on only one side (a baseline regenerated with
+--full or --xl, a CI run covering fewer sizes) are reported and skipped —
+never a failure and never a KeyError. The aggregate top-level
+events_per_sec is only gated when both sides cover the same tier set; with
+different tier mixes the aggregate is not comparable and is skipped with a
+note.
+
 Usage: scripts/compare_bench.py <baseline_dir> <current_dir> [--tolerance F]
 
 Exit status: 0 = no regression, 1 = at least one bench regressed,
@@ -58,6 +67,44 @@ def events_per_sec(report: dict, name: str, side: str) -> float:
     return float(value)
 
 
+TIER_SUFFIX = " events_per_sec"
+
+
+def tier_series(report: dict) -> dict:
+    """Maps tier label -> events_per_sec for every '<label> events_per_sec'
+    entry in the report's `metrics` object. Reports without metrics (or with
+    non-numeric entries) simply contribute no tiers -- the top-level gate
+    still applies to them."""
+    metrics = report.get("metrics")
+    if not isinstance(metrics, dict):
+        return {}
+    tiers = {}
+    for key, value in metrics.items():
+        if not key.endswith(TIER_SUFFIX):
+            continue
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        tiers[key[: -len(TIER_SUFFIX)]] = float(value)
+    return tiers
+
+
+def gate_one(label: str, base_eps: float, cur_eps: float, tolerance: float) -> bool:
+    """Prints the verdict line for one series; returns True on regression."""
+    if base_eps <= 0.0:
+        print(f"{label}: baseline events_per_sec is not positive -- skipped")
+        return False
+    ratio = cur_eps / base_eps
+    verdict = "OK"
+    failed = ratio < 1.0 - tolerance
+    if failed:
+        verdict = f"REGRESSION (> {tolerance:.0%} drop)"
+    print(
+        f"{label}: baseline {base_eps:,.0f} ev/s, current {cur_eps:,.0f} ev/s "
+        f"({ratio - 1.0:+.1%}) {verdict}"
+    )
+    return failed
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline_dir", type=Path)
@@ -88,20 +135,27 @@ def main() -> int:
         if name not in baseline:
             print(f"{name}: no baseline yet -- skipped")
             continue
+        base_tiers = tier_series(baseline[name])
+        cur_tiers = tier_series(current[name])
+        for tier in sorted(set(base_tiers) - set(cur_tiers)):
+            print(f"{name}[{tier}]: only in baseline (tier not run here) -- skipped")
+        for tier in sorted(set(cur_tiers) - set(base_tiers)):
+            print(f"{name}[{tier}]: no baseline for this tier yet -- skipped")
+        for tier in sorted(set(base_tiers) & set(cur_tiers)):
+            if gate_one(f"{name}[{tier}]", base_tiers[tier], cur_tiers[tier],
+                        args.tolerance):
+                failed = True
+
+        # The aggregate events_per_sec mixes every tier the binary ran; with
+        # different tier sets on the two sides it compares different
+        # workloads, so it only gates when the sets match.
+        if set(base_tiers) != set(cur_tiers):
+            print(f"{name}: tier sets differ -- aggregate events_per_sec not compared")
+            continue
         base_eps = events_per_sec(baseline[name], name, "baseline")
         cur_eps = events_per_sec(current[name], name, "current")
-        if base_eps <= 0.0:
-            print(f"{name}: baseline events_per_sec is not positive -- skipped")
-            continue
-        ratio = cur_eps / base_eps
-        verdict = "OK"
-        if ratio < 1.0 - args.tolerance:
-            verdict = f"REGRESSION (> {args.tolerance:.0%} drop)"
+        if gate_one(name, base_eps, cur_eps, args.tolerance):
             failed = True
-        print(
-            f"{name}: baseline {base_eps:,.0f} ev/s, current {cur_eps:,.0f} ev/s "
-            f"({ratio - 1.0:+.1%}) {verdict}"
-        )
 
     return 1 if failed else 0
 

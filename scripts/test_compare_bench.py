@@ -115,6 +115,76 @@ class CompareBenchTest(unittest.TestCase):
         self.assertIn("not a number", proc.stderr)
         self.assertNotIn("Traceback", proc.stderr)
 
+    # --- per-tier gating ----------------------------------------------------
+
+    @staticmethod
+    def report(eps, tiers):
+        return {
+            "events_per_sec": eps,
+            "metrics": {f"{label} events_per_sec": value for label, value in tiers.items()},
+        }
+
+    def test_matching_tiers_gate_individually(self):
+        self.write(self.baseline, "BENCH_scale.json",
+                   self.report(1000.0, {"N=1024": 500.0, "N=4096": 400.0}))
+        self.write(self.current, "BENCH_scale.json",
+                   self.report(1000.0, {"N=1024": 495.0, "N=4096": 100.0}))
+        proc = run_gate(self.baseline, self.current)
+        self.assertEqual(proc.returncode, 1, proc.stderr)
+        self.assertIn("BENCH_scale.json[N=1024]", proc.stdout)
+        self.assertIn("BENCH_scale.json[N=4096]", proc.stdout)
+        self.assertIn("REGRESSION", proc.stdout)
+
+    def test_extra_baseline_tier_warns_but_passes(self):
+        # Baseline regenerated with an extra XL tier the CI run does not
+        # cover: shared tiers gate, the one-sided tier and the aggregate are
+        # skipped -- never a KeyError, never a failure.
+        self.write(self.baseline, "BENCH_scale.json",
+                   self.report(800.0, {"N=1024": 500.0, "N=1048576": 90.0}))
+        self.write(self.current, "BENCH_scale.json",
+                   self.report(1000.0, {"N=1024": 495.0}))
+        proc = run_gate(self.baseline, self.current)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("only in baseline", proc.stdout)
+        self.assertIn("tier sets differ", proc.stdout)
+        self.assertNotIn("Traceback", proc.stderr)
+
+    def test_extra_current_tier_warns_but_passes(self):
+        self.write(self.baseline, "BENCH_scale.json",
+                   self.report(1000.0, {"N=1024": 500.0}))
+        self.write(self.current, "BENCH_scale.json",
+                   self.report(700.0, {"N=1024": 490.0, "N=16384 K=8": 2000.0}))
+        proc = run_gate(self.baseline, self.current)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("no baseline for this tier yet", proc.stdout)
+        self.assertIn("tier sets differ", proc.stdout)
+
+    def test_shared_tier_regression_fails_despite_differing_sets(self):
+        self.write(self.baseline, "BENCH_scale.json",
+                   self.report(1000.0, {"N=1024": 500.0, "N=1048576": 90.0}))
+        self.write(self.current, "BENCH_scale.json",
+                   self.report(1000.0, {"N=1024": 100.0}))
+        proc = run_gate(self.baseline, self.current)
+        self.assertEqual(proc.returncode, 1, proc.stdout)
+        self.assertIn("BENCH_scale.json[N=1024]", proc.stdout)
+        self.assertIn("REGRESSION", proc.stdout)
+
+    def test_aggregate_still_gates_when_tier_sets_match(self):
+        self.write(self.baseline, "BENCH_scale.json",
+                   self.report(1000.0, {"N=1024": 500.0}))
+        self.write(self.current, "BENCH_scale.json",
+                   self.report(100.0, {"N=1024": 495.0}))
+        proc = run_gate(self.baseline, self.current)
+        self.assertEqual(proc.returncode, 1, proc.stdout)
+
+    def test_reports_without_metrics_use_top_level_only(self):
+        self.write(self.baseline, "BENCH_a.json", {"events_per_sec": 1000.0})
+        self.write(self.current, "BENCH_a.json",
+                   {"events_per_sec": 990.0, "metrics": {"wall_seconds": 1.0}})
+        proc = run_gate(self.baseline, self.current)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("OK", proc.stdout)
+
 
 if __name__ == "__main__":
     unittest.main()

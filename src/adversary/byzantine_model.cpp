@@ -92,17 +92,22 @@ FaultModel::SendDecision ByzantineModel::on_send(SimTime now, Address from, Addr
   return inner_ != nullptr ? inner_->on_send(now, from, to) : SendDecision{};
 }
 
+FaultModel::SendDecision ByzantineModel::on_send_rng(SimTime now, Address from, Address to,
+                                                     Rng& rng) {
+  return inner_ != nullptr ? inner_->on_send_rng(now, from, to, rng) : SendDecision{};
+}
+
 SimTime ByzantineModel::dark_until(SimTime now, Address addr) const {
   return inner_ != nullptr ? inner_->dark_until(now, addr) : 0;
 }
 
-NodeId ByzantineModel::near_id(NodeId victim) {
+NodeId ByzantineModel::near_id(NodeId victim, Rng& rng) {
   // Keep the top 44 bits (11 of 16 digits at b = 4): close enough that the
   // fake lands deep in the victim's prefix table and near it on the ring.
   constexpr int kLowBits = 20;
   constexpr NodeId kMask = (NodeId{1} << kLowBits) - 1;
   NodeId fake = victim;
-  while (fake == victim) fake = (victim & ~kMask) | (rng_.next_u64() & kMask);
+  while (fake == victim) fake = (victim & ~kMask) | (rng.next_u64() & kMask);
   return fake;
 }
 
@@ -128,14 +133,14 @@ bool ByzantineModel::addresses_deliverable(const Payload& payload) const {
   return false;
 }
 
-FaultModel::TamperVerdict ByzantineModel::corrupt_frame(const Payload& payload) {
+FaultModel::TamperVerdict ByzantineModel::corrupt_frame(const Payload& payload, Rng& rng) {
   TamperVerdict v;
   auto bytes = encode_message(payload);
   if (!bytes.has_value() || bytes->empty()) return v;  // no wire form
-  const auto flips = 1 + rng_.below(3);
+  const auto flips = 1 + rng.below(3);
   for (std::uint64_t i = 0; i < flips; ++i) {
-    auto& b = (*bytes)[rng_.below(bytes->size())];
-    b = static_cast<std::uint8_t>(b ^ (1u << rng_.below(8)));
+    auto& b = (*bytes)[rng.below(bytes->size())];
+    b = static_cast<std::uint8_t>(b ^ (1u << rng.below(8)));
   }
   corrupted_->inc();
   auto decoded = decode_message(*bytes);
@@ -154,20 +159,34 @@ FaultModel::TamperVerdict ByzantineModel::on_payload(SimTime now, Address from, 
     auto v = inner_->on_payload(now, from, to, payload);
     if (v.action != TamperVerdict::Action::Deliver) return v;
   }
+  return tamper(now, from, to, payload, rng_);
+}
+
+FaultModel::TamperVerdict ByzantineModel::on_payload_rng(SimTime now, Address from, Address to,
+                                                         const Payload& payload, Rng& rng) {
+  if (inner_ != nullptr) {
+    auto v = inner_->on_payload_rng(now, from, to, payload, rng);
+    if (v.action != TamperVerdict::Action::Deliver) return v;
+  }
+  return tamper(now, from, to, payload, rng);
+}
+
+FaultModel::TamperVerdict ByzantineModel::tamper(SimTime now, Address from, Address to,
+                                                 const Payload& payload, Rng& rng) {
   // Adversaries coordinate: traffic among colluders stays truthful.
   if (!plan_.active_at(now) || !is_adversary(from) || is_adversary(to)) return {};
 
   const auto* boot = payload_cast<BootstrapMessage>(&payload);
   const auto* news = payload_cast<NewscastMessage>(&payload);
 
-  if (plan_.corrupt_probability > 0.0 && rng_.chance(plan_.corrupt_probability)) {
-    return corrupt_frame(payload);
+  if (plan_.corrupt_probability > 0.0 && rng.chance(plan_.corrupt_probability)) {
+    return corrupt_frame(payload, rng);
   }
 
   const bool is_answer = (boot != nullptr && !boot->is_request) ||
                          (news != nullptr && !news->is_request);
   if (is_answer && plan_.suppress_probability > 0.0 &&
-      rng_.chance(plan_.suppress_probability)) {
+      rng.chance(plan_.suppress_probability)) {
     suppressed_->inc();
     TamperVerdict v;
     v.action = TamperVerdict::Action::Suppress;
@@ -188,8 +207,8 @@ FaultModel::TamperVerdict ByzantineModel::on_payload(SimTime now, Address from, 
       mutated->reserve_entries(fill);
       for (std::size_t i = 0; i < fill; ++i) {
         mutated->append_ring_entry(
-            {near_id(victim),
-             adversaries_[static_cast<std::size_t>(rng_.below(adversaries_.size()))]});
+            {near_id(victim, rng),
+             adversaries_[static_cast<std::size_t>(rng.below(adversaries_.size()))]});
       }
       eclipsed_->add(fill);
       changed = true;
@@ -201,8 +220,8 @@ FaultModel::TamperVerdict ByzantineModel::on_payload(SimTime now, Address from, 
         // Flat buffer is ring-then-prefix, so this walks the same descriptor
         // order (and draws the same randomness) as the old two-list sweep.
         for (auto& d : mutated->mutable_entries()) {
-          if (rng_.chance(kPoisonSwapProbability)) {
-            d = pool[static_cast<std::size_t>(rng_.below(pool.size()))];
+          if (rng.chance(kPoisonSwapProbability)) {
+            d = pool[static_cast<std::size_t>(rng.below(pool.size()))];
             ++swapped;
           }
         }
@@ -215,7 +234,7 @@ FaultModel::TamperVerdict ByzantineModel::on_payload(SimTime now, Address from, 
     if (plan_.spoof) {
       // Keep the truthful (unforgeable) address but claim an ID next to the
       // victim — the classic ID-spoofing wedge into its near-ring.
-      mutated->sender.id = near_id(engine_->id_of(to));
+      mutated->sender.id = near_id(engine_->id_of(to), rng);
       spoofed_->inc();
       changed = true;
     }
@@ -233,8 +252,8 @@ FaultModel::TamperVerdict ByzantineModel::on_payload(SimTime now, Address from, 
     auto mutated = std::make_unique<NewscastMessage>(*news);
     std::uint64_t swapped = 0;
     for (auto& e : mutated->entries) {
-      if (rng_.chance(kPoisonSwapProbability)) {
-        e.descriptor = pool[static_cast<std::size_t>(rng_.below(pool.size()))];
+      if (rng.chance(kPoisonSwapProbability)) {
+        e.descriptor = pool[static_cast<std::size_t>(rng.below(pool.size()))];
         // Freshness forgery: a future timestamp wins every dedupe, so the
         // fake sticks in unhardened views (hardened merges reject it).
         e.timestamp = now + kDelta;

@@ -60,15 +60,27 @@ class ByzantineModel : public FaultModel {
   // --- FaultModel ---------------------------------------------------------
   SendDecision on_send(SimTime now, Address from, Address to) override;
   SimTime dark_until(SimTime now, Address addr) const override;
+  /// Serial path: draws from the model's private plan-seeded rng_.
   TamperVerdict on_payload(SimTime now, Address from, Address to,
                            const Payload& payload) override;
+  /// Sharded path: identical tamper logic, but randomness comes from the
+  /// sending node's transport stream (shard-count independent; the model's
+  /// own state stays read-only inside windows). The sharded engine calls
+  /// these; the chained inner model is delegated through its own _rng hooks.
+  SendDecision on_send_rng(SimTime now, Address from, Address to, Rng& rng) override;
+  TamperVerdict on_payload_rng(SimTime now, Address from, Address to,
+                               const Payload& payload, Rng& rng) override;
 
  private:
+  /// The tamper core shared by both on_payload paths; `rng` is the model's
+  /// private stream (serial) or the sender's transport stream (sharded).
+  TamperVerdict tamper(SimTime now, Address from, Address to, const Payload& payload,
+                       Rng& rng);
   /// An ID sharing a long prefix with `victim` (low bits re-randomized).
-  NodeId near_id(NodeId victim);
+  NodeId near_id(NodeId victim, Rng& rng);
   /// 1–3 bit flips on the encoded frame; Corrupt when the mutant no longer
   /// parses or would carry an undeliverable address, Replace otherwise.
-  TamperVerdict corrupt_frame(const Payload& payload);
+  TamperVerdict corrupt_frame(const Payload& payload, Rng& rng);
   /// True when every address the payload carries is deliverable.
   bool addresses_deliverable(const Payload& payload) const;
 

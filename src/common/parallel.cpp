@@ -64,6 +64,64 @@ void ThreadPool::worker_loop() {
   }
 }
 
+WindowCrew::WindowCrew(std::size_t size) : size_(size == 0 ? 1 : size) {
+  workers_.reserve(size_ - 1);
+  for (std::size_t lane = 1; lane < size_; ++lane) {
+    workers_.emplace_back([this, lane] { lane_loop(lane); });
+  }
+}
+
+WindowCrew::~WindowCrew() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  round_start_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void WindowCrew::run(const std::function<void(std::size_t)>& fn) {
+  if (size_ == 1) {
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    BSVC_CHECK_MSG(outstanding_ == 0 && job_ == nullptr, "WindowCrew::run is not reentrant");
+    job_ = &fn;
+    outstanding_ = size_ - 1;
+    ++round_;
+  }
+  round_start_.notify_all();
+  fn(0);  // lane 0 runs on the caller — K shards need only K-1 workers
+  std::unique_lock<std::mutex> lock(mutex_);
+  round_done_.wait(lock, [this] { return outstanding_ == 0; });
+  job_ = nullptr;
+}
+
+void WindowCrew::lane_loop(std::size_t lane) {
+  std::uint64_t seen = 0;
+  while (true) {
+    const std::function<void(std::size_t)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      round_start_.wait(lock, [&] { return stop_ || round_ != seen; });
+      if (stop_) return;
+      seen = round_;
+      job = job_;
+    }
+    (*job)(lane);
+    bool last = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      last = --outstanding_ == 0;
+    }
+    // Only the caller of run() waits on round_done_, and only the final
+    // lane's notification can satisfy its predicate.
+    if (last) round_done_.notify_one();
+  }
+}
+
 void parallel_for(std::size_t count, std::size_t threads,
                   const std::function<void(std::size_t)>& body) {
   if (count == 0) return;

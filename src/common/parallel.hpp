@@ -1,16 +1,20 @@
-// Minimal threading layer for fanning independent work items (bench
-// replicas, parameter-sweep points) across hardware threads.
+// Minimal threading layer: fans independent work items (bench replicas,
+// parameter-sweep points) across hardware threads, and runs the sharded
+// engine's window crew (one persistent worker per extra shard).
 //
-// Everything inside the simulator stays single-threaded and deterministic;
-// parallelism only ever happens ABOVE whole Engine instances — one engine
-// per work item, no shared mutable state. parallel_for with threads <= 1
-// degenerates to a plain loop on the calling thread, so a sequential run is
-// not merely equivalent but literally the same code path.
+// Parallelism happens in two sanctioned places only: ABOVE whole Engine
+// instances (one engine per work item, no shared mutable state), and
+// INSIDE one sharded engine through WindowCrew, whose barrier protocol is
+// the engine's only cross-thread synchronization point. parallel_for with
+// threads <= 1 degenerates to a plain loop on the calling thread, and a
+// WindowCrew of size 1 never spawns a thread, so sequential runs are not
+// merely equivalent but literally the same code path.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -62,6 +66,45 @@ class ThreadPool {
 /// lowest index is rethrown after all work has settled.
 void parallel_for(std::size_t count, std::size_t threads,
                   const std::function<void(std::size_t)>& body);
+
+/// A crew of `size` lanes for barrier-synchronized phases: run(fn) invokes
+/// fn(lane) once per lane — lane 0 on the calling thread, lanes 1..size-1 on
+/// persistent workers — and returns only when every lane has finished, with
+/// full acquire/release ordering between the lanes' work and the caller's
+/// continuation. The sharded engine calls run() a few times per time window
+/// (event phase, mailbox drain), so workers park on a condition variable
+/// between rounds rather than spinning; round-trip cost is measured by the
+/// micro_ops crew-round benchmark.
+///
+/// size == 1 spawns no threads and run(fn) is a plain inline call, making a
+/// one-shard engine literally serial code.
+class WindowCrew {
+ public:
+  explicit WindowCrew(std::size_t size);
+  ~WindowCrew();
+
+  WindowCrew(const WindowCrew&) = delete;
+  WindowCrew& operator=(const WindowCrew&) = delete;
+
+  std::size_t size() const { return size_; }
+
+  /// Runs fn(0..size-1), one lane per thread; blocks until all lanes return.
+  /// fn must not throw. Not reentrant (the engine never nests windows).
+  void run(const std::function<void(std::size_t)>& fn);
+
+ private:
+  void lane_loop(std::size_t lane);
+
+  const std::size_t size_;
+  std::mutex mutex_;
+  std::condition_variable round_start_;
+  std::condition_variable round_done_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::uint64_t round_ = 0;     // bumped per run(); workers wait for a new round
+  std::size_t outstanding_ = 0; // lanes still inside the current round
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
 
 /// Maps fn(item, index) over `items`, results returned in input order
 /// regardless of completion order. Result type must be default-constructible

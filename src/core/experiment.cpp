@@ -1,5 +1,6 @@
 #include "core/experiment.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -29,7 +30,13 @@ BootstrapExperiment::BootstrapExperiment(ExperimentConfig config) : config_(std:
   if (const std::string err = transport.validate(); !err.empty()) {
     config_error("transport config", err);
   }
-  engine_ = std::make_unique<Engine>(config_.seed, transport);
+  if (config_.shards != 0 && config_.sampler == SamplerKind::Oracle) {
+    config_error("sampler config",
+                 "SamplerKind::Oracle is incompatible with sharded execution "
+                 "(it samples global engine state from inside node callbacks)");
+  }
+  stats_blocks_.resize(config_.shards == 0 ? 1 : config_.shards);
+  engine_ = std::make_unique<Engine>(config_.seed, transport, config_.shards);
   if (!config_.trace_path.empty()) {
     trace_sink_ = std::make_unique<obs::JsonlTraceSink>(config_.trace_path);
     engine_->set_trace_sink(trace_sink_.get());
@@ -71,7 +78,9 @@ Address BootstrapExperiment::make_node() {
   const SimTime start_delay =
       built_ ? engine.rng().below(config_.bootstrap.delta)
              : config_.warmup_cycles * config_.bootstrap.delta + engine.rng().below(window);
-  auto proto = std::make_unique<BootstrapProtocol>(config_.bootstrap, sampler, &stats_,
+  BootstrapStats* stats =
+      &stats_blocks_[config_.shards == 0 ? 0 : addr % config_.shards].stats;
+  auto proto = std::make_unique<BootstrapProtocol>(config_.bootstrap, sampler, stats,
                                                    start_delay);
   bootstrap_ref_ = attach_typed(engine, addr, std::move(proto));
 
@@ -128,7 +137,7 @@ ExperimentResult BootstrapExperiment::run(
 
   engine.run_until(bootstrap_epoch_);
   engine.reset_traffic();
-  stats_ = {};
+  reset_stats();
 
   const bool churn =
       config_.churn_fail_rate > 0.0 || config_.churn_join_rate > 0.0;
@@ -211,15 +220,35 @@ ExperimentResult BootstrapExperiment::run(
   }
   if (trace_sink_ != nullptr) trace_sink_->flush();
 
-  result.bootstrap_stats = stats_;
+  const BootstrapStats stats = merged_stats();
+  result.bootstrap_stats = stats;
   result.traffic_during_bootstrap = engine.traffic();
   result.events_dispatched = engine.events_dispatched();
-  const auto msgs = stats_.requests_sent + stats_.replies_sent;
+  const auto msgs = stats.requests_sent + stats.replies_sent;
   result.avg_message_bytes =
       msgs == 0 ? 0.0
-                : static_cast<double>(stats_.payload_bytes_sent) / static_cast<double>(msgs);
-  result.max_message_bytes = stats_.max_message_bytes;
+                : static_cast<double>(stats.payload_bytes_sent) / static_cast<double>(msgs);
+  result.max_message_bytes = stats.max_message_bytes;
   return result;
+}
+
+BootstrapStats BootstrapExperiment::merged_stats() const {
+  BootstrapStats total;
+  for (const StatsBlock& block : stats_blocks_) {
+    const BootstrapStats& s = block.stats;
+    total.requests_sent += s.requests_sent;
+    total.replies_sent += s.replies_sent;
+    total.messages_received += s.messages_received;
+    total.entries_sent += s.entries_sent;
+    total.payload_bytes_sent += s.payload_bytes_sent;
+    total.max_message_bytes = std::max(total.max_message_bytes, s.max_message_bytes);
+    total.select_peer_empty += s.select_peer_empty;
+  }
+  return total;
+}
+
+void BootstrapExperiment::reset_stats() {
+  for (StatsBlock& block : stats_blocks_) block.stats = {};
 }
 
 const BootstrapProtocol& BootstrapExperiment::bootstrap_of(Address addr) const {

@@ -32,6 +32,13 @@ enum class SamplerKind {
 struct ExperimentConfig {
   std::size_t n = std::size_t{1} << 12;
   std::uint64_t seed = 1;
+  /// Engine shard count: 0 runs the serial engine (bit-identical to the
+  /// historical goldens); K >= 1 runs the sharded engine with K worker
+  /// lanes. Within the sharded family the trajectory is identical for every
+  /// K at a fixed seed (K = 1 is the inline reference). Incompatible with
+  /// SamplerKind::Oracle, which samples global engine state from inside
+  /// node callbacks.
+  std::size_t shards = 0;
   BootstrapConfig bootstrap;
   NewscastConfig newscast;
   SamplerKind sampler = SamplerKind::Newscast;
@@ -143,7 +150,16 @@ class BootstrapExperiment {
   std::unique_ptr<FaultInjector> injector_;
   std::unique_ptr<obs::Sampler> sampler_;
   std::unique_ptr<IdGenerator> ids_;
-  BootstrapStats stats_;
+  /// Protocol-written stats, one cache-line-aligned block per shard (a
+  /// single block in serial mode): each node's protocol instance writes the
+  /// block of its owning shard, so shard lanes never contend or false-share.
+  /// Sized once in the constructor — protocols hold raw pointers into it.
+  struct alignas(64) StatsBlock {
+    BootstrapStats stats;
+  };
+  std::vector<StatsBlock> stats_blocks_;
+  BootstrapStats merged_stats() const;
+  void reset_stats();
   SlotRef<NewscastProtocol> newscast_ref_ = SlotRef<NewscastProtocol>::assume(0);
   SlotRef<BootstrapProtocol> bootstrap_ref_ = SlotRef<BootstrapProtocol>::assume(1);
   SimTime bootstrap_epoch_ = 0;

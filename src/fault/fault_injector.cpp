@@ -30,6 +30,11 @@ SimTime FaultInjector::dark_until(SimTime now, Address addr) const {
 }
 
 FaultModel::SendDecision FaultInjector::on_send(SimTime now, Address from, Address to) {
+  return on_send_rng(now, from, to, rng_);
+}
+
+FaultModel::SendDecision FaultInjector::on_send_rng(SimTime now, Address from, Address to,
+                                                    Rng& rng) {
   SendDecision d;
   for (const PartitionSpec& p : plan_.partitions) {
     if (p.window.contains(now) && p.group_of(from) != p.group_of(to)) {
@@ -42,7 +47,7 @@ FaultModel::SendDecision FaultInjector::on_send(SimTime now, Address from, Addre
     if (!l.window.contains(now)) continue;
     if (l.from != kNullAddress && l.from != from) continue;
     if (l.to != kNullAddress && l.to != to) continue;
-    if (rng_.chance(l.drop_probability)) {
+    if (rng.chance(l.drop_probability)) {
       d.drop = true;
       if (link_dropped_ != nullptr) link_dropped_->inc();
       return d;
@@ -54,22 +59,22 @@ FaultModel::SendDecision FaultInjector::on_send(SimTime now, Address from, Addre
       d.extra_delay += l.add;
     } else {
       // Pareto Type I: minimum `scale`, shape `alpha`; u in (0, 1].
-      const double u = 1.0 - rng_.uniform01();
+      const double u = 1.0 - rng.uniform01();
       const double x = l.scale / std::pow(u, 1.0 / l.alpha);
       d.replace_latency = true;
       d.latency = std::min(static_cast<SimTime>(x), l.effective_cap());
     }
   }
   for (const DuplicateSpec& dup : plan_.duplicates) {
-    if (dup.window.contains(now) && rng_.chance(dup.probability)) {
+    if (dup.window.contains(now) && rng.chance(dup.probability)) {
       d.duplicate = true;
-      d.duplicate_delay = rng_.below(dup.jitter + 1);
+      d.duplicate_delay = rng.below(dup.jitter + 1);
       break;  // at most one extra copy per message
     }
   }
   for (const ReorderSpec& r : plan_.reorders) {
-    if (r.window.contains(now) && rng_.chance(r.probability)) {
-      d.extra_delay += rng_.below(r.max_delay + 1);
+    if (r.window.contains(now) && rng.chance(r.probability)) {
+      d.extra_delay += rng.below(r.max_delay + 1);
       if (reordered_ != nullptr) reordered_->inc();
     }
   }

@@ -33,7 +33,12 @@ class FaultInjector : public FaultModel {
   const FaultPlan& plan() const { return plan_; }
 
   // --- FaultModel ---------------------------------------------------------
+  /// Serial path: draws from the injector's private plan-seeded rng_.
   SendDecision on_send(SimTime now, Address from, Address to) override;
+  /// Sharded path: same verdict logic, but every draw comes from the
+  /// sender's transport stream, so decisions are shard-count independent
+  /// and shard workers never touch shared RNG state.
+  SendDecision on_send_rng(SimTime now, Address from, Address to, Rng& rng) override;
   SimTime dark_until(SimTime now, Address addr) const override;
 
   /// True if `addr` is dark at `now` (convenience for tests/benches).

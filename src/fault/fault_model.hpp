@@ -12,6 +12,7 @@
 
 #include <memory>
 
+#include "common/rng.hpp"
 #include "id/node_id.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/payload.hpp"
@@ -48,6 +49,18 @@ class FaultModel {
   /// drop model. May mutate internal state (RNG, counters).
   virtual SendDecision on_send(SimTime now, Address from, Address to) = 0;
 
+  /// Sharded-engine variant of on_send: every random draw must come from
+  /// `rng` (the sending node's private transport stream) instead of model-
+  /// owned state, so the verdict is a pure function of (trajectory, sender
+  /// stream) and identical for every shard count. Plan lookups and metric
+  /// counters may still be touched — both are safe from shard workers (the
+  /// plan is immutable while a window runs; counters are atomic). Defaults
+  /// to the serial hook for models that are never run sharded.
+  virtual SendDecision on_send_rng(SimTime now, Address from, Address to, Rng& rng) {
+    (void)rng;
+    return on_send(now, from, to);
+  }
+
   /// If `addr` is dark (crashed-but-recovering) at `now`, returns the
   /// recovery time (> now); otherwise 0. While dark a node keeps its state:
   /// messages to it are dropped, its timers are deferred to the recovery
@@ -83,6 +96,15 @@ class FaultModel {
     (void)to;
     (void)payload;
     return {};
+  }
+
+  /// Sharded-engine variant of on_payload, same contract as on_send_rng:
+  /// draws come from the sender's stream, shared mutable model state is off
+  /// limits. Defaults to the serial hook.
+  virtual TamperVerdict on_payload_rng(SimTime now, Address from, Address to,
+                                       const Payload& payload, Rng& rng) {
+    (void)rng;
+    return on_payload(now, from, to, payload);
   }
 };
 

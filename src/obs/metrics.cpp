@@ -38,6 +38,8 @@ void HistogramMetric::reset() {
   sum_ = min_ = max_ = 0.0;
 }
 
+// Caller must hold mutex_: lookups and first-registration both mutate the
+// map, and sharded-engine workers register concurrently from on_start.
 MetricsRegistry::Entry& MetricsRegistry::entry_of(std::string_view name, MetricKind kind) {
   const auto it = entries_.find(name);
   if (it != entries_.end()) {
@@ -52,15 +54,18 @@ MetricsRegistry::Entry& MetricsRegistry::entry_of(std::string_view name, MetricK
 }
 
 Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
   return entry_of(name, MetricKind::Counter).counter;
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
   return entry_of(name, MetricKind::Gauge).gauge;
 }
 
 HistogramMetric& MetricsRegistry::histogram(std::string_view name, double lo, double hi,
                                             std::size_t buckets) {
+  std::lock_guard<std::mutex> lock(mutex_);
   Entry& entry = entry_of(name, MetricKind::Histogram);
   if (entry.histogram == nullptr) {
     entry.histogram = std::make_unique<HistogramMetric>(lo, hi, buckets);
@@ -69,6 +74,7 @@ HistogramMetric& MetricsRegistry::histogram(std::string_view name, double lo, do
 }
 
 void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
   for (auto& [name, entry] : entries_) {
     (void)name;
     switch (entry->kind) {
@@ -80,6 +86,7 @@ void MetricsRegistry::reset() {
 }
 
 void MetricsRegistry::snapshot(const std::function<void(const std::string&, double)>& emit) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   for (const auto& [name, entry] : entries_) {
     switch (entry->kind) {
       case MetricKind::Counter:

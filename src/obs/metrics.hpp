@@ -12,10 +12,12 @@
 // obs/sampler.hpp.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -23,16 +25,20 @@
 
 namespace bsvc::obs {
 
-/// Monotone event count.
+/// Monotone event count. Increments are relaxed atomics so sharded-engine
+/// workers may bump shared handles concurrently; totals are only *read* at
+/// window barriers (or after the run), where the crew's synchronization
+/// makes every increment visible. Under the serial engine the atomic costs
+/// one uncontended lock-free add — negligible next to the dispatch path.
 class Counter {
  public:
-  void inc() { ++value_; }
-  void add(std::uint64_t n) { value_ += n; }
-  std::uint64_t value() const { return value_; }
-  void reset() { value_ = 0; }
+  void inc() { value_.fetch_add(1, std::memory_order_relaxed); }
+  void add(std::uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 /// Last-write-wins instantaneous value.
@@ -83,6 +89,13 @@ enum class MetricKind : std::uint8_t { Counter, Gauge, Histogram };
 /// under a different kind is a programming error and aborts. Handed-out
 /// references stay valid for the registry's lifetime (entries are
 /// heap-allocated and never removed).
+///
+/// Registration (counter()/gauge()/histogram()) is guarded by a mutex:
+/// under the sharded engine, protocols register their handles from
+/// on_start callbacks running on different shard workers. The hot path —
+/// incrementing through an already-held handle — never touches the lock.
+/// Gauge and Histogram *observations* are not synchronized; they are
+/// written from barrier context only (probes, fault bookkeeping calls).
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
@@ -96,8 +109,14 @@ class MetricsRegistry {
   HistogramMetric& histogram(std::string_view name, double lo, double hi, std::size_t buckets);
 
   /// True if `name` is registered (any kind).
-  bool has(std::string_view name) const { return entries_.find(name) != entries_.end(); }
-  std::size_t size() const { return entries_.size(); }
+  bool has(std::string_view name) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.find(name) != entries_.end();
+  }
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+  }
 
   /// Zeroes every metric's observations; registrations (and handed-out
   /// references) survive.
@@ -119,6 +138,7 @@ class MetricsRegistry {
 
   Entry& entry_of(std::string_view name, MetricKind kind);
 
+  mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Entry>, std::less<>> entries_;
 };
 

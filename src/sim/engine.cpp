@@ -45,9 +45,44 @@ std::string TransportConfig::validate() const {
 
 // --- Engine ------------------------------------------------------------
 
-Engine::Engine(std::uint64_t seed, TransportConfig transport)
-    : rng_(seed), node_seed_state_(seed ^ 0xA24BAED4963EE407ull), transport_(transport) {
+thread_local Engine::ShardCtx* Engine::active_shard_ = nullptr;
+
+Engine::Engine(std::uint64_t seed, TransportConfig transport, std::size_t shards)
+    : rng_(seed), node_seed_state_(seed ^ 0xA24BAED4963EE407ull), transport_(transport),
+      shards_(shards) {
   BSVC_CHECK_MSG(transport_.validate().empty(), "invalid TransportConfig");
+  if (shards_ == 0) return;
+  // min_latency is the conservative lookahead: a zero-latency transport has
+  // no window inside which shards can run independently.
+  BSVC_CHECK_MSG(transport_.min_latency >= 1,
+                 "sharded engine requires min_latency >= 1 (the lookahead)");
+  BSVC_CHECK_MSG(shards_ <= 4096, "shard count out of range");
+  window_ticks_ = transport_.min_latency;
+  shard_ctx_.reserve(shards_);
+  for (std::size_t i = 0; i < shards_; ++i) {
+    auto ctx = std::make_unique<ShardCtx>();
+    ctx->index = static_cast<std::uint32_t>(i);
+    ctx->queue.set_keyed_ordering(true);
+    ctx->out.resize(shards_);
+    shard_ctx_.push_back(std::move(ctx));
+  }
+  crew_ = std::make_unique<WindowCrew>(shards_);
+  metrics_.gauge("shard.count").set(static_cast<double>(shards_));
+  shard_windows_ = &metrics_.counter("shard.windows");
+  shard_mailbox_ = &metrics_.counter("shard.mailbox.messages");
+  // Events one shard dispatches per window; the paper-scale runs sit in the
+  // hundreds, the top bucket absorbs bursts.
+  shard_window_events_ = &metrics_.histogram("shard.window_events", 0.0, 4096.0, 64);
+  // Bound eagerly: the serial engine binds this lazily at the first corrupt
+  // frame, but lazy binding from inside a window would race on the handle.
+  msg_corrupt_ = &metrics_.counter("msg.corrupt");
+}
+
+void Engine::reset_traffic() {
+  traffic_ = {};
+  // Shard deltas are zero at every barrier (merged each window); clearing
+  // them keeps reset correct even if called between construction and run.
+  for (const auto& sc : shard_ctx_) sc->traffic = {};
 }
 
 void Engine::set_fault_model(FaultModel* model) {
@@ -65,9 +100,23 @@ void Engine::set_fault_model(FaultModel* model) {
 
 Address Engine::add_node(NodeId id) {
   BSVC_CHECK_MSG(nodes_.size() < kNullAddress, "address space exhausted");
+  BSVC_CHECK_MSG(active_shard_ == nullptr, "add_node inside a sharded window");
+  if (shards_ != 0) {
+    // Ordering keys pack the origin address into the top 24 bits.
+    BSVC_CHECK_MSG(nodes_.size() < (1u << 24),
+                   "sharded engine caps addresses below 2^24");
+  }
   Node node;
   node.id = id;
-  node.rng = Rng(splitmix64(node_seed_state_));
+  // Exactly one splitmix step of the shared seed state per node, as the
+  // serial engine has always done — golden replays pin this down. The
+  // transport stream is split off the same primary seed locally, so both
+  // streams depend only on (engine seed, address) and the sharded engine's
+  // transport draws are independent of the shard count.
+  const std::uint64_t primary = splitmix64(node_seed_state_);
+  node.rng = Rng(primary);
+  std::uint64_t salted = primary ^ 0x9E3779B97F4A7C15ull;
+  node.net_rng = Rng(splitmix64(salted));
   nodes_.push_back(std::move(node));
   return static_cast<Address>(nodes_.size() - 1);
 }
@@ -98,6 +147,7 @@ Engine::TypeCounters& Engine::counters_for(const char* tag) {
 }
 
 void Engine::start_node(Address addr, SimTime delay) {
+  BSVC_CHECK_MSG(active_shard_ == nullptr, "start_node inside a sharded window");
   Node& node = node_at(addr);
   if (!node.alive) {
     node.alive = true;
@@ -117,11 +167,17 @@ void Engine::start_node(Address addr, SimTime delay) {
     ev.kind = EventKind::Start;
     ev.addr = addr;
     ev.slot = slot;
-    push(ev);
+    if (shards_ != 0) {
+      ev.seq = make_key(addr, node.order_counter++);
+      shard_ctx_[shard_of(addr)]->queue.push(ev);
+    } else {
+      push(ev);
+    }
   }
 }
 
 void Engine::kill_node(Address addr) {
+  BSVC_CHECK_MSG(active_shard_ == nullptr, "kill_node inside a sharded window");
   Node& node = node_at(addr);
   if (node.alive) {
     node.alive = false;
@@ -162,6 +218,10 @@ Rng& Engine::node_rng(Address addr) { return node_at(addr).rng; }
 void Engine::send_message(Address from, Address to, ProtocolSlot slot, PayloadRef payload) {
   BSVC_CHECK(payload);
   BSVC_CHECK_MSG(to < nodes_.size(), "send to unknown address");
+  if (shards_ != 0) {
+    send_sharded(from, to, slot, std::move(payload));
+    return;
+  }
   ++traffic_.messages_sent;
   traffic_.bytes_sent += payload->wire_bytes() + kUdpIpHeaderBytes;
   counters_for(payload->metric_tag()).sent->inc();
@@ -248,8 +308,226 @@ void Engine::send_message(Address from, Address to, ProtocolSlot slot, PayloadRe
   }
 }
 
+Engine::TypeDelta& Engine::delta_for(ShardCtx& sc, const char* tag) {
+  // Same tag-resolution strategy as counters_for, against the shard's
+  // private delta table — no shared registry access inside a window.
+  for (TypeDelta& d : sc.type_deltas) {
+    if (d.tag == tag || std::strcmp(d.tag, tag) == 0) return d;
+  }
+  sc.type_deltas.push_back(TypeDelta{tag, 0, 0});
+  return sc.type_deltas.back();
+}
+
+void Engine::send_sharded(Address from, Address to, ProtocolSlot slot, PayloadRef payload) {
+  ShardCtx* sc = active_shard_;
+  // In-window sends come from the sender's own shard (Context::send); the
+  // sender's streams and counter are that shard's private state.
+  BSVC_CHECK_MSG(sc == nullptr || shard_of(from) == sc->index,
+                 "cross-shard send on behalf of a foreign node inside a window");
+  Node& sender = node_at(from);
+  const SimTime now = sc != nullptr ? sc->now : now_;
+  TrafficStats& tr = sc != nullptr ? sc->traffic : traffic_;
+  ++tr.messages_sent;
+  tr.bytes_sent += payload->wire_bytes() + kUdpIpHeaderBytes;
+  if (sc != nullptr) {
+    ++delta_for(*sc, payload->metric_tag()).sent;
+  } else {
+    counters_for(payload->metric_tag()).sent->inc();
+  }
+  if (trace_ != nullptr) trace_message(obs::TraceKind::Send, from, to, slot, *payload);
+
+  if (link_filter_ && !link_filter_(from, to)) {
+    ++tr.messages_dropped;
+    if (trace_ != nullptr) trace_message(obs::TraceKind::Drop, from, to, slot, *payload);
+    return;
+  }
+  // Same verdict pipeline as the serial engine, with every random draw
+  // taken from the sender's transport stream — the decisions depend only on
+  // (trajectory, sender), never on shard packing.
+  FaultModel::SendDecision fault;
+  if (fault_ != nullptr) {
+    fault = fault_->on_send_rng(now, from, to, sender.net_rng);
+    if (fault.drop) {
+      ++tr.messages_dropped;
+      if (trace_ != nullptr) trace_message(obs::TraceKind::Drop, from, to, slot, *payload);
+      return;
+    }
+    auto tamper = fault_->on_payload_rng(now, from, to, *payload, sender.net_rng);
+    using Action = FaultModel::TamperVerdict::Action;
+    if (tamper.action == Action::Suppress || tamper.action == Action::Corrupt) {
+      ++tr.messages_dropped;
+      if (tamper.action == Action::Corrupt) msg_corrupt_->inc();
+      if (trace_ != nullptr) trace_message(obs::TraceKind::Drop, from, to, slot, *payload);
+      return;
+    }
+    if (tamper.action == Action::Replace) {
+      BSVC_CHECK(tamper.replacement);
+      payload = std::move(tamper.replacement);
+    }
+  }
+  if (sender.net_rng.chance(transport_.drop_probability)) {
+    ++tr.messages_dropped;
+    if (trace_ != nullptr) trace_message(obs::TraceKind::Drop, from, to, slot, *payload);
+    return;
+  }
+  SimTime latency;
+  if (fault.replace_latency) {
+    latency = fault.latency;
+  } else if (latency_model_) {
+    latency = latency_model_(from, to) + sender.net_rng.below(transport_.min_latency + 1);
+  } else {
+    latency = transport_.min_latency +
+              sender.net_rng.below(transport_.max_latency - transport_.min_latency + 1);
+  }
+  latency += fault.extra_delay;
+  // Conservative lookahead: nothing may arrive inside the window it was
+  // sent in. Only fault-replaced latencies can fall below min_latency; they
+  // are clamped up to the window width.
+  if (latency < window_ticks_) latency = window_ticks_;
+
+  SlimEvent ev;
+  ev.time = now + latency;
+  ev.kind = EventKind::Message;
+  ev.addr = to;
+  ev.from = from;
+  ev.slot = slot;
+  ev.seq = make_key(from, sender.order_counter++);
+  PayloadRef copy;
+  if (fault.duplicate) copy = payload;
+  route_sharded(ev, std::move(payload), sc);
+  if (copy) {
+    ++tr.messages_duplicated;
+    tr.bytes_sent += copy->wire_bytes() + kUdpIpHeaderBytes;
+    fault_dup_->inc();
+    SlimEvent dup = ev;
+    dup.time = ev.time + fault.duplicate_delay;
+    // A fresh key: the duplicate is its own event, ordered after the
+    // original on ties (higher per-origin counter).
+    dup.seq = make_key(from, sender.order_counter++);
+    route_sharded(dup, std::move(copy), sc);
+  }
+}
+
+void Engine::route_sharded(SlimEvent ev, PayloadRef payload, ShardCtx* src) {
+  const std::uint32_t dest = shard_of(ev.addr);
+  if (src != nullptr && dest != src->index) {
+    // Cross-shard, in-window: park in the outbox; the destination shard
+    // assigns the payload slot when it drains the mailbox at the barrier.
+    src->out[dest].push_back(MailboxEntry{ev, std::move(payload)});
+    return;
+  }
+  // Same-shard (cursor is behind ev.time, so pushing mid-drain is safe) or
+  // barrier context (no lanes running).
+  ShardCtx& dst = *shard_ctx_[dest];
+  ev.aux = dst.payload_pool.store(std::move(payload));
+  dst.queue.push(ev);
+}
+
+void Engine::dispatch_sharded(ShardCtx& sc, const SlimEvent& ev) {
+  ++sc.events;
+  // Calls never reach shard queues; they live in the coordinator heap.
+  BSVC_CHECK(ev.kind != EventKind::Call);
+  PayloadRef payload;
+  if (ev.kind == EventKind::Message) {
+    payload = sc.payload_pool.take(static_cast<std::uint32_t>(ev.aux));
+  }
+  Node& node = node_at(ev.addr);
+  if (!node.alive) {
+    if (ev.kind == EventKind::Message) {
+      ++sc.traffic.messages_to_dead;
+      if (trace_ != nullptr) {
+        trace_message(obs::TraceKind::DeadDest, ev.from, ev.addr, ev.slot, *payload);
+      }
+    }
+    return;  // dead nodes neither receive nor act
+  }
+  if (fault_ != nullptr) {
+    const SimTime recover = fault_->dark_until(sc.now, ev.addr);
+    if (recover > sc.now) {
+      if (ev.kind == EventKind::Message) {
+        ++sc.traffic.messages_dropped;
+        fault_dark_dropped_->inc();
+        if (trace_ != nullptr) {
+          trace_message(obs::TraceKind::Drop, ev.from, ev.addr, ev.slot, *payload);
+        }
+      } else {
+        fault_dark_deferred_->inc();
+        // Deferred events keep their original key: keys are unique per
+        // origin for the whole run, so re-pushing at the recovery time
+        // cannot collide, and relative order among one node's deferred
+        // events is preserved — independent of shard count.
+        SlimEvent deferred = ev;
+        deferred.time = recover;
+        sc.queue.push(deferred);
+      }
+      return;
+    }
+  }
+  BSVC_CHECK(ev.slot < node.stack.size());
+  Context ctx(*this, ev.addr, ev.slot);
+  switch (ev.kind) {
+    case EventKind::Start:
+      node.stack[ev.slot]->on_start(ctx);
+      break;
+    case EventKind::Timer:
+      if (trace_ != nullptr) {
+        obs::TraceRecord r;
+        r.time = sc.now;
+        r.kind = obs::TraceKind::TimerFire;
+        r.node = ev.addr;
+        r.slot = ev.slot;
+        r.aux = ev.aux;
+        const std::lock_guard<std::mutex> lock(trace_mutex_);
+        trace_->record(r);
+      }
+      node.stack[ev.slot]->on_timer(ctx, ev.aux);
+      break;
+    case EventKind::Message:
+      if (transcoder_) {
+        // The transcoder must be a pure function of the payload — shard
+        // lanes invoke it concurrently (the wire codec round trip is).
+        PayloadRef decoded = transcoder_(*payload);
+        if (!decoded) {
+          ++sc.traffic.messages_dropped;
+          msg_corrupt_->inc();  // bound eagerly at construction
+          if (trace_ != nullptr) {
+            trace_message(obs::TraceKind::Drop, ev.from, ev.addr, ev.slot, *payload);
+          }
+          break;
+        }
+        payload = std::move(decoded);
+      }
+      ++sc.traffic.messages_delivered;
+      ++delta_for(sc, payload->metric_tag()).delivered;
+      if (trace_ != nullptr) {
+        trace_message(obs::TraceKind::Deliver, ev.from, ev.addr, ev.slot, *payload);
+      }
+      node.stack[ev.slot]->on_message(ctx, ev.from, *payload);
+      break;
+    case EventKind::Call:
+      break;  // unreachable, checked above
+  }
+}
+
 void Engine::schedule_timer(Address addr, ProtocolSlot slot, SimTime delay,
                             std::uint64_t timer_id) {
+  if (shards_ != 0) {
+    ShardCtx* sc = active_shard_;
+    // In-window timers are self-timers (Context::schedule_timer); a timer
+    // for a foreign shard's node would race on its queue.
+    BSVC_CHECK_MSG(sc == nullptr || shard_of(addr) == sc->index,
+                   "cross-shard timer scheduled inside a window");
+    Node& node = node_at(addr);
+    SlimEvent ev;
+    ev.time = (sc != nullptr ? sc->now : now_) + delay;
+    ev.kind = EventKind::Timer;
+    ev.addr = addr;
+    ev.slot = slot;
+    ev.aux = timer_id;
+    ev.seq = make_key(addr, node.order_counter++);
+    shard_ctx_[shard_of(addr)]->queue.push(ev);
+    return;
+  }
   SlimEvent ev;
   ev.time = now_ + delay;
   ev.kind = EventKind::Timer;
@@ -261,6 +539,18 @@ void Engine::schedule_timer(Address addr, ProtocolSlot slot, SimTime delay,
 
 void Engine::schedule_call(SimTime delay, std::function<void(Engine&)> fn) {
   BSVC_CHECK(fn != nullptr);
+  if (shards_ != 0) {
+    // Calls are coordinator-side: they run single-threaded at barriers and
+    // may touch anything (topology, filters, fault plans, Engine::rng()).
+    BSVC_CHECK_MSG(active_shard_ == nullptr, "schedule_call inside a sharded window");
+    PendingCall call;
+    call.time = now_ + delay;
+    call.seq = call_seq_++;
+    call.slot = call_pool_.store(std::move(fn));
+    calls_.push_back(call);
+    std::push_heap(calls_.begin(), calls_.end(), call_later);
+    return;
+  }
   SlimEvent ev;
   ev.time = now_ + delay;
   ev.kind = EventKind::Call;
@@ -269,6 +559,10 @@ void Engine::schedule_call(SimTime delay, std::function<void(Engine&)> fn) {
 }
 
 void Engine::run_until(SimTime t_end) {
+  if (shards_ != 0) {
+    run_sharded(t_end, /*settle_clock=*/true);
+    return;
+  }
   SlimEvent ev;
   while (queue_.pop_if_at_most(t_end, ev)) {
     BSVC_CHECK_MSG(ev.time >= now_, "event queue time went backwards");
@@ -279,11 +573,115 @@ void Engine::run_until(SimTime t_end) {
 }
 
 void Engine::run_all() {
+  if (shards_ != 0) {
+    run_sharded(~SimTime{0}, /*settle_clock=*/false);
+    return;
+  }
   SlimEvent ev;
   while (queue_.pop_if_at_most(~SimTime{0}, ev)) {
     now_ = ev.time;
     dispatch(ev);
   }
+}
+
+// --- sharded runtime ----------------------------------------------------
+
+void Engine::run_sharded(SimTime t_end, bool settle_clock) {
+  constexpr SimTime kNever = ~SimTime{0};
+  for (;;) {
+    const SimTime tc = calls_.empty() ? kNever : calls_.front().time;
+    SimTime te = kNever;
+    for (const auto& sc : shard_ctx_) te = std::min(te, sc->queue.min_time());
+    const SimTime t = std::min(tc, te);
+    if (t == kNever || t > t_end) break;
+    now_ = t;
+    if (tc <= t) {
+      // In the sharded family, same-tick ordering between calls and node
+      // events is fixed by rule — calls first — instead of by the serial
+      // engine's insertion order (which no longer exists across shards).
+      run_due_calls();
+      continue;
+    }
+    // Conservative window [t, limit]: aligned to the lookahead grid so
+    // nothing sent inside it can arrive inside it, capped by the horizon
+    // and by the next scheduled call (which must run at a barrier).
+    SimTime limit = t - (t % window_ticks_) + window_ticks_ - 1;
+    limit = std::min(limit, t_end);
+    if (tc != kNever) limit = std::min(limit, tc - 1);
+    run_window(limit);
+    now_ = limit;
+  }
+  if (settle_clock) now_ = std::max(now_, t_end);
+}
+
+void Engine::run_due_calls() {
+  while (!calls_.empty() && calls_.front().time <= now_) {
+    std::pop_heap(calls_.begin(), calls_.end(), call_later);
+    const PendingCall call = calls_.back();
+    calls_.pop_back();
+    ++events_dispatched_;
+    const auto fn = call_pool_.take(call.slot);
+    fn(*this);
+  }
+}
+
+void Engine::run_window(SimTime limit) {
+  // Phase 1: every lane drains its own shard's queue through the window.
+  crew_->run([this, limit](std::size_t lane) {
+    ShardCtx& sc = *shard_ctx_[lane];
+    active_shard_ = &sc;
+    SlimEvent ev;
+    while (sc.queue.pop_if_at_most(limit, ev)) {
+      BSVC_CHECK_MSG(ev.time >= sc.now, "shard queue time went backwards");
+      sc.now = ev.time;
+      dispatch_sharded(sc, ev);
+    }
+    sc.now = limit;
+    active_shard_ = nullptr;
+  });
+  // Phase 2: drain inbound mailboxes into destination queues. The crew
+  // barrier between the phases publishes every outbox; each lane reads only
+  // boxes addressed to it and writes only its own queue. Drain order does
+  // not matter for determinism — event order comes from the keys.
+  crew_->run([this](std::size_t lane) {
+    ShardCtx& dst = *shard_ctx_[lane];
+    for (const auto& src : shard_ctx_) {
+      std::vector<MailboxEntry>& box = src->out[lane];
+      for (MailboxEntry& entry : box) {
+        SlimEvent ev = entry.ev;
+        ev.aux = dst.payload_pool.store(std::move(entry.payload));
+        dst.queue.push(ev);
+      }
+      dst.mailbox_in += box.size();
+      box.clear();
+    }
+  });
+  merge_shard_deltas();
+}
+
+void Engine::merge_shard_deltas() {
+  for (const auto& scp : shard_ctx_) {
+    ShardCtx& sc = *scp;
+    traffic_.messages_sent += sc.traffic.messages_sent;
+    traffic_.messages_dropped += sc.traffic.messages_dropped;
+    traffic_.messages_to_dead += sc.traffic.messages_to_dead;
+    traffic_.messages_delivered += sc.traffic.messages_delivered;
+    traffic_.messages_duplicated += sc.traffic.messages_duplicated;
+    traffic_.bytes_sent += sc.traffic.bytes_sent;
+    sc.traffic = {};
+    events_dispatched_ += sc.events;
+    shard_window_events_->add(static_cast<double>(sc.events));
+    sc.events = 0;
+    shard_mailbox_->add(sc.mailbox_in);
+    sc.mailbox_in = 0;
+    for (TypeDelta& d : sc.type_deltas) {
+      if (d.sent != 0) counters_for(d.tag).sent->add(d.sent);
+      if (d.delivered != 0) counters_for(d.tag).delivered->add(d.delivered);
+      d.sent = 0;
+      d.delivered = 0;
+    }
+  }
+  shard_windows_->inc();
 }
 
 void Engine::dispatch(const SlimEvent& ev) {

@@ -1,18 +1,37 @@
 // The discrete-event simulation engine (PeerSim equivalent).
 //
-// Single-threaded, virtual-time, deterministic given a seed. The engine owns
-// all nodes, an event queue ordered by (time, insertion sequence), and the
-// unreliable transport model (i.i.d. message drop + bounded uniform latency)
-// under which the paper evaluates the bootstrapping service.
+// Virtual-time, deterministic given a seed. The engine owns all nodes, the
+// event queue(s) ordered by (time, sequence), and the unreliable transport
+// model (i.i.d. message drop + bounded uniform latency) under which the
+// paper evaluates the bootstrapping service.
+//
+// Two execution modes share one API:
+//
+//  - serial (shards == 0, the default): the original single-threaded loop,
+//    bit-identical to the historical engine — the golden-replay witnesses
+//    pin this down;
+//  - sharded (shards >= 1): nodes are partitioned addr % K across K shards,
+//    each with its own event queue and worker lane, synchronized at
+//    conservative time-window barriers of width min_latency (the transport
+//    lookahead: no message can arrive inside the window it was sent in).
+//    Cross-shard sends travel through per-shard-pair mailboxes drained at
+//    each barrier. All transport randomness comes from per-NODE streams and
+//    same-tick ordering is content-addressed (origin, per-origin counter),
+//    so a (seed, K) run is bit-reproducible AND the trajectory is identical
+//    for every K — shards=1 is the in-family golden reference. See
+//    docs/architecture.md#sharded-execution.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/assert.hpp"
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "fault/fault_model.hpp"
 #include "id/descriptor.hpp"
@@ -64,13 +83,30 @@ struct Node {
   NodeId id = 0;
   bool alive = false;
   std::vector<std::unique_ptr<Protocol>> stack;
+  /// Protocol stream (Context::rng()). Seeded exactly as the historical
+  /// engine seeded it, so protocol-visible randomness is unchanged.
   Rng rng{0};
+  /// Transport stream: drop/latency/fault draws for messages *sent by* this
+  /// node under the sharded engine. Node-local so transport randomness is
+  /// independent of how nodes are packed into shards. Derived from the same
+  /// per-node seed as `rng` (salted split), untouched by the serial engine.
+  Rng net_rng{0};
+  /// Monotone per-origin event counter backing the sharded engine's
+  /// content-addressed ordering keys (see Engine::make_key).
+  std::uint64_t order_counter = 0;
 };
 
 /// The simulation engine. See DESIGN.md §5 for the event model.
 class Engine {
  public:
-  explicit Engine(std::uint64_t seed, TransportConfig transport = {});
+  /// `shards == 0` selects the serial engine (bit-identical to the
+  /// historical one). `shards >= 1` selects the sharded engine with K
+  /// worker lanes; K = 1 runs the identical sharded semantics inline on the
+  /// calling thread and is the golden reference for every K. Sharded mode
+  /// requires min_latency >= 1 (the lookahead) and caps addresses below
+  /// 2^24 (ordering keys pack the origin address into the top bits).
+  explicit Engine(std::uint64_t seed, TransportConfig transport = {},
+                  std::size_t shards = 0);
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -94,8 +130,21 @@ class Engine {
 
   // --- accessors ---------------------------------------------------------
 
-  SimTime now() const { return now_; }
+  /// Current virtual time. Inside a sharded window this is the dispatching
+  /// shard's local clock (what a protocol callback must observe); at
+  /// barriers and in serial mode it is the global clock.
+  SimTime now() const {
+    const ShardCtx* sc = active_shard_;
+    return sc != nullptr ? sc->now : now_;
+  }
   std::size_t node_count() const { return nodes_.size(); }
+
+  /// Shard count: 0 = serial engine, >= 1 = sharded engine with K lanes.
+  std::size_t shards() const { return shards_; }
+  /// Owning shard of an address (sharded mode; addr % K).
+  std::uint32_t shard_of(Address addr) const {
+    return static_cast<std::uint32_t>(addr % shards_);
+  }
   std::size_t alive_count() const { return alive_count_; }
   bool is_alive(Address addr) const { return node_at(addr).alive; }
   NodeId id_of(Address addr) const { return node_at(addr).id; }
@@ -108,15 +157,24 @@ class Engine {
   /// Addresses of all currently alive nodes (O(N); for observers).
   std::vector<Address> alive_addresses() const;
 
-  /// Engine-level RNG (transport, scenarios). Node callbacks should use
-  /// their per-node stream via Context::rng().
-  Rng& rng() { return rng_; }
+  /// Engine-level RNG (serial transport, scenarios). Node callbacks should
+  /// use their per-node stream via Context::rng(). Off limits inside a
+  /// sharded window (it is shared, unsynchronized state); barrier-context
+  /// users — scenario calls, oracles, builders — are fine.
+  Rng& rng() {
+    BSVC_CHECK_MSG(active_shard_ == nullptr,
+                   "Engine::rng() used inside a sharded window");
+    return rng_;
+  }
 
   /// Per-node deterministic random stream (backs Context::rng()).
   Rng& node_rng(Address addr);
 
+  /// Aggregate traffic counters. In sharded mode, totals are exact at
+  /// barriers (per-shard deltas are merged at every window end); reading
+  /// mid-window from outside is not supported.
   const TrafficStats& traffic() const { return traffic_; }
-  void reset_traffic() { traffic_ = {}; }
+  void reset_traffic();
 
   /// The engine-owned metrics registry (counters, gauges, histograms; see
   /// docs/observability.md for the naming scheme). Per-engine ownership keeps
@@ -192,6 +250,67 @@ class Engine {
   void run_all();
 
  private:
+  // --- sharded-engine state ----------------------------------------------
+
+  /// A cross-shard message parked in a mailbox between phase 1 (send) and
+  /// phase 2 (drain into the destination queue): the event with its payload
+  /// still by-reference (the destination shard's pool assigns the slot).
+  struct MailboxEntry {
+    SlimEvent ev;
+    PayloadRef payload;
+  };
+
+  /// Per-message-tag traffic delta accumulated by one shard inside a window
+  /// and folded into the shared TypeCounters at the barrier.
+  struct TypeDelta {
+    const char* tag;
+    std::uint64_t sent;
+    std::uint64_t delivered;
+  };
+
+  /// Everything one shard touches while a window runs. Cache-line aligned:
+  /// shard workers hammer their own ctx and must not false-share.
+  struct alignas(64) ShardCtx {
+    std::uint32_t index = 0;
+    /// Local clock: time of the event being dispatched, == the global clock
+    /// at barriers.
+    SimTime now = 0;
+    /// Per-shard event queue in keyed-ordering mode (same-tick events sort
+    /// by content-addressed key, not insertion order).
+    TwoTierQueue queue;
+    SlotPool<PayloadRef> payload_pool;
+    // Window-local deltas, merged into engine totals at each barrier.
+    TrafficStats traffic;
+    std::uint64_t events = 0;
+    std::uint64_t mailbox_in = 0;
+    std::vector<TypeDelta> type_deltas;
+    /// Outboxes, one per destination shard (out[own index] stays empty:
+    /// same-shard sends push directly).
+    std::vector<std::vector<MailboxEntry>> out;
+  };
+
+  /// Content-addressed same-tick ordering key: (origin address, per-origin
+  /// monotone counter). Independent of which shard runs the send and of the
+  /// order mailboxes are drained in — the root of K-independence. 24 bits
+  /// of address, 40 bits of counter.
+  static std::uint64_t make_key(Address origin, std::uint64_t counter) {
+    return (static_cast<std::uint64_t>(origin) << 40) | counter;
+  }
+
+  /// The shard whose window phase is running on this thread, else nullptr
+  /// (serial engine, barrier context). Routes now()/send/dispatch without
+  /// threading a context parameter through every protocol callback.
+  static thread_local ShardCtx* active_shard_;
+
+  void send_sharded(Address from, Address to, ProtocolSlot slot, PayloadRef payload);
+  void route_sharded(SlimEvent ev, PayloadRef payload, ShardCtx* src);
+  void dispatch_sharded(ShardCtx& sc, const SlimEvent& ev);
+  void run_sharded(SimTime t_end, bool settle_clock);
+  void run_window(SimTime limit);
+  void run_due_calls();
+  void merge_shard_deltas();
+  TypeDelta& delta_for(ShardCtx& sc, const char* tag);
+
   Node& node_at(Address addr);
   const Node& node_at(Address addr) const;
   void dispatch(const SlimEvent& ev);
@@ -211,14 +330,21 @@ class Engine {
   void trace_message(obs::TraceKind kind, Address from, Address to, ProtocolSlot slot,
                      const Payload& payload) {
     obs::TraceRecord r;
-    r.time = now_;
+    r.time = now();
     r.kind = kind;
     r.node = (kind == obs::TraceKind::Send || kind == obs::TraceKind::Drop) ? from : to;
     r.peer = (kind == obs::TraceKind::Send || kind == obs::TraceKind::Drop) ? to : from;
     r.slot = slot;
     r.tag = payload.metric_tag();
     r.aux = payload.wire_bytes() + kUdpIpHeaderBytes;
-    trace_->record(r);
+    if (shards_ != 0) {
+      // Shard workers share the sink; record order across shards is
+      // nondeterministic (records themselves are deterministic per shard).
+      const std::lock_guard<std::mutex> lock(trace_mutex_);
+      trace_->record(r);
+    } else {
+      trace_->record(r);
+    }
   }
 
   SimTime now_ = 0;
@@ -260,6 +386,34 @@ class Engine {
   mutable obs::MetricsRegistry metrics_;
   obs::TraceSink* trace_ = nullptr;
   std::vector<TypeCounters> type_counters_;
+
+  // --- sharded-engine members (inert when shards_ == 0) -------------------
+  std::size_t shards_ = 0;
+  /// Conservative window width = transport min latency (the lookahead).
+  SimTime window_ticks_ = 0;
+  /// unique_ptr elements: ShardCtx is neither copyable nor movable
+  /// (alignas + queues), and stable addresses let workers cache pointers.
+  std::vector<std::unique_ptr<ShardCtx>> shard_ctx_;
+  std::unique_ptr<WindowCrew> crew_;
+  /// Coordinator-side schedule_call heap: calls always run at barriers,
+  /// single-threaded, before same-tick node events — churn scripts and
+  /// observers keep their serial semantics. Ordered by (time, seq).
+  struct PendingCall {
+    SimTime time;
+    std::uint64_t seq;
+    std::uint32_t slot;  // closure parked in call_pool_
+  };
+  /// Heap comparator: earliest (time, seq) on top.
+  static bool call_later(const PendingCall& a, const PendingCall& b) {
+    return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+  }
+  std::vector<PendingCall> calls_;  // min-heap ordered by call_later
+  std::uint64_t call_seq_ = 0;
+  std::mutex trace_mutex_;
+  // shard.* metric handles, bound at construction in sharded mode.
+  obs::Counter* shard_windows_ = nullptr;        // shard.windows
+  obs::Counter* shard_mailbox_ = nullptr;        // shard.mailbox.messages
+  obs::HistogramMetric* shard_window_events_ = nullptr;  // shard.window_events
 };
 
 }  // namespace bsvc

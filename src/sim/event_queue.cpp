@@ -7,13 +7,37 @@ namespace bsvc {
 void TwoTierQueue::push(const SlimEvent& ev) {
   BSVC_CHECK_MSG(ev.time >= cursor_, "event scheduled in the past");
   if (ev.time < base_ + kWheelSpan) {
-    wheel_[ev.time & (kWheelSpan - 1)].events.push_back(ev);
+    Bucket& bucket = wheel_[ev.time & (kWheelSpan - 1)];
+    bucket.events.push_back(ev);
+    if (keyed_) bucket.dirty = true;
     ++wheel_count_;
   } else {
     heap_.push_back(ev);
     std::push_heap(heap_.begin(), heap_.end(), LaterFirst{});
   }
   ++size_;
+}
+
+void TwoTierQueue::settle(Bucket& bucket) {
+  if (!bucket.dirty) return;
+  // Sorting only the unpopped tail is sound: any event inserted into a
+  // bucket mid-drain was created while dispatching an event of this very
+  // tick, and the sharded engine only ever self-schedules at the current
+  // tick (zero-delay timers), so the insert carries the dispatching node's
+  // own origin key with a counter above everything that node already popped.
+  std::sort(bucket.events.begin() + bucket.head, bucket.events.end(),
+            [](const SlimEvent& a, const SlimEvent& b) { return a.seq < b.seq; });
+  bucket.dirty = false;
+}
+
+SimTime TwoTierQueue::min_time() const {
+  if (size_ == 0) return ~SimTime{0};
+  if (wheel_count_ == 0) return heap_.front().time;
+  for (SimTime tick = cursor_;; ++tick) {
+    const Bucket& b = wheel_[tick & (kWheelSpan - 1)];
+    if (b.head < b.events.size()) return tick;
+    BSVC_CHECK_MSG(tick < base_ + kWheelSpan, "wheel count out of sync");
+  }
 }
 
 bool TwoTierQueue::pop_if_at_most(SimTime limit, SlimEvent& out) {
@@ -27,11 +51,14 @@ bool TwoTierQueue::pop_if_at_most(SimTime limit, SlimEvent& out) {
     cursor_ = base_;
     // Drain everything inside the new window. Heap pops come out in
     // (time, seq) order, so per-bucket appends stay seq-sorted; later direct
-    // pushes carry higher seq and append after them.
+    // pushes carry higher seq and append after them. (Keyed mode makes no
+    // use of that invariant — drained buckets get the same lazy sort.)
     while (!heap_.empty() && heap_.front().time < base_ + kWheelSpan) {
       std::pop_heap(heap_.begin(), heap_.end(), LaterFirst{});
       const SlimEvent& ev = heap_.back();
-      wheel_[ev.time & (kWheelSpan - 1)].events.push_back(ev);
+      Bucket& bucket = wheel_[ev.time & (kWheelSpan - 1)];
+      bucket.events.push_back(ev);
+      if (keyed_) bucket.dirty = true;
       heap_.pop_back();
       ++wheel_count_;
     }
@@ -46,6 +73,7 @@ bool TwoTierQueue::pop_if_at_most(SimTime limit, SlimEvent& out) {
     BSVC_CHECK_MSG(tick < base_ + kWheelSpan, "wheel count out of sync");
   }
   Bucket& bucket = wheel_[tick & (kWheelSpan - 1)];
+  if (keyed_) settle(bucket);
   const SlimEvent& min = bucket.events[bucket.head];
   if (min.time > limit) return false;  // probe failed: do not commit the scan
   cursor_ = tick;
@@ -54,6 +82,7 @@ bool TwoTierQueue::pop_if_at_most(SimTime limit, SlimEvent& out) {
   if (bucket.head == bucket.events.size()) {
     bucket.events.clear();
     bucket.head = 0;
+    bucket.dirty = false;
   }
   --wheel_count_;
   --size_;

@@ -118,6 +118,22 @@ class TwoTierQueue {
   /// returns true; otherwise leaves the queue untouched and returns false.
   bool pop_if_at_most(SimTime limit, SlimEvent& out);
 
+  /// Time of the earliest queued event without popping it; ~SimTime{0} when
+  /// empty. Used by the sharded engine to jump idle gaps between windows.
+  SimTime min_time() const;
+
+  /// Switches the tie-break contract from "seq is a monotone push counter"
+  /// to "seq is an arbitrary 64-bit ordering key": events still pop in
+  /// (time, seq) order, but pushes at one tick may arrive in any seq order.
+  /// The sharded engine packs (origin node, per-origin counter) into seq so
+  /// same-tick ordering is content-addressed — independent of shard count —
+  /// rather than insertion-ordered. Buckets are sorted lazily at first
+  /// inspection. Call before the first push.
+  void set_keyed_ordering(bool keyed) {
+    BSVC_CHECK(size_ == 0);
+    keyed_ = keyed;
+  }
+
   bool empty() const { return size_ == 0; }
   std::size_t size() const { return size_; }
 
@@ -125,6 +141,7 @@ class TwoTierQueue {
   struct Bucket {
     std::vector<SlimEvent> events;
     std::uint32_t head = 0;  // pop cursor; bucket is clear()ed when drained
+    bool dirty = false;      // keyed mode: [head, end) needs a sort by seq
   };
 
   // Heap comparator for a min-heap on (time, seq) via std::push/pop_heap.
@@ -135,12 +152,16 @@ class TwoTierQueue {
     }
   };
 
+  /// Keyed mode: sorts the unpopped tail of `bucket` by seq key.
+  static void settle(Bucket& bucket);
+
   std::vector<Bucket> wheel_{kWheelSpan};
   SimTime base_ = 0;    // wheel window is [base_, base_ + kWheelSpan)
   SimTime cursor_ = 0;  // next tick to inspect; base_ <= cursor_
   std::size_t wheel_count_ = 0;
   std::vector<SlimEvent> heap_;
   std::size_t size_ = 0;
+  bool keyed_ = false;
 };
 
 }  // namespace bsvc

@@ -2,6 +2,7 @@
 // immutable reference (`PayloadRef`) through which the engine owns them.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -37,9 +38,11 @@ enum class PayloadKind : std::uint8_t {
 /// duplication and multicast are refcount bumps; anything that needs to
 /// alter a published payload (the adversary's tamper hook, the wire
 /// transcoder) builds a fresh payload and publishes that instead
-/// (copy-on-write). The count is intentionally non-atomic: an Engine and
-/// everything it owns live on one thread, and parallel bench replicas own
-/// disjoint engines (docs/architecture.md#payload-ownership).
+/// (copy-on-write). The count is atomic: under the sharded engine a
+/// multicast or fault-duplicated payload can cross shard mailboxes, and its
+/// references are then released on different worker threads. The payload
+/// *content* stays immutable after publication, so the count is the only
+/// shared word (docs/architecture.md#payload-ownership).
 class Payload {
  public:
   explicit Payload(PayloadKind kind = PayloadKind::Custom) : kind_(kind) {}
@@ -74,7 +77,7 @@ class Payload {
   PayloadKind kind_;
   /// Intrusive count, touched only through PayloadRef. 0 while the object
   /// is still uniquely owned by its builder.
-  mutable std::uint32_t refs_ = 0;
+  mutable std::atomic<std::uint32_t> refs_{0};
 };
 
 /// Shared, immutable reference to a published payload.
@@ -92,11 +95,13 @@ class PayloadRef {
   template <typename T, std::enable_if_t<std::is_base_of_v<Payload, T>, int> = 0>
   PayloadRef(std::unique_ptr<T> payload) noexcept  // NOLINT(google-explicit-constructor)
       : ptr_(payload.release()) {
-    if (ptr_ != nullptr) ptr_->refs_ = 1;
+    if (ptr_ != nullptr) ptr_->refs_.store(1, std::memory_order_relaxed);
   }
 
   PayloadRef(const PayloadRef& other) noexcept : ptr_(other.ptr_) {
-    if (ptr_ != nullptr) ++ptr_->refs_;
+    // Relaxed suffices for the bump: the copier already holds a reference,
+    // so the count cannot concurrently reach zero.
+    if (ptr_ != nullptr) ptr_->refs_.fetch_add(1, std::memory_order_relaxed);
   }
   PayloadRef(PayloadRef&& other) noexcept : ptr_(std::exchange(other.ptr_, nullptr)) {}
   PayloadRef& operator=(PayloadRef other) noexcept {
@@ -107,7 +112,11 @@ class PayloadRef {
 
   void reset() noexcept {
     // The one sanctioned manual delete: PayloadRef IS the owner abstraction.
-    if (ptr_ != nullptr && --ptr_->refs_ == 0) delete ptr_;  // NOLINT(cppcoreguidelines-owning-memory)
+    // acq_rel on the drop orders every earlier read of the payload before
+    // the delete performed by whichever thread releases last.
+    if (ptr_ != nullptr && ptr_->refs_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      delete ptr_;  // NOLINT(cppcoreguidelines-owning-memory)
+    }
     ptr_ = nullptr;
   }
 
@@ -117,10 +126,14 @@ class PayloadRef {
   explicit operator bool() const { return ptr_ != nullptr; }
 
   /// True when this is the only reference — the copy-on-write fast path.
-  bool unique() const { return ptr_ != nullptr && ptr_->refs_ == 1; }
+  bool unique() const {
+    return ptr_ != nullptr && ptr_->refs_.load(std::memory_order_acquire) == 1;
+  }
 
   /// Current reference count (0 for an empty ref); exposed for tests.
-  std::uint32_t use_count() const { return ptr_ == nullptr ? 0 : ptr_->refs_; }
+  std::uint32_t use_count() const {
+    return ptr_ == nullptr ? 0 : ptr_->refs_.load(std::memory_order_relaxed);
+  }
 
  private:
   const Payload* ptr_ = nullptr;

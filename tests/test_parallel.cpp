@@ -5,9 +5,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <functional>
 #include <numeric>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/parallel.hpp"
@@ -111,6 +113,43 @@ TEST(ParallelMap, NonTrivialResultType) {
   EXPECT_EQ(out[0], "xxx");
   EXPECT_EQ(out[1], "x");
   EXPECT_EQ(out[2], "xx");
+}
+
+TEST(WindowCrew, EveryLaneRunsExactlyOncePerRound) {
+  WindowCrew crew(4);
+  EXPECT_EQ(crew.size(), 4u);
+  std::vector<std::atomic<int>> hits(4);
+  const std::function<void(std::size_t)> job = [&hits](std::size_t lane) {
+    hits[lane].fetch_add(1, std::memory_order_relaxed);
+  };
+  for (int round = 0; round < 100; ++round) crew.run(job);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 100);
+}
+
+TEST(WindowCrew, RunIsABarrier) {
+  // Work left behind by a round must be complete when run() returns, for
+  // every lane — the engine reads shard state right after the call.
+  WindowCrew crew(3);
+  std::vector<std::uint64_t> sums(3, 0);
+  const std::function<void(std::size_t)> job = [&sums](std::size_t lane) {
+    std::uint64_t acc = 0;
+    for (std::uint64_t i = 0; i <= 10000; ++i) acc += i;
+    sums[lane] = acc;
+  };
+  crew.run(job);
+  for (const auto s : sums) EXPECT_EQ(s, 50005000u);
+}
+
+TEST(WindowCrew, SizeOneRunsInline) {
+  WindowCrew crew(1);
+  const auto caller = std::this_thread::get_id();
+  std::thread::id seen;
+  const std::function<void(std::size_t)> job = [&seen, caller](std::size_t lane) {
+    EXPECT_EQ(lane, 0u);
+    seen = std::this_thread::get_id();
+  };
+  crew.run(job);
+  EXPECT_EQ(seen, caller);
 }
 
 }  // namespace
