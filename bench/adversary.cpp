@@ -57,6 +57,10 @@ int main(int argc, char** argv) {
   const std::int64_t sample_every = flags.get_int("sample-every", 1);
   const auto cycles = static_cast<std::size_t>(flags.get_int("cycles", 60));
   const std::size_t shards = shards_flag(flags);
+  // --spans: exchange-span aggregates per run; under the adversary they
+  // surface how many exchanges die to suppression/corruption (timeout and
+  // evicted outcomes) versus answering.
+  const bool spans = flags.get_bool("spans", false);
   BenchReport report(flags, "adversary");
   report.set_threads(threads);
   apply_log_level_flag(flags);
@@ -81,6 +85,7 @@ int main(int argc, char** argv) {
       cfg.n = n;
       cfg.seed = seed;  // shared base trajectory across the whole sweep
       cfg.shards = shards;
+      cfg.spans = spans;
       cfg.max_cycles = cycles;
       cfg.stop_at_convergence = false;
       cfg.sample_every_cycles =
@@ -200,6 +205,16 @@ int main(int argc, char** argv) {
                       static_cast<double>(out.result.converged_cycle));
     report.add_metric(spec.key + "_final_eclipse_rate", out.final_eclipse_rate);
     report.add_metric(spec.key + "_controlled_leaf_fraction", out.final_controlled);
+    if (out.result.has_spans) {
+      // Per-run outcome counts next to the eclipse metrics; the report-level
+      // "spans" section carries the last run's full aggregate.
+      report.add_metric(spec.key + "_spans_answered",
+                        static_cast<double>(out.result.span_summary.answered));
+      report.add_metric(spec.key + "_spans_timeout",
+                        static_cast<double>(out.result.span_summary.timeout));
+      report.add_metric(spec.key + "_spans_rtt_p95", out.result.span_summary.rtt_p95);
+      report.set_spans(out.result.span_summary);
+    }
   }
   std::printf("%s\n", summary.render().c_str());
 

@@ -151,23 +151,40 @@ struct ReplicaSpec {
 ///   --sample-every=<cycles>  metric snapshot cadence (default 1; 0 disables)
 ///   --trace=<prefix>         per-replica JSONL engine traces written to
 ///                            "<prefix>_<index>.jsonl"
+///   --spans                  per-exchange causal spans (latency percentiles
+///                            and outcome counts in the report's "spans"
+///                            section; see docs/observability.md)
 /// Replica indexing follows spec order, so trace file names are stable
 /// whatever the thread count.
 inline void apply_obs_flags(const Flags& flags, std::vector<ReplicaSpec>& specs) {
   const std::int64_t sample_every = flags.get_int("sample-every", 1);
   const std::string trace_prefix = flags.get_string("trace", "");
+  const bool spans = flags.get_bool("spans", false);
   // --shards rides along with the shared flags so every spec-driven bench
   // can run on the sharded engine (benches that force SamplerKind::Oracle
   // get the clear exit-2 setup error).
   const std::size_t shards = shards_flag(flags);
   for (std::size_t i = 0; i < specs.size(); ++i) {
     specs[i].cfg.shards = shards;
+    specs[i].cfg.spans = spans;
     specs[i].cfg.sample_every_cycles =
         sample_every <= 0 ? 0 : static_cast<std::size_t>(sample_every);
     if (!trace_prefix.empty()) {
       specs[i].cfg.trace_path = trace_prefix + "_" + std::to_string(i) + ".jsonl";
     }
   }
+}
+
+/// Derives the per-K profile path for a shard-sweep run: "prof.json" with
+/// K=4 becomes "prof_K4.json" (the suffix lands before the last extension
+/// dot of the basename, or at the end when there is none).
+inline std::string profile_path_for_shards(const std::string& path, std::size_t k) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::size_t dot = path.rfind('.');
+  const bool has_ext = dot != std::string::npos && (slash == std::string::npos || dot > slash);
+  const std::string stem = has_ext ? path.substr(0, dot) : path;
+  const std::string ext = has_ext ? path.substr(dot) : "";
+  return stem + "_K" + std::to_string(k) + ext;
 }
 
 /// Runs every replica, fanned out across up to `threads` hardware threads

@@ -86,6 +86,21 @@ class BenchReport {
     metrics_.emplace_back(key, value);
   }
 
+  /// Attaches the exchange-span aggregate (--spans runs); emitted as the
+  /// report's "spans" section. Last call wins — benches pass the aggregate
+  /// of their primary run.
+  void set_spans(const obs::SpanSummary& spans) {
+    spans_ = spans;
+    has_spans_ = true;
+  }
+
+  /// Attaches the window-profiler aggregate (--profile runs); emitted as
+  /// the report's "prof" section.
+  void set_profile(const obs::ProfileSummary& prof) {
+    prof_ = prof;
+    has_profile_ = true;
+  }
+
   /// Writes the JSON file; prints the throughput line to stderr either way.
   void write() const {
     const double wall = std::chrono::duration<double>(
@@ -116,6 +131,60 @@ class BenchReport {
                    json_escape(metrics_[i].first).c_str(), metrics_[i].second);
     }
     std::fprintf(f, "},\n");
+    if (has_spans_) {
+      // Exchange-span aggregates; scripts/compare_bench.py ignores sections
+      // it does not know, so reports with and without spans gate together.
+      std::fprintf(f,
+                   "  \"spans\": {\"opened\": %llu, \"closed\": %llu, "
+                   "\"in_flight\": %llu, \"overflow_dropped\": %llu, "
+                   "\"stray_closes\": %llu, \"answered\": %llu, \"timeout\": %llu, "
+                   "\"superseded\": %llu, \"evicted\": %llu, \"sends\": %llu, "
+                   "\"drops\": %llu, \"delivers\": %llu, \"dead_letters\": %llu, "
+                   "\"rtt_count\": %llu, \"rtt_mean\": %.9g, \"rtt_max\": %.9g, "
+                   "\"rtt_p50\": %.9g, \"rtt_p95\": %.9g, \"rtt_p99\": %.9g, "
+                   "\"lifetime_p50\": %.9g, \"lifetime_p95\": %.9g, "
+                   "\"lifetime_p99\": %.9g, \"hops_mean\": %.9g, "
+                   "\"retries_mean\": %.9g, \"request_descriptors_mean\": %.9g, "
+                   "\"answer_descriptors_mean\": %.9g},\n",
+                   static_cast<unsigned long long>(spans_.opened),
+                   static_cast<unsigned long long>(spans_.closed),
+                   static_cast<unsigned long long>(spans_.in_flight),
+                   static_cast<unsigned long long>(spans_.overflow_dropped),
+                   static_cast<unsigned long long>(spans_.stray_closes),
+                   static_cast<unsigned long long>(spans_.answered),
+                   static_cast<unsigned long long>(spans_.timeout),
+                   static_cast<unsigned long long>(spans_.superseded),
+                   static_cast<unsigned long long>(spans_.evicted),
+                   static_cast<unsigned long long>(spans_.sends),
+                   static_cast<unsigned long long>(spans_.drops),
+                   static_cast<unsigned long long>(spans_.delivers),
+                   static_cast<unsigned long long>(spans_.dead_letters),
+                   static_cast<unsigned long long>(spans_.rtt_count), spans_.rtt_mean,
+                   spans_.rtt_max, spans_.rtt_p50, spans_.rtt_p95, spans_.rtt_p99,
+                   spans_.lifetime_p50, spans_.lifetime_p95, spans_.lifetime_p99,
+                   spans_.hops_mean, spans_.retries_mean,
+                   spans_.request_descriptors_mean, spans_.answer_descriptors_mean);
+    }
+    if (has_profile_) {
+      std::fprintf(f,
+                   "  \"prof\": {\"shards\": %llu, \"windows\": %llu, "
+                   "\"events\": %llu, \"mailbox_messages\": %llu, "
+                   "\"wall_seconds\": %.6f, \"dispatch_seconds\": %.6f, "
+                   "\"drain_seconds\": %.6f, \"stall_seconds\": %.6f, "
+                   "\"idle_seconds\": %.6f, \"barrier_stall_fraction\": %.6f, "
+                   "\"mailbox_mean_per_window\": %.9g, \"queue_depth_mean\": %.9g, "
+                   "\"trace_events\": %llu, \"trace_events_dropped\": %llu},\n",
+                   static_cast<unsigned long long>(prof_.shards),
+                   static_cast<unsigned long long>(prof_.windows),
+                   static_cast<unsigned long long>(prof_.events),
+                   static_cast<unsigned long long>(prof_.mailbox_messages),
+                   prof_.wall_seconds, prof_.dispatch_seconds, prof_.drain_seconds,
+                   prof_.stall_seconds, prof_.idle_seconds,
+                   prof_.barrier_stall_fraction, prof_.mailbox_mean_per_window,
+                   prof_.queue_depth_mean,
+                   static_cast<unsigned long long>(prof_.trace_events),
+                   static_cast<unsigned long long>(prof_.trace_events_dropped));
+    }
     std::fprintf(f, "  \"runs\": [");
     for (std::size_t i = 0; i < runs_.size(); ++i) {
       const auto& s = runs_[i];
@@ -172,6 +241,10 @@ class BenchReport {
   std::uint64_t events_ = 0;
   std::vector<RunSummary> runs_;
   std::vector<std::pair<std::string, double>> metrics_;
+  bool has_spans_ = false;
+  obs::SpanSummary spans_;
+  bool has_profile_ = false;
+  obs::ProfileSummary prof_;
 };
 
 }  // namespace bsvc::bench

@@ -382,6 +382,33 @@ void BM_ShardedSendDispatch(benchmark::State& state) {
 }
 BENCHMARK(BM_ShardedSendDispatch)->Arg(1)->Arg(2);
 
+void BM_ShardedSendDispatchTraced(benchmark::State& state) {
+  // BM_ShardedSendDispatch with a trace sink installed — the cost of a
+  // recorded hook per message on the sharded engine. At K=1 the crew runs
+  // inline and only one lane ever records, so trace_message takes the
+  // lock-free branch (shards_ > 1 gates the mutex); the delta against
+  // BM_ShardedSendDispatch/1 is the pure record() cost, matching the serial
+  // engine's BM_EngineSendDispatch/1 delta. At K=2 the same hook pays the
+  // trace mutex, so /2 minus /1 overhead is the lock's price per record.
+  Engine engine(13, TransportConfig{}, static_cast<std::size_t>(state.range(0)));
+  const Address a = engine.add_node(1);
+  const Address b = engine.add_node(2);
+  engine.attach(a, std::make_unique<SinkProtocol>());
+  engine.attach(b, std::make_unique<SinkProtocol>());
+  engine.start_node(a);
+  engine.start_node(b);
+  engine.run_all();
+  CountingTraceSink sink;
+  engine.set_trace_sink(&sink);
+  for (auto _ : state) {
+    engine.send_message(a, b, 0, std::make_unique<BenchPayload>());
+    engine.run_all();
+    benchmark::DoNotOptimize(engine.events_dispatched());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ShardedSendDispatchTraced)->Arg(1)->Arg(2);
+
 void BM_PayloadMakeUniqueBaseline(benchmark::State& state) {
   // Baseline for BM_PayloadPoolStoreTake: the allocation alone, without the
   // pool bookkeeping (the pre-overhaul engine carried the pointer inside the

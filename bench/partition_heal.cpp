@@ -36,6 +36,10 @@ int main(int argc, char** argv) {
   const std::int64_t sample_every = flags.get_int("sample-every", 1);
   BenchReport report(flags, "partition_heal");
   const std::size_t shards = shards_flag(flags);
+  // --spans: exchange spans across the cut show the partition as a timeout
+  // wave (requests into the far side) and the heal as rtt returning to the
+  // transport baseline.
+  const bool spans = flags.get_bool("spans", false);
   apply_log_level_flag(flags);
   flags.finish();
 
@@ -49,6 +53,7 @@ int main(int argc, char** argv) {
     cfg.n = n;
     cfg.seed = seed;
     cfg.shards = shards;
+    cfg.spans = spans;
     cfg.max_cycles = 48;
     cfg.stop_at_convergence = false;
     cfg.sample_every_cycles = sample_every <= 0 ? 0 : static_cast<std::size_t>(sample_every);
@@ -96,6 +101,13 @@ int main(int argc, char** argv) {
                 "(healed at %zu)\n\n",
                 recovered_cycle, result.converged_cycle, heal_cycle);
     report.add_run("partition-heal", result);
+    if (result.has_spans) {
+      report.add_metric("partition_spans_timeout",
+                        static_cast<double>(result.span_summary.timeout));
+      report.add_metric("partition_spans_answered",
+                        static_cast<double>(result.span_summary.answered));
+      report.set_spans(result.span_summary);
+    }
     report.add_metric("pre_partition_missing_leaf", pre);
     report.add_metric("partition_peak_missing_leaf", peak);
     report.add_metric("healed_missing_leaf", healed);
@@ -110,6 +122,7 @@ int main(int argc, char** argv) {
     cfg.n = n;
     cfg.seed = seed + 1;
     cfg.shards = shards;
+    cfg.spans = spans;
     cfg.max_cycles = 40;
     cfg.stop_at_convergence = false;
     cfg.sample_every_cycles = sample_every <= 0 ? 0 : static_cast<std::size_t>(sample_every);

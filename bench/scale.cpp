@@ -73,6 +73,13 @@ using namespace bsvc::bench;
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   Tier tier = pick_tier(flags);
+  // --smoke pins the smoke ladder regardless of --full / REPRO_FULL — CI's
+  // profile-smoke step uses it so an exported REPRO_FULL cannot turn a
+  // smoke check into an hour-long run.
+  if (flags.get_bool("smoke", false)) {
+    tier = {{std::begin(kSmokeSizes), std::end(kSmokeSizes)},
+            {std::begin(kSmokeRepeats), std::end(kSmokeRepeats)}};
+  }
   // --xl swaps in the sharded-engine scale tier (N = 2^20, 2^21): one
   // replica each, far beyond what the serial sweep attempts. Meant to be
   // combined with --shards and usually a reduced --max-cycles.
@@ -89,6 +96,11 @@ int main(int argc, char** argv) {
   // scaling measurement.
   const std::vector<std::size_t> shard_sweep =
       parse_shard_list(flags, flags.get_string("shard-sweep", ""));
+  // --profile <file>: window-profiler Chrome trace for the largest main-
+  // sweep run (sharded mode only; the experiment rejects --profile with
+  // --shards 0). Shard-sweep runs write derived "<stem>_K<k><ext>" files.
+  const std::string profile_path = flags.get_string("profile", "");
+  const bool spans_enabled = flags.get_bool("spans", false);
   BenchReport report(flags, "scale");
   apply_log_level_flag(flags);
 
@@ -107,6 +119,11 @@ int main(int argc, char** argv) {
     specs.push_back(std::move(spec));
   }
   apply_obs_flags(flags, specs);
+  // Profile the largest size: the headline run, and the one whose window
+  // occupancy is most representative of the sweep.
+  if (!profile_path.empty() && !specs.empty()) {
+    specs.back().cfg.profile_path = profile_path;
+  }
   flags.finish();
   report.set_threads(threads);
   report.add_metric("shards", static_cast<double>(shards));
@@ -137,6 +154,9 @@ int main(int argc, char** argv) {
     report.add_metric(spec.label + " wall_seconds", secs);
     report.add_metric(spec.label + " allocs_per_exchange", ape);
     report.add_metric(spec.label + " heap_allocations", static_cast<double>(allocs));
+    // Last one wins: the report carries the largest size's aggregates.
+    if (result.has_spans) report.set_spans(result.span_summary);
+    if (result.has_profile) report.set_profile(result.profile_summary);
     runs.push_back({spec.label, std::move(result)});
   }
   print_runs("scale sweep", runs);
@@ -158,6 +178,10 @@ int main(int argc, char** argv) {
       cfg.seed = replica_seed(base_seed, tier.sizes.size() - 1);
       cfg.max_cycles = max_cycles;
       cfg.shards = k;
+      cfg.spans = spans_enabled;
+      if (!profile_path.empty()) {
+        cfg.profile_path = profile_path_for_shards(profile_path, k);
+      }
       const std::string label = "N=" + std::to_string(sweep_n) + " K=" + std::to_string(k);
       std::fprintf(stderr, "running %s...\n", label.c_str());
       const auto t0 = std::chrono::steady_clock::now();

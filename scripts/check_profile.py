@@ -1,0 +1,169 @@
+#!/usr/bin/env python3
+"""Validator for the engine profiler's Chrome trace output (--profile).
+
+Checks that a profile written by bench/scale (or any bench that forwards
+--profile into ExperimentConfig::profile_path) is a loadable Chrome
+trace-event file and that its accounting is coherent:
+
+  1. Top level is an object with a non-empty "traceEvents" array (the
+     object form, so chrome://tracing and Perfetto both load it).
+  2. Every complete ("ph": "X") slice carries name/ts/dur/pid/tid with
+     numeric ts/dur >= 0, and its name is one of the profiler's phase
+     taxonomy {dispatch, drain, stall, idle}.
+  3. Thread-name metadata ("ph": "M") covers every tid that emits slices.
+  4. The "bsvc_profile" aggregate is present and its per-phase totals
+     (dispatch + drain + stall + idle) cover >= --min-coverage of the
+     measured window wall time (default 0.95). The profiler computes idle
+     as the remainder of each shard's window, so anything below ~100%
+     indicates an accounting bug, not measurement noise.
+  5. Slice durations per phase sum to the aggregate's totals within
+     --slice-tolerance (default 2%), unless events were dropped by the
+     trace-event cap (then slices undercount by design and only the
+     aggregate is gated).
+
+Usage: scripts/check_profile.py <profile.json> [--min-coverage F]
+                                [--slice-tolerance F]
+
+Exit status: 0 = valid, 1 = structurally valid but accounting failed,
+2 = unreadable / malformed input.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+PHASES = ("dispatch", "drain", "stall", "idle")
+
+
+def die(msg: str, code: int) -> None:
+    print(f"error: {msg}", file=sys.stderr)
+    sys.exit(code)
+
+
+def is_number(value) -> bool:
+    return not isinstance(value, bool) and isinstance(value, (int, float))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("profile", type=Path)
+    parser.add_argument(
+        "--min-coverage",
+        type=float,
+        default=0.95,
+        help="minimum fraction of window wall time the phase totals must "
+        "cover (default 0.95)",
+    )
+    parser.add_argument(
+        "--slice-tolerance",
+        type=float,
+        default=0.02,
+        help="allowed relative gap between slice-duration sums and the "
+        "aggregate phase totals (default 0.02)",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.profile, encoding="utf-8") as f:
+            trace = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        die(f"cannot read {args.profile}: {err}", 2)
+    if not isinstance(trace, dict):
+        die(f"{args.profile}: expected the object trace form, got "
+            f"{type(trace).__name__}", 2)
+
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        die(f"{args.profile}: 'traceEvents' missing, not a list, or empty", 2)
+
+    slice_tids = set()
+    named_tids = set()
+    slice_ns_by_phase = {phase: 0 for phase in PHASES}
+    slice_count = 0
+    counter_count = 0
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            die(f"traceEvents[{i}]: not an object", 2)
+        ph = ev.get("ph")
+        if ph == "M":
+            if ev.get("name") == "thread_name":
+                named_tids.add(ev.get("tid"))
+            continue
+        if ph == "C":
+            counter_count += 1
+            continue
+        if ph != "X":
+            die(f"traceEvents[{i}]: unexpected phase {ph!r} "
+                f"(profiler emits only M/X/C)", 2)
+        for field in ("name", "ts", "dur", "pid", "tid"):
+            if field not in ev:
+                die(f"traceEvents[{i}]: X event missing '{field}'", 2)
+        if not is_number(ev["ts"]) or not is_number(ev["dur"]):
+            die(f"traceEvents[{i}]: ts/dur must be numbers", 2)
+        if ev["ts"] < 0 or ev["dur"] < 0:
+            die(f"traceEvents[{i}]: negative ts/dur", 2)
+        if ev["name"] not in PHASES:
+            die(f"traceEvents[{i}]: slice name {ev['name']!r} outside the "
+                f"phase taxonomy {PHASES}", 2)
+        slice_tids.add(ev["tid"])
+        # ts/dur are microseconds in the trace-event format.
+        slice_ns_by_phase[ev["name"]] += ev["dur"] * 1000.0
+        slice_count += 1
+
+    if slice_count == 0:
+        die("no complete ('X') slices in the trace", 2)
+    missing = slice_tids - named_tids
+    if missing:
+        die(f"tids with slices but no thread_name metadata: {sorted(missing)}", 2)
+
+    agg = trace.get("bsvc_profile")
+    if not isinstance(agg, dict):
+        die("'bsvc_profile' aggregate section missing", 2)
+    for field in ("shards", "windows", "wall_ns", "dispatch_ns", "drain_ns",
+                  "stall_ns", "idle_ns", "trace_events_dropped"):
+        if not is_number(agg.get(field)):
+            die(f"bsvc_profile.{field} missing or not a number", 2)
+
+    wall_ns = agg["wall_ns"]
+    phase_ns = (agg["dispatch_ns"] + agg["drain_ns"] + agg["stall_ns"]
+                + agg["idle_ns"])
+    # wall_ns is summed over windows (coordinator wall), phase totals over
+    # shards x windows; per shard each window partitions exactly, so the
+    # phase sum is shards x wall.
+    expected_ns = wall_ns * agg["shards"]
+    coverage = phase_ns / expected_ns if expected_ns > 0 else 0.0
+    print(f"{args.profile}: {int(agg['shards'])} shards, "
+          f"{int(agg['windows'])} windows, {slice_count} slices, "
+          f"{counter_count} counter samples")
+    print(f"  phase totals cover {coverage:.1%} of window wall time "
+          f"(threshold {args.min_coverage:.0%})")
+    ok = True
+    if coverage < args.min_coverage:
+        print(f"  FAIL: phase coverage below {args.min_coverage:.0%}")
+        ok = False
+
+    if agg["trace_events_dropped"] > 0:
+        print(f"  note: {int(agg['trace_events_dropped'])} trace events "
+              "dropped by the ring cap -- slice sums not gated")
+    else:
+        for phase, agg_key in (("dispatch", "dispatch_ns"), ("drain", "drain_ns"),
+                               ("stall", "stall_ns"), ("idle", "idle_ns")):
+            agg_ns = agg[agg_key]
+            got_ns = slice_ns_by_phase[phase]
+            if agg_ns <= 0:
+                continue
+            rel = abs(got_ns - agg_ns) / agg_ns
+            # The only loss is ns -> whole-microsecond truncation per slice.
+            if rel > args.slice_tolerance:
+                print(f"  FAIL: {phase} slices sum to {got_ns / 1e6:.3f} ms "
+                      f"but aggregate says {agg_ns / 1e6:.3f} ms "
+                      f"({rel:.1%} > {args.slice_tolerance:.0%})")
+                ok = False
+
+    print("  OK" if ok else "  INVALID")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,6 +17,11 @@ events_per_sec is only gated when both sides cover the same tier set; with
 different tier mixes the aggregate is not comparable and is skipped with a
 note.
 
+Only "events_per_sec" (top-level and per-tier) is gated. Any other
+top-level section a report carries — "spans" and "prof" from --spans /
+--profile runs, or sections future benches add — is ignored, so reports
+with and without those sections gate against each other cleanly.
+
 Usage: scripts/compare_bench.py <baseline_dir> <current_dir> [--tolerance F]
 
 Exit status: 0 = no regression, 1 = at least one bench regressed,

@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Tests for the check_profile.py trace validator.
+
+Exercises the exit-code contract on synthetic Chrome traces: 0 = valid,
+1 = structurally valid but the phase accounting fails, 2 = malformed input.
+Run directly or via ctest (registered as check_profile_py).
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+SCRIPT = Path(__file__).resolve().parent / "check_profile.py"
+
+
+def run_check(path: Path, *extra: str):
+    return subprocess.run(
+        [sys.executable, str(SCRIPT), str(path), *extra],
+        capture_output=True,
+        text=True,
+    )
+
+
+def make_trace(shards=2, windows=1, window_ns=4000):
+    """A synthetic trace in the profiler's exact shape: per shard and window,
+    dispatch/drain/stall/idle slices that partition window_ns exactly."""
+    quarter = window_ns // 4
+    events = []
+    for s in range(shards):
+        events.append({"ph": "M", "pid": 0, "tid": s, "name": "thread_name",
+                       "args": {"name": f"shard {s}"}})
+    cursor = 0
+    for _ in range(windows):
+        for s in range(shards):
+            ts = cursor
+            for name in ("dispatch", "drain", "stall", "idle"):
+                events.append({"ph": "X", "pid": 0, "tid": s, "cat": "window",
+                               "name": name, "ts": ts / 1000.0,
+                               "dur": quarter / 1000.0})
+                ts += quarter
+            events.append({"ph": "C", "pid": 0, "tid": s, "name": f"shard {s} io",
+                           "ts": cursor / 1000.0,
+                           "args": {"queue_depth": 3, "mailbox_in": 1}})
+        cursor += window_ns
+    per_phase = quarter * shards * windows
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "bsvc_profile": {
+            "shards": shards, "windows": windows, "events": 100,
+            "mailbox_messages": shards * windows,
+            "wall_ns": window_ns * windows, "dispatch_ns": per_phase,
+            "drain_ns": per_phase, "stall_ns": per_phase,
+            "idle_ns": per_phase, "trace_events_dropped": 0,
+        },
+    }
+
+
+class CheckProfileTest(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.dir = Path(self._tmp.name)
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    def write(self, payload, name="prof.json"):
+        path = self.dir / name
+        if isinstance(payload, str):
+            path.write_text(payload, encoding="utf-8")
+        else:
+            path.write_text(json.dumps(payload), encoding="utf-8")
+        return path
+
+    def test_valid_trace_passes(self):
+        proc = run_check(self.write(make_trace()))
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("OK", proc.stdout)
+
+    def test_multi_window_trace_passes(self):
+        proc = run_check(self.write(make_trace(shards=4, windows=8)))
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+    def test_low_phase_coverage_fails_with_exit_1(self):
+        trace = make_trace()
+        trace["bsvc_profile"]["idle_ns"] = 0  # one phase vanishes: 75% cover
+        # Keep slices consistent with the (broken) aggregate out of scope:
+        # the coverage gate fires first either way.
+        proc = run_check(self.write(trace))
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn("coverage", proc.stdout)
+
+    def test_min_coverage_flag_tightens_gate(self):
+        trace = make_trace()
+        path = self.write(trace)
+        self.assertEqual(run_check(path).returncode, 0)
+        # 100% coverage still passes at --min-coverage 1.0 ...
+        self.assertEqual(run_check(path, "--min-coverage", "1.0").returncode, 0)
+
+    def test_invalid_json_is_exit_2(self):
+        proc = run_check(self.write("{not json"))
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("cannot read", proc.stderr)
+        self.assertNotIn("Traceback", proc.stderr)
+
+    def test_array_form_is_rejected(self):
+        # The profiler writes the object form; a bare event array has no
+        # bsvc_profile aggregate to gate on.
+        proc = run_check(self.write([{"ph": "X"}]))
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("object trace form", proc.stderr)
+
+    def test_empty_trace_events_is_exit_2(self):
+        trace = make_trace()
+        trace["traceEvents"] = []
+        proc = run_check(self.write(trace))
+        self.assertEqual(proc.returncode, 2)
+
+    def test_missing_slice_field_is_exit_2(self):
+        trace = make_trace()
+        for ev in trace["traceEvents"]:
+            if ev["ph"] == "X":
+                del ev["dur"]
+                break
+        proc = run_check(self.write(trace))
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("missing 'dur'", proc.stderr)
+
+    def test_unknown_phase_name_is_exit_2(self):
+        trace = make_trace()
+        for ev in trace["traceEvents"]:
+            if ev["ph"] == "X":
+                ev["name"] = "mystery"
+                break
+        proc = run_check(self.write(trace))
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("phase taxonomy", proc.stderr)
+
+    def test_unnamed_tid_is_exit_2(self):
+        trace = make_trace()
+        trace["traceEvents"] = [ev for ev in trace["traceEvents"]
+                                if ev["ph"] != "M"]
+        proc = run_check(self.write(trace))
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("thread_name", proc.stderr)
+
+    def test_missing_aggregate_is_exit_2(self):
+        trace = make_trace()
+        del trace["bsvc_profile"]
+        proc = run_check(self.write(trace))
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("bsvc_profile", proc.stderr)
+
+    def test_slice_sum_mismatch_fails_unless_dropped(self):
+        trace = make_trace()
+        # Halve every dispatch slice: the aggregate no longer matches.
+        for ev in trace["traceEvents"]:
+            if ev.get("name") == "dispatch":
+                ev["dur"] = ev["dur"] / 2.0
+        path = self.write(trace)
+        self.assertEqual(run_check(path).returncode, 1)
+        # With dropped events the slices legitimately undercount.
+        trace["bsvc_profile"]["trace_events_dropped"] = 10
+        self.assertEqual(run_check(self.write(trace)).returncode, 0)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -177,6 +177,21 @@ class CompareBenchTest(unittest.TestCase):
         proc = run_gate(self.baseline, self.current)
         self.assertEqual(proc.returncode, 1, proc.stdout)
 
+    def test_unknown_sections_are_ignored(self):
+        # Reports from --spans / --profile runs carry extra "spans" and
+        # "prof" sections; a baseline without them must gate cleanly against
+        # a current report with them (and vice versa).
+        self.write(self.baseline, "BENCH_scale.json",
+                   self.report(1000.0, {"N=1024": 500.0}))
+        current = self.report(1000.0, {"N=1024": 495.0})
+        current["spans"] = {"opened": 12, "closed": 12, "rtt_p95": 40.0}
+        current["prof"] = {"shards": 2, "windows": 100, "barrier_stall_fraction": 0.1}
+        self.write(self.current, "BENCH_scale.json", current)
+        proc = run_gate(self.baseline, self.current)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("OK", proc.stdout)
+        self.assertNotIn("spans", proc.stdout)
+
     def test_reports_without_metrics_use_top_level_only(self):
         self.write(self.baseline, "BENCH_a.json", {"events_per_sec": 1000.0})
         self.write(self.current, "BENCH_a.json",

@@ -1,5 +1,6 @@
 #include "common/parallel.hpp"
 
+#include <chrono>
 #include <exception>
 #include <limits>
 #include <utility>
@@ -65,6 +66,7 @@ void ThreadPool::worker_loop() {
 }
 
 WindowCrew::WindowCrew(std::size_t size) : size_(size == 0 ? 1 : size) {
+  lane_ns_.assign(size_, 0);
   workers_.reserve(size_ - 1);
   for (std::size_t lane = 1; lane < size_; ++lane) {
     workers_.emplace_back([this, lane] { lane_loop(lane); });
@@ -80,9 +82,25 @@ WindowCrew::~WindowCrew() {
   for (auto& w : workers_) w.join();
 }
 
+// Stamps lane_ns_[lane] with fn's duration. Each lane writes only its own
+// slot mid-round; readers see the writes after the run() barrier, whose
+// mutex hand-off orders them.
+void WindowCrew::time_lane(std::size_t lane, const std::function<void(std::size_t)>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn(lane);
+  lane_ns_[lane] = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
+                                                           start)
+          .count());
+}
+
 void WindowCrew::run(const std::function<void(std::size_t)>& fn) {
   if (size_ == 1) {
-    fn(0);
+    if (timing_) {
+      time_lane(0, fn);
+    } else {
+      fn(0);
+    }
     return;
   }
   {
@@ -93,7 +111,12 @@ void WindowCrew::run(const std::function<void(std::size_t)>& fn) {
     ++round_;
   }
   round_start_.notify_all();
-  fn(0);  // lane 0 runs on the caller — K shards need only K-1 workers
+  // Lane 0 runs on the caller — K shards need only K-1 workers.
+  if (timing_) {
+    time_lane(0, fn);
+  } else {
+    fn(0);
+  }
   std::unique_lock<std::mutex> lock(mutex_);
   round_done_.wait(lock, [this] { return outstanding_ == 0; });
   job_ = nullptr;
@@ -110,7 +133,11 @@ void WindowCrew::lane_loop(std::size_t lane) {
       seen = round_;
       job = job_;
     }
-    (*job)(lane);
+    if (timing_) {
+      time_lane(lane, *job);
+    } else {
+      (*job)(lane);
+    }
     bool last = false;
     {
       std::lock_guard<std::mutex> lock(mutex_);

@@ -92,10 +92,25 @@ class WindowCrew {
   /// fn must not throw. Not reentrant (the engine never nests windows).
   void run(const std::function<void(std::size_t)>& fn);
 
+  /// Enables per-lane busy-time accounting: with timing on, every run()
+  /// stamps each lane's fn duration (steady clock, nanoseconds) into the
+  /// slot read back via last_lane_ns(). Off by default — the engine
+  /// profiler switches it on when installed. Call between rounds only.
+  void set_timing(bool enabled) { timing_ = enabled; }
+  bool timing() const { return timing_; }
+
+  /// Per-lane busy time of the most recent run(), valid only while timing
+  /// is enabled. Safe to read after run() returns: worker writes happen
+  /// before the barrier hand-off under mutex_.
+  const std::vector<std::uint64_t>& last_lane_ns() const { return lane_ns_; }
+
  private:
   void lane_loop(std::size_t lane);
+  void time_lane(std::size_t lane, const std::function<void(std::size_t)>& fn);
 
   const std::size_t size_;
+  bool timing_ = false;
+  std::vector<std::uint64_t> lane_ns_;
   std::mutex mutex_;
   std::condition_variable round_start_;
   std::condition_variable round_done_;

@@ -45,7 +45,16 @@ void BootstrapProtocol::on_start(Context& ctx) {
     ctr_sanity_rejected_ = &metrics.counter("bootstrap.sanity_rejected");
     ctr_pin_mismatch_ = &metrics.counter("bootstrap.pin_mismatch");
   }
+  span_log_ = ctx.engine().span_log();
   ctx.schedule_timer(start_delay_, kInitTimer);
+}
+
+void BootstrapProtocol::close_span(SimTime now, obs::SpanOutcome outcome,
+                                   std::uint32_t answer_descriptors) {
+  if (open_span_ == obs::kNoSpan) return;  // span_log_ is set whenever one is open
+  span_log_->close(open_span_, now, outcome, answer_descriptors);
+  open_span_ = obs::kNoSpan;
+  open_span_peer_ = 0;
 }
 
 void BootstrapProtocol::on_timer(Context& ctx, std::uint64_t timer_id) {
@@ -80,6 +89,7 @@ void BootstrapProtocol::on_exchange_timeout(Context& ctx, std::uint64_t seq) {
   if (!active()) return;
   now_ = ctx.now();
   if (ctr_exchange_timeout_ != nullptr) ctr_exchange_timeout_->inc();
+  close_span(now_, obs::SpanOutcome::Timeout);
   // Demote the silent peer into the probing path: SELECTPEER skips it until
   // it answers, and kProbeAttempts silent probes condemn it.
   send_probe(ctx, probe_peer_);
@@ -97,6 +107,9 @@ void BootstrapProtocol::active_step(Context& ctx) {
   if (config_.evict_unresponsive) {
     maintenance_step(ctx);
   }
+  // A span still open here got neither answer nor timeout (or the timeout
+  // extension is off): this cycle's exchange supersedes it.
+  close_span(now_, obs::SpanOutcome::Superseded);
   probe_peer_ = {0, kNullAddress};
   if (leaf_->empty()) {
     // The sampling service had nothing for us at init (or everything we knew
@@ -118,6 +131,14 @@ void BootstrapProtocol::active_step(Context& ctx) {
   auto msg = create_message(peer->id, /*is_request=*/true);
   if (stats_ != nullptr) ++stats_->requests_sent;
   if (ctr_requests_ != nullptr) ctr_requests_->inc();
+  if (span_log_ != nullptr) {
+    // Sequence starts at 1 so (addr 0, first span) never collides with
+    // kNoSpan. Observe-only: the id changes no wire bytes and no RNG draws.
+    open_span_ = (static_cast<std::uint64_t>(self_.addr) << 40) | ++span_seq_;
+    open_span_peer_ = peer->id;
+    msg->span = open_span_;
+    span_log_->open(open_span_, now_, static_cast<std::uint32_t>(msg->entry_count()));
+  }
   probe_peer_ = *peer;
   probe_answered_ = false;
   ctx.send(peer->addr, std::move(msg));
@@ -418,11 +439,21 @@ void BootstrapProtocol::on_message(Context& ctx, Address from, const Payload& pa
       return;
     }
   }
-  if (from == probe_peer_.addr) probe_answered_ = true;
+  if (from == probe_peer_.addr) {
+    if (!probe_answered_) {
+      close_span(now_, obs::SpanOutcome::Answered,
+                 static_cast<std::uint32_t>(msg->entry_count()));
+    }
+    probe_answered_ = true;
+  }
   if (msg->is_request) {
     auto reply = create_message(msg->sender.id, /*is_request=*/false);
     if (stats_ != nullptr) ++stats_->replies_sent;
     if (ctr_replies_ != nullptr) ctr_replies_->inc();
+    // The answer travels on behalf of the requester's exchange: carry its
+    // span id so the engine attributes the return leg to the same span.
+    // (Zero when the span rode a codec round trip — ids are not wire data.)
+    reply->span = payload.span;
     ctx.send(from, std::move(reply));
   }
   if (stats_ != nullptr) ++stats_->messages_received;
@@ -431,6 +462,11 @@ void BootstrapProtocol::on_message(Context& ctx, Address from, const Payload& pa
 }
 
 void BootstrapProtocol::condemn(NodeId id, SimTime now) {
+  // Condemning the peer of the pending exchange closes its span: no answer
+  // can be accepted from an evicted peer. No-op if already closed.
+  if (open_span_ != obs::kNoSpan && id == open_span_peer_) {
+    close_span(now, obs::SpanOutcome::Evicted);
+  }
   if (ctr_condemned_ != nullptr) ctr_condemned_->inc();
   leaf_->remove(id);
   prefix_->remove(id);

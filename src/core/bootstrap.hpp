@@ -22,6 +22,7 @@
 #include "core/config.hpp"
 #include "core/leaf_set.hpp"
 #include "core/prefix_table.hpp"
+#include "obs/span.hpp"
 #include "sampling/peer_sampler.hpp"
 #include "sim/engine.hpp"
 #include "sim/protocol.hpp"
@@ -237,6 +238,20 @@ class BootstrapProtocol final : public Protocol {
   std::size_t prefix_probe_cursor_ = 0;
   // Monotone exchange counter; pairs with kExchangeTimeoutBase.
   std::uint64_t exchange_seq_ = 0;
+  // --- causal exchange spans (engine SpanLog installed; else inert) -------
+  // The log pointer is cached at on_start; spans only open when it is set,
+  // so an uninstalled log leaves every member below untouched.
+  obs::SpanLog* span_log_ = nullptr;
+  // At most one exchange span is open per protocol: the current cycle's
+  // request. Ids are content-addressed — (own address << 40) | span_seq_ —
+  // mirroring the sharded engine's event keys, so they are a pure function
+  // of the trajectory, independent of shard count.
+  obs::SpanId open_span_ = obs::kNoSpan;
+  NodeId open_span_peer_ = 0;  // peer the open exchange targets (for Evicted)
+  std::uint64_t span_seq_ = 0;
+  /// Closes the open span (no-op when none); exactly-once by construction.
+  void close_span(SimTime now, obs::SpanOutcome outcome,
+                  std::uint32_t answer_descriptors = 0);
   // Active death certificates (id -> expiry), pruned lazily.
   std::unordered_map<NodeId, SimTime> tombstones_;
   // Virtual time at the latest callback (create_message has no Context).

@@ -41,6 +41,21 @@ BootstrapExperiment::BootstrapExperiment(ExperimentConfig config) : config_(std:
     trace_sink_ = std::make_unique<obs::JsonlTraceSink>(config_.trace_path);
     engine_->set_trace_sink(trace_sink_.get());
   }
+  if (config_.spans) {
+    span_log_ = std::make_unique<obs::SpanLog>();
+    span_log_->bind_registry(engine_->metrics());
+    engine_->set_span_log(span_log_.get());
+  }
+  if (!config_.profile_path.empty()) {
+    if (config_.shards == 0) {
+      config_error("profiler config",
+                   "--profile requires the sharded engine (pass --shards K >= 1): "
+                   "the profiler accounts window-crew phases, which the serial "
+                   "engine does not have");
+    }
+    profiler_ = std::make_unique<obs::EngineProfiler>(config_.shards);
+    engine_->set_profiler(profiler_.get());
+  }
   FaultPlan plan = config_.fault_plan;
   if (!config_.fault_plan_path.empty()) {
     std::string err;
@@ -219,6 +234,17 @@ ExperimentResult BootstrapExperiment::run(
     sampler_.reset();
   }
   if (trace_sink_ != nullptr) trace_sink_->flush();
+  if (span_log_ != nullptr) {
+    result.has_spans = true;
+    result.span_summary = span_log_->summary();
+  }
+  if (profiler_ != nullptr) {
+    result.has_profile = true;
+    result.profile_summary = profiler_->summary();
+    if (!profiler_->write_chrome_trace(config_.profile_path)) {
+      BSVC_WARN("failed to write profile trace to %s", config_.profile_path.c_str());
+    }
+  }
 
   const BootstrapStats stats = merged_stats();
   result.bootstrap_stats = stats;

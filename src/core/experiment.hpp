@@ -14,7 +14,9 @@
 #include "core/config.hpp"
 #include "core/oracle.hpp"
 #include "id/id_generator.hpp"
+#include "obs/profiler.hpp"
 #include "obs/sampler.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "sampling/newscast.hpp"
 #include "sim/engine.hpp"
@@ -75,6 +77,17 @@ struct ExperimentConfig {
   /// drops / deliveries, timer fires, node starts and kills) as JSONL to
   /// this path for the whole run including warmup. Empty disables tracing.
   std::string trace_path;
+  /// When true, a SpanLog tracks every bootstrap exchange as a causal span
+  /// (open at request send, closed on answer/timeout/supersession/eviction)
+  /// and ExperimentResult::span_summary reports latency percentiles and
+  /// outcome counts. Observe-only: the trajectory is bit-identical either
+  /// way, and the summary is identical for every --shards K.
+  bool spans = false;
+  /// When non-empty, an EngineProfiler accounts every window's crew phases
+  /// and writes Chrome trace-event JSON here at the end of the run (load in
+  /// chrome://tracing or Perfetto). Requires shards >= 1 — the profiler
+  /// measures the window crew; rejected with a config error otherwise.
+  std::string profile_path;
   /// Scripted fault plan (partitions, correlated loss, latency faults,
   /// dup/reorder, crash–recover; see docs/faults.md). An empty plan installs
   /// no fault model at all — the run is bit-identical to the pre-fault
@@ -107,6 +120,13 @@ struct ExperimentResult {
   /// Per-metric time series (name -> [(virtual time, value)]) sampled during
   /// the bootstrap phase; empty unless sample_every_cycles > 0.
   obs::MetricSeries metric_series;
+  /// Exchange-span aggregates (valid when has_spans; config.spans enables).
+  bool has_spans = false;
+  obs::SpanSummary span_summary;
+  /// Window-profiler aggregates (valid when has_profile; config.profile_path
+  /// enables). The Chrome trace itself is written to profile_path.
+  bool has_profile = false;
+  obs::ProfileSummary profile_summary;
 };
 
 /// Builds and runs one bootstrap experiment. The object stays alive after
@@ -145,6 +165,10 @@ class BootstrapExperiment {
   // The engine never touches the sink while being destroyed, so the sink
   // may safely be torn down first.
   std::unique_ptr<obs::JsonlTraceSink> trace_sink_;
+  // Span log and window profiler, installed before the network is built so
+  // every protocol sees them at on_start; engine borrows, we own.
+  std::unique_ptr<obs::SpanLog> span_log_;
+  std::unique_ptr<obs::EngineProfiler> profiler_;
   // The live FaultModel executing config_.fault_plan (null when the plan is
   // empty); owned here because the engine only borrows it.
   std::unique_ptr<FaultInjector> injector_;

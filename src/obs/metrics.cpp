@@ -27,6 +27,26 @@ void HistogramMetric::add(double x) {
   sum_ += x;
 }
 
+double HistogramMetric::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const std::uint64_t c = counts_[b];
+    if (c == 0) continue;
+    if (static_cast<double>(seen) + static_cast<double>(c) >= target) {
+      const double within =
+          (target - static_cast<double>(seen)) / static_cast<double>(c);
+      const double estimate = bucket_lo(b) + within * width;
+      return std::clamp(estimate, min_, max_);
+    }
+    seen += c;
+  }
+  return max_;
+}
+
 double HistogramMetric::bucket_lo(std::size_t b) const {
   const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
   return lo_ + static_cast<double>(b) * width;
@@ -99,6 +119,9 @@ void MetricsRegistry::snapshot(const std::function<void(const std::string&, doub
         emit(name + ".count", static_cast<double>(entry->histogram->count()));
         emit(name + ".mean", entry->histogram->mean());
         emit(name + ".max", entry->histogram->max());
+        emit(name + ".p50", entry->histogram->quantile(0.50));
+        emit(name + ".p95", entry->histogram->quantile(0.95));
+        emit(name + ".p99", entry->histogram->quantile(0.99));
         break;
     }
   }

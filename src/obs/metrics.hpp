@@ -70,6 +70,11 @@ class HistogramMetric {
   std::uint64_t bucket_count(std::size_t b) const { return counts_.at(b); }
   /// Lower edge of bucket b.
   double bucket_lo(std::size_t b) const;
+  /// Estimated q-quantile (q in [0, 1]): linear interpolation inside the
+  /// bucket holding the q*count-th observation, clamped to the exact
+  /// observed [min, max] so single-value histograms report that value.
+  /// 0 when empty.
+  double quantile(double q) const;
   void reset();
 
  private:
@@ -124,8 +129,9 @@ class MetricsRegistry {
 
   /// Emits every metric as (name, value) pairs in lexicographic name order:
   /// counters as their count, gauges as their value, histograms expanded to
-  /// "<name>.count", "<name>.mean" and "<name>.max". The deterministic order
-  /// is what makes sampled series and JSON exports byte-stable.
+  /// "<name>.count", "<name>.mean", "<name>.max" and the "<name>.p50"/
+  /// ".p95"/".p99" quantile estimates. The deterministic order is what makes
+  /// sampled series and JSON exports byte-stable.
   void snapshot(const std::function<void(const std::string&, double)>& emit) const;
 
  private:

@@ -1,0 +1,151 @@
+#include "obs/profiler.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace bsvc::obs {
+
+namespace {
+
+const char* phase_name(int phase) {
+  switch (phase) {
+    case 0: return "dispatch";
+    case 1: return "drain";
+    case 2: return "stall";
+    case 3: return "idle";
+  }
+  return "?";
+}
+
+double ns_to_us(std::uint64_t ns) { return static_cast<double>(ns) / 1000.0; }
+
+double ns_to_s(std::uint64_t ns) { return static_cast<double>(ns) / 1e9; }
+
+}  // namespace
+
+EngineProfiler::EngineProfiler(std::size_t shards, std::size_t max_trace_events)
+    : shards_(shards), max_trace_events_(max_trace_events) {}
+
+void EngineProfiler::record_window(const WindowSample& sample) {
+  ++windows_;
+  events_ += sample.events;
+  wall_ns_total_ += sample.wall_ns;
+  // The two crew phases cannot exceed the whole window; idle is whatever the
+  // coordinator spent outside them (merge, queue bookkeeping).
+  const std::uint64_t phases_wall =
+      std::min(sample.wall_ns, sample.dispatch_wall_ns + sample.drain_wall_ns);
+  const std::uint64_t idle_ns = sample.wall_ns - phases_wall;
+  const bool trace_room =
+      slices_.size() + counters_.size() + 5 * sample.shards <= max_trace_events_;
+  if (!trace_room) trace_events_dropped_ += 5 * sample.shards;
+  for (std::size_t s = 0; s < sample.shards; ++s) {
+    const std::uint64_t dispatch_work =
+        std::min(sample.dispatch_work_ns[s], sample.dispatch_wall_ns);
+    const std::uint64_t drain_work = std::min(sample.drain_work_ns[s], sample.drain_wall_ns);
+    const std::uint64_t stall =
+        (sample.dispatch_wall_ns - dispatch_work) + (sample.drain_wall_ns - drain_work);
+    dispatch_ns_total_ += dispatch_work;
+    drain_ns_total_ += drain_work;
+    stall_ns_total_ += stall;
+    idle_ns_total_ += idle_ns;
+    mailbox_messages_ += sample.mailbox_in[s];
+    queue_depth_total_ += sample.queue_depth[s];
+    if (!trace_room) continue;
+    // Lay the four phases out consecutively on the shard's timeline; they
+    // partition the window wall exactly, so slices never overlap.
+    const auto shard = static_cast<std::uint32_t>(s);
+    std::uint64_t ts = cursor_ns_;
+    const std::uint64_t durs[4] = {dispatch_work, drain_work, stall, idle_ns};
+    for (int p = 0; p < 4; ++p) {
+      if (durs[p] > 0) {
+        slices_.push_back({ts, durs[p], shard, static_cast<Phase>(p)});
+      }
+      ts += durs[p];
+    }
+    counters_.push_back(
+        {cursor_ns_, shard,
+         static_cast<std::uint32_t>(std::min<std::uint64_t>(sample.queue_depth[s], ~0u)),
+         static_cast<std::uint32_t>(std::min<std::uint64_t>(sample.mailbox_in[s], ~0u))});
+  }
+  cursor_ns_ += sample.wall_ns;
+}
+
+ProfileSummary EngineProfiler::summary() const {
+  ProfileSummary s;
+  s.shards = shards_;
+  s.windows = windows_;
+  s.events = events_;
+  s.mailbox_messages = mailbox_messages_;
+  s.wall_seconds = ns_to_s(wall_ns_total_);
+  s.dispatch_seconds = ns_to_s(dispatch_ns_total_);
+  s.drain_seconds = ns_to_s(drain_ns_total_);
+  s.stall_seconds = ns_to_s(stall_ns_total_);
+  s.idle_seconds = ns_to_s(idle_ns_total_);
+  const double shard_time = static_cast<double>(wall_ns_total_) * static_cast<double>(shards_);
+  if (shard_time > 0.0) {
+    s.barrier_stall_fraction = static_cast<double>(stall_ns_total_) / shard_time;
+  }
+  const double shard_windows = static_cast<double>(windows_) * static_cast<double>(shards_);
+  if (shard_windows > 0.0) {
+    s.mailbox_mean_per_window = static_cast<double>(mailbox_messages_) / shard_windows;
+    s.queue_depth_mean = static_cast<double>(queue_depth_total_) / shard_windows;
+  }
+  s.trace_events = slices_.size() + counters_.size();
+  s.trace_events_dropped = trace_events_dropped_;
+  return s;
+}
+
+bool EngineProfiler::write_chrome_trace(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fputs("{\"traceEvents\":[", f);
+  bool first = true;
+  const auto sep = [&first, f] {
+    if (!first) std::fputc(',', f);
+    first = false;
+    std::fputc('\n', f);
+  };
+  for (std::size_t s = 0; s < shards_; ++s) {
+    sep();
+    std::fprintf(f,
+                 "{\"ph\":\"M\",\"pid\":0,\"tid\":%zu,\"name\":\"thread_name\","
+                 "\"args\":{\"name\":\"shard %zu\"}}",
+                 s, s);
+  }
+  for (const Slice& slice : slices_) {
+    sep();
+    std::fprintf(f,
+                 "{\"ph\":\"X\",\"pid\":0,\"tid\":%u,\"cat\":\"window\","
+                 "\"name\":\"%s\",\"ts\":%.3f,\"dur\":%.3f}",
+                 slice.shard, phase_name(static_cast<int>(slice.phase)),
+                 ns_to_us(slice.ts_ns), ns_to_us(slice.dur_ns));
+  }
+  for (const CounterSample& c : counters_) {
+    sep();
+    std::fprintf(f,
+                 "{\"ph\":\"C\",\"pid\":0,\"tid\":%u,\"name\":\"shard %u io\","
+                 "\"ts\":%.3f,\"args\":{\"queue_depth\":%u,\"mailbox_in\":%u}}",
+                 c.shard, c.shard, ns_to_us(c.ts_ns), c.queue_depth, c.mailbox_in);
+  }
+  std::fputs("\n],\n\"displayTimeUnit\":\"ms\",\n", f);
+  std::fprintf(
+      f,
+      "\"bsvc_profile\":{\"shards\":%zu,\"windows\":%llu,\"events\":%llu,"
+      "\"mailbox_messages\":%llu,\"wall_ns\":%llu,\"dispatch_ns\":%llu,"
+      "\"drain_ns\":%llu,\"stall_ns\":%llu,\"idle_ns\":%llu,"
+      "\"trace_events_dropped\":%llu}}\n",
+      shards_, static_cast<unsigned long long>(windows_),
+      static_cast<unsigned long long>(events_),
+      static_cast<unsigned long long>(mailbox_messages_),
+      static_cast<unsigned long long>(wall_ns_total_),
+      static_cast<unsigned long long>(dispatch_ns_total_),
+      static_cast<unsigned long long>(drain_ns_total_),
+      static_cast<unsigned long long>(stall_ns_total_),
+      static_cast<unsigned long long>(idle_ns_total_),
+      static_cast<unsigned long long>(trace_events_dropped_));
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace bsvc::obs

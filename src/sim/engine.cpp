@@ -1,6 +1,7 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <string>
 #include <utility>
@@ -83,6 +84,22 @@ void Engine::reset_traffic() {
   // Shard deltas are zero at every barrier (merged each window); clearing
   // them keeps reset correct even if called between construction and run.
   for (const auto& sc : shard_ctx_) sc->traffic = {};
+}
+
+void Engine::set_profiler(obs::EngineProfiler* profiler) {
+  if (profiler != nullptr) {
+    // The profiler measures the window crew; the serial engine has no
+    // windows to attribute. Experiment configs reject this combination
+    // with a friendly config error — the check here is the backstop.
+    BSVC_CHECK_MSG(shards_ != 0, "profiler requires the sharded engine");
+    BSVC_CHECK_MSG(profiler->shards() == shards_, "profiler shard count mismatch");
+    prof_dispatch_ns_.assign(shards_, 0);
+    prof_drain_ns_.assign(shards_, 0);
+    prof_queue_depth_.assign(shards_, 0);
+    prof_mailbox_delta_.assign(shards_, 0);
+  }
+  profiler_ = profiler;
+  if (crew_ != nullptr) crew_->set_timing(profiler != nullptr);
 }
 
 void Engine::set_fault_model(FaultModel* model) {
@@ -222,14 +239,19 @@ void Engine::send_message(Address from, Address to, ProtocolSlot slot, PayloadRe
     send_sharded(from, to, slot, std::move(payload));
     return;
   }
+  // The span id outlives tamper replacement below: a rewritten payload still
+  // travels on behalf of the same logical exchange.
+  const std::uint64_t span_id = payload->span;
   ++traffic_.messages_sent;
   traffic_.bytes_sent += payload->wire_bytes() + kUdpIpHeaderBytes;
   counters_for(payload->metric_tag()).sent->inc();
   if (trace_ != nullptr) trace_message(obs::TraceKind::Send, from, to, slot, *payload);
+  note_span(span_id, obs::SpanTransport::Send);
 
   if (link_filter_ && !link_filter_(from, to)) {
     ++traffic_.messages_dropped;
     if (trace_ != nullptr) trace_message(obs::TraceKind::Drop, from, to, slot, *payload);
+    note_span(span_id, obs::SpanTransport::Drop);
     return;
   }
   // Fault verdict before the base drop: a partition cut or correlated link
@@ -240,6 +262,7 @@ void Engine::send_message(Address from, Address to, ProtocolSlot slot, PayloadRe
     if (fault.drop) {
       ++traffic_.messages_dropped;
       if (trace_ != nullptr) trace_message(obs::TraceKind::Drop, from, to, slot, *payload);
+      note_span(span_id, obs::SpanTransport::Drop);
       return;
     }
     // Tamper verdict: Byzantine senders may withhold, damage or rewrite the
@@ -251,6 +274,7 @@ void Engine::send_message(Address from, Address to, ProtocolSlot slot, PayloadRe
       ++traffic_.messages_dropped;
       if (tamper.action == Action::Corrupt) msg_corrupt_->inc();
       if (trace_ != nullptr) trace_message(obs::TraceKind::Drop, from, to, slot, *payload);
+      note_span(span_id, obs::SpanTransport::Drop);
       return;
     }
     if (tamper.action == Action::Replace) {
@@ -263,6 +287,7 @@ void Engine::send_message(Address from, Address to, ProtocolSlot slot, PayloadRe
   if (rng_.chance(transport_.drop_probability)) {
     ++traffic_.messages_dropped;
     if (trace_ != nullptr) trace_message(obs::TraceKind::Drop, from, to, slot, *payload);
+    note_span(span_id, obs::SpanTransport::Drop);
     return;
   }
   SimTime latency;
@@ -327,6 +352,9 @@ void Engine::send_sharded(Address from, Address to, ProtocolSlot slot, PayloadRe
   Node& sender = node_at(from);
   const SimTime now = sc != nullptr ? sc->now : now_;
   TrafficStats& tr = sc != nullptr ? sc->traffic : traffic_;
+  // Captured before any tamper replacement, as in the serial path. SpanLog
+  // aggregation is commutative, so lane-concurrent notes stay K-invariant.
+  const std::uint64_t span_id = payload->span;
   ++tr.messages_sent;
   tr.bytes_sent += payload->wire_bytes() + kUdpIpHeaderBytes;
   if (sc != nullptr) {
@@ -335,10 +363,12 @@ void Engine::send_sharded(Address from, Address to, ProtocolSlot slot, PayloadRe
     counters_for(payload->metric_tag()).sent->inc();
   }
   if (trace_ != nullptr) trace_message(obs::TraceKind::Send, from, to, slot, *payload);
+  note_span(span_id, obs::SpanTransport::Send);
 
   if (link_filter_ && !link_filter_(from, to)) {
     ++tr.messages_dropped;
     if (trace_ != nullptr) trace_message(obs::TraceKind::Drop, from, to, slot, *payload);
+    note_span(span_id, obs::SpanTransport::Drop);
     return;
   }
   // Same verdict pipeline as the serial engine, with every random draw
@@ -350,6 +380,7 @@ void Engine::send_sharded(Address from, Address to, ProtocolSlot slot, PayloadRe
     if (fault.drop) {
       ++tr.messages_dropped;
       if (trace_ != nullptr) trace_message(obs::TraceKind::Drop, from, to, slot, *payload);
+      note_span(span_id, obs::SpanTransport::Drop);
       return;
     }
     auto tamper = fault_->on_payload_rng(now, from, to, *payload, sender.net_rng);
@@ -358,6 +389,7 @@ void Engine::send_sharded(Address from, Address to, ProtocolSlot slot, PayloadRe
       ++tr.messages_dropped;
       if (tamper.action == Action::Corrupt) msg_corrupt_->inc();
       if (trace_ != nullptr) trace_message(obs::TraceKind::Drop, from, to, slot, *payload);
+      note_span(span_id, obs::SpanTransport::Drop);
       return;
     }
     if (tamper.action == Action::Replace) {
@@ -368,6 +400,7 @@ void Engine::send_sharded(Address from, Address to, ProtocolSlot slot, PayloadRe
   if (sender.net_rng.chance(transport_.drop_probability)) {
     ++tr.messages_dropped;
     if (trace_ != nullptr) trace_message(obs::TraceKind::Drop, from, to, slot, *payload);
+    note_span(span_id, obs::SpanTransport::Drop);
     return;
   }
   SimTime latency;
@@ -438,6 +471,7 @@ void Engine::dispatch_sharded(ShardCtx& sc, const SlimEvent& ev) {
       if (trace_ != nullptr) {
         trace_message(obs::TraceKind::DeadDest, ev.from, ev.addr, ev.slot, *payload);
       }
+      note_span(payload->span, obs::SpanTransport::DeadDest);
     }
     return;  // dead nodes neither receive nor act
   }
@@ -450,6 +484,7 @@ void Engine::dispatch_sharded(ShardCtx& sc, const SlimEvent& ev) {
         if (trace_ != nullptr) {
           trace_message(obs::TraceKind::Drop, ev.from, ev.addr, ev.slot, *payload);
         }
+        note_span(payload->span, obs::SpanTransport::Drop);
       } else {
         fault_dark_deferred_->inc();
         // Deferred events keep their original key: keys are unique per
@@ -477,12 +512,21 @@ void Engine::dispatch_sharded(ShardCtx& sc, const SlimEvent& ev) {
         r.node = ev.addr;
         r.slot = ev.slot;
         r.aux = ev.aux;
-        const std::lock_guard<std::mutex> lock(trace_mutex_);
-        trace_->record(r);
+        if (shards_ > 1) {
+          // Only a multi-lane crew can record concurrently; a one-shard
+          // engine runs inline and skips the lock like the serial path.
+          const std::lock_guard<std::mutex> lock(trace_mutex_);
+          trace_->record(r);
+        } else {
+          trace_->record(r);
+        }
       }
       node.stack[ev.slot]->on_timer(ctx, ev.aux);
       break;
-    case EventKind::Message:
+    case EventKind::Message: {
+      // Span id survives the transcoder below: a codec round trip rebuilds
+      // the payload and deliberately does not carry the simulation-side id.
+      const std::uint64_t span_id = payload->span;
       if (transcoder_) {
         // The transcoder must be a pure function of the payload — shard
         // lanes invoke it concurrently (the wire codec round trip is).
@@ -493,6 +537,7 @@ void Engine::dispatch_sharded(ShardCtx& sc, const SlimEvent& ev) {
           if (trace_ != nullptr) {
             trace_message(obs::TraceKind::Drop, ev.from, ev.addr, ev.slot, *payload);
           }
+          note_span(span_id, obs::SpanTransport::Drop);
           break;
         }
         payload = std::move(decoded);
@@ -502,8 +547,10 @@ void Engine::dispatch_sharded(ShardCtx& sc, const SlimEvent& ev) {
       if (trace_ != nullptr) {
         trace_message(obs::TraceKind::Deliver, ev.from, ev.addr, ev.slot, *payload);
       }
+      note_span(span_id, obs::SpanTransport::Deliver);
       node.stack[ev.slot]->on_message(ctx, ev.from, *payload);
       break;
+    }
     case EventKind::Call:
       break;  // unreachable, checked above
   }
@@ -626,6 +673,14 @@ void Engine::run_due_calls() {
 }
 
 void Engine::run_window(SimTime limit) {
+  using Clock = std::chrono::steady_clock;
+  const auto elapsed_ns = [](Clock::time_point a, Clock::time_point b) {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
+  };
+  const bool profiling = profiler_ != nullptr;
+  Clock::time_point w0;
+  if (profiling) w0 = Clock::now();
   // Phase 1: every lane drains its own shard's queue through the window.
   crew_->run([this, limit](std::size_t lane) {
     ShardCtx& sc = *shard_ctx_[lane];
@@ -639,6 +694,14 @@ void Engine::run_window(SimTime limit) {
     sc.now = limit;
     active_shard_ = nullptr;
   });
+  Clock::time_point t1;
+  if (profiling) {
+    t1 = Clock::now();
+    // Lane timings are visible after the run() barrier; copy into scratch
+    // before the next round overwrites them.
+    const auto& lanes = crew_->last_lane_ns();
+    std::copy(lanes.begin(), lanes.end(), prof_dispatch_ns_.begin());
+  }
   // Phase 2: drain inbound mailboxes into destination queues. The crew
   // barrier between the phases publishes every outbox; each lane reads only
   // boxes addressed to it and writes only its own queue. Drain order does
@@ -656,7 +719,38 @@ void Engine::run_window(SimTime limit) {
       box.clear();
     }
   });
+  if (!profiling) {
+    merge_shard_deltas();
+    return;
+  }
+  const Clock::time_point t2 = Clock::now();
+  {
+    const auto& lanes = crew_->last_lane_ns();
+    std::copy(lanes.begin(), lanes.end(), prof_drain_ns_.begin());
+  }
+  // Gauges must be read before merge_shard_deltas resets the per-window
+  // shard state (events, mailbox_in).
+  std::uint64_t window_events = 0;
+  for (std::size_t i = 0; i < shards_; ++i) {
+    const ShardCtx& sc = *shard_ctx_[i];
+    prof_queue_depth_[i] = sc.queue.size();
+    prof_mailbox_delta_[i] = sc.mailbox_in;
+    window_events += sc.events;
+  }
   merge_shard_deltas();
+  const Clock::time_point t3 = Clock::now();
+  obs::WindowSample sample;
+  sample.virtual_time = limit;
+  sample.wall_ns = elapsed_ns(w0, t3);
+  sample.dispatch_wall_ns = elapsed_ns(w0, t1);
+  sample.drain_wall_ns = elapsed_ns(t1, t2);
+  sample.dispatch_work_ns = prof_dispatch_ns_.data();
+  sample.drain_work_ns = prof_drain_ns_.data();
+  sample.queue_depth = prof_queue_depth_.data();
+  sample.mailbox_in = prof_mailbox_delta_.data();
+  sample.events = window_events;
+  sample.shards = shards_;
+  profiler_->record_window(sample);
 }
 
 void Engine::merge_shard_deltas() {
@@ -704,6 +798,7 @@ void Engine::dispatch(const SlimEvent& ev) {
       if (trace_ != nullptr) {
         trace_message(obs::TraceKind::DeadDest, ev.from, ev.addr, ev.slot, *payload);
       }
+      note_span(payload->span, obs::SpanTransport::DeadDest);
     }
     return;  // dead nodes neither receive nor act
   }
@@ -720,6 +815,7 @@ void Engine::dispatch(const SlimEvent& ev) {
         if (trace_ != nullptr) {
           trace_message(obs::TraceKind::Drop, ev.from, ev.addr, ev.slot, *payload);
         }
+        note_span(payload->span, obs::SpanTransport::Drop);
       } else {
         fault_dark_deferred_->inc();
         SlimEvent deferred = ev;
@@ -747,7 +843,9 @@ void Engine::dispatch(const SlimEvent& ev) {
       }
       node.stack[ev.slot]->on_timer(ctx, ev.aux);
       break;
-    case EventKind::Message:
+    case EventKind::Message: {
+      // Span id survives the transcoder below (codec rebuilds drop it).
+      const std::uint64_t span_id = payload->span;
       if (transcoder_) {
         PayloadRef decoded = transcoder_(*payload);
         if (!decoded) {
@@ -760,6 +858,7 @@ void Engine::dispatch(const SlimEvent& ev) {
           if (trace_ != nullptr) {
             trace_message(obs::TraceKind::Drop, ev.from, ev.addr, ev.slot, *payload);
           }
+          note_span(span_id, obs::SpanTransport::Drop);
           break;
         }
         payload = std::move(decoded);
@@ -769,8 +868,10 @@ void Engine::dispatch(const SlimEvent& ev) {
       if (trace_ != nullptr) {
         trace_message(obs::TraceKind::Deliver, ev.from, ev.addr, ev.slot, *payload);
       }
+      note_span(span_id, obs::SpanTransport::Deliver);
       node.stack[ev.slot]->on_message(ctx, ev.from, *payload);
       break;
+    }
     case EventKind::Call:
       break;  // handled above
   }

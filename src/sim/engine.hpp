@@ -37,6 +37,8 @@
 #include "id/descriptor.hpp"
 #include "id/node_id.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/payload.hpp"
@@ -189,6 +191,23 @@ class Engine {
   void set_trace_sink(obs::TraceSink* sink) { trace_ = sink; }
   obs::TraceSink* trace_sink() const { return trace_; }
 
+  /// Installs a span log (nullptr uninstalls). Transport events on payloads
+  /// carrying a span id are attributed to their span; protocols open and
+  /// close spans through span_log(). Same observe-only contract as the
+  /// trace sink: installed or not, the simulation is bit-identical. The
+  /// caller keeps ownership and must keep the log alive while installed.
+  void set_span_log(obs::SpanLog* log) { span_log_ = log; }
+  obs::SpanLog* span_log() const { return span_log_; }
+
+  /// Installs the window profiler (nullptr uninstalls). Sharded mode only:
+  /// the profiler accounts crew phases, so a serial engine has nothing to
+  /// feed it (experiment setup rejects the combination with a friendly
+  /// exit; this hook aborts as the backstop). Enables per-lane timing on
+  /// the crew; wall-clock is read outside the simulation state, so the
+  /// trajectory stays bit-identical. The caller keeps ownership.
+  void set_profiler(obs::EngineProfiler* profiler);
+  obs::EngineProfiler* profiler() const { return profiler_; }
+
   /// Total events dispatched since construction (messages, timers, starts
   /// and calls). Benches report throughput as events/second against this.
   std::uint64_t events_dispatched() const { return events_dispatched_; }
@@ -337,13 +356,24 @@ class Engine {
     r.slot = slot;
     r.tag = payload.metric_tag();
     r.aux = payload.wire_bytes() + kUdpIpHeaderBytes;
-    if (shards_ != 0) {
+    if (shards_ > 1) {
       // Shard workers share the sink; record order across shards is
       // nondeterministic (records themselves are deterministic per shard).
       const std::lock_guard<std::mutex> lock(trace_mutex_);
       trace_->record(r);
     } else {
+      // Serial engine and the one-shard inline crew are single-lane: skip
+      // the lock entirely (micro_ops BM_EngineSendDispatch measures this
+      // path's cost).
       trace_->record(r);
+    }
+  }
+
+  /// Span transport hook, one pointer test when no log is installed.
+  /// SpanLog serializes internally, so this is safe from shard workers.
+  void note_span(std::uint64_t span_id, obs::SpanTransport transport) {
+    if (span_log_ != nullptr && span_id != obs::kNoSpan) {
+      span_log_->on_transport(span_id, transport);
     }
   }
 
@@ -385,6 +415,7 @@ class Engine {
   // state never feeds back into event ordering or RNG streams.
   mutable obs::MetricsRegistry metrics_;
   obs::TraceSink* trace_ = nullptr;
+  obs::SpanLog* span_log_ = nullptr;
   std::vector<TypeCounters> type_counters_;
 
   // --- sharded-engine members (inert when shards_ == 0) -------------------
@@ -414,6 +445,13 @@ class Engine {
   obs::Counter* shard_windows_ = nullptr;        // shard.windows
   obs::Counter* shard_mailbox_ = nullptr;        // shard.mailbox.messages
   obs::HistogramMetric* shard_window_events_ = nullptr;  // shard.window_events
+  // Window profiler (sharded mode only) and its per-window scratch, sized
+  // shards_ once at install so run_window never allocates.
+  obs::EngineProfiler* profiler_ = nullptr;
+  std::vector<std::uint64_t> prof_dispatch_ns_;
+  std::vector<std::uint64_t> prof_drain_ns_;
+  std::vector<std::uint64_t> prof_queue_depth_;
+  std::vector<std::uint64_t> prof_mailbox_delta_;
 };
 
 }  // namespace bsvc

@@ -72,6 +72,13 @@ class Payload {
   /// a string literal (or other storage outliving the engine).
   virtual const char* metric_tag() const { return type_name(); }
 
+  /// Simulation-side causal span id (obs::SpanId; 0 = none). Set by the
+  /// protocol before publication; the engine attributes transport events on
+  /// this payload to the span when a SpanLog is installed. Not part of the
+  /// wire format: copies (copy-on-write tamper/transcoder rebuilds) and
+  /// codec round trips deliberately do not carry it.
+  std::uint64_t span = 0;
+
  private:
   friend class PayloadRef;
   PayloadKind kind_;

@@ -202,13 +202,14 @@ struct Golden {
 };
 
 /// check.sh sets BSVC_GOLDEN_OBS to a scratch directory to replay every
-/// witness with tracing and per-cycle sampling enabled (the sinks must only
-/// observe — the witnesses have to hold either way). Unset, the replays run
-/// observability-free, exactly as recorded.
+/// witness with tracing, per-cycle sampling and exchange spans enabled (the
+/// sinks must only observe — the witnesses have to hold either way). Unset,
+/// the replays run observability-free, exactly as recorded.
 void apply_env_obs(ExperimentConfig& cfg, const char* name) {
   const char* dir = std::getenv("BSVC_GOLDEN_OBS");
   if (dir == nullptr) return;
   cfg.sample_every_cycles = 1;
+  cfg.spans = true;
   cfg.trace_path = std::string(dir) + "/" + name + ".jsonl";
 }
 
@@ -275,13 +276,14 @@ TEST(GoldenReplay, Churn256) {
 
 TEST(GoldenReplay, Plain256WithTracingAttached) {
   // The observability layer must be a pure observer: the Plain256 witness
-  // holds bit-for-bit with a JSONL trace sink and a per-cycle sampler
-  // attached for the whole run.
+  // holds bit-for-bit with a JSONL trace sink, a per-cycle sampler and the
+  // exchange-span log attached for the whole run.
   ExperimentConfig cfg;
   cfg.n = 256;
   cfg.seed = 42;
   cfg.max_cycles = 40;
   cfg.sample_every_cycles = 1;
+  cfg.spans = true;
   const std::string trace_path = ::testing::TempDir() + "/golden_plain256_traced.jsonl";
   cfg.trace_path = trace_path;
   BootstrapExperiment exp(cfg);
@@ -293,6 +295,9 @@ TEST(GoldenReplay, Plain256WithTracingAttached) {
                     .messages_delivered = 7012,
                     .bytes_sent = 5180079});
   EXPECT_FALSE(r.metric_series.empty());
+  ASSERT_TRUE(r.has_spans);
+  EXPECT_GT(r.span_summary.opened, 0u);
+  EXPECT_EQ(r.span_summary.stray_closes, 0u);
   std::remove(trace_path.c_str());
 }
 

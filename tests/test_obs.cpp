@@ -103,7 +103,7 @@ TEST(Metrics, SnapshotIsNameOrderedAndExpandsHistograms) {
   reg.histogram("c.hist", 0.0, 4.0, 4).add(3.0);
   std::vector<std::pair<std::string, double>> seen;
   reg.snapshot([&](const std::string& name, double v) { seen.emplace_back(name, v); });
-  ASSERT_EQ(seen.size(), 5u);
+  ASSERT_EQ(seen.size(), 8u);
   EXPECT_EQ(seen[0].first, "a.gauge");
   EXPECT_DOUBLE_EQ(seen[0].second, 0.25);
   EXPECT_EQ(seen[1].first, "b.count");
@@ -114,6 +114,22 @@ TEST(Metrics, SnapshotIsNameOrderedAndExpandsHistograms) {
   EXPECT_DOUBLE_EQ(seen[3].second, 2.0);
   EXPECT_EQ(seen[4].first, "c.hist.max");
   EXPECT_DOUBLE_EQ(seen[4].second, 3.0);
+  EXPECT_EQ(seen[5].first, "c.hist.p50");
+  EXPECT_EQ(seen[6].first, "c.hist.p95");
+  EXPECT_EQ(seen[7].first, "c.hist.p99");
+}
+
+TEST(Metrics, HistogramQuantiles) {
+  // One sample per unit-wide bucket: the interpolated quantile is exact.
+  obs::HistogramMetric h(0.0, 100.0, 100);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // empty histogram reads zero
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i) + 0.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.50), 50.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.95), 95.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 99.0);
+  // The extremes clamp to the observed min/max, not to bucket edges.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 99.5);
 }
 
 // --- engine hooks -------------------------------------------------------
@@ -297,6 +313,151 @@ TEST(ObsExperiment, SamplingAndTracingDoNotPerturbResults) {
   for (std::size_t r = 0; r < plain.series.rows(); ++r) {
     for (std::size_t c = 0; c < 6; ++c) {
       EXPECT_DOUBLE_EQ(plain.series.at(r, c), observed.series.at(r, c));
+    }
+  }
+}
+
+// --- exchange spans -----------------------------------------------------
+
+TEST(Spans, EnablingSpansDoesNotPerturbTheRun) {
+  const ExperimentResult plain = [] {
+    BootstrapExperiment exp(small_config(29));
+    return exp.run();
+  }();
+  ExperimentConfig cfg = small_config(29);
+  cfg.spans = true;
+  BootstrapExperiment exp(cfg);
+  const ExperimentResult spanned = exp.run();
+
+  EXPECT_EQ(plain.converged_cycle, spanned.converged_cycle);
+  EXPECT_EQ(plain.traffic_during_bootstrap.messages_sent,
+            spanned.traffic_during_bootstrap.messages_sent);
+  EXPECT_EQ(plain.traffic_during_bootstrap.bytes_sent,
+            spanned.traffic_during_bootstrap.bytes_sent);
+  EXPECT_FALSE(plain.has_spans);
+  ASSERT_TRUE(spanned.has_spans);
+  EXPECT_GT(spanned.span_summary.opened, 0u);
+}
+
+// The lifecycle invariants every span must satisfy, checked on a summary.
+void expect_span_invariants(const obs::SpanSummary& s, std::size_t n) {
+  // Every close matched an open span: nothing closed twice or out of thin
+  // air, and outcomes partition the closed set.
+  EXPECT_EQ(s.stray_closes, 0u);
+  EXPECT_EQ(s.answered + s.timeout + s.superseded + s.evicted, s.closed);
+  ASSERT_GE(s.opened, s.closed);
+  EXPECT_EQ(s.opened - s.closed, s.in_flight);
+  // At most one exchange is open per node at any instant, so at run end at
+  // most n spans can still be in flight.
+  EXPECT_LE(s.in_flight, n);
+  EXPECT_EQ(s.overflow_dropped, 0u);
+  EXPECT_EQ(s.rtt_count, s.answered);
+}
+
+TEST(Spans, CleanRunClosesEverySpanAnswered) {
+  ExperimentConfig cfg = small_config(31);
+  cfg.spans = true;
+  BootstrapExperiment exp(cfg);
+  const ExperimentResult r = exp.run();
+  ASSERT_TRUE(r.has_spans);
+  const obs::SpanSummary& s = r.span_summary;
+  expect_span_invariants(s, cfg.n);
+  EXPECT_GT(s.answered, 0u);
+  EXPECT_GT(s.rtt_mean, 0.0);
+  EXPECT_GE(s.rtt_p95, s.rtt_p50);
+  EXPECT_GE(s.rtt_max, s.rtt_p99);
+}
+
+TEST(Spans, EverySpanClosesExactlyOnceUnderFaults) {
+  // The hostile mix: sustained loss drives per-exchange timeouts, a
+  // crash–recover wave drives eviction of condemned peers, and unanswered
+  // probes that roll over to a new cycle get superseded. The invariants
+  // must hold through all of it.
+  ExperimentConfig cfg = small_config(37);
+  cfg.spans = true;
+  cfg.max_cycles = 30;
+  cfg.stop_at_convergence = false;
+  cfg.bootstrap.evict_unresponsive = true;
+  const SimTime delta = cfg.bootstrap.delta;
+  const SimTime epoch = cfg.warmup_cycles * delta;
+  const SimTime end = epoch + cfg.max_cycles * delta;
+  cfg.fault_plan.link_loss.push_back({{epoch, end}, kNullAddress, kNullAddress, 0.3});
+  cfg.fault_plan.crashes.push_back({{epoch + 4 * delta, epoch + 12 * delta},
+                                    kNullAddress, 0.2});
+  BootstrapExperiment exp(cfg);
+  const ExperimentResult r = exp.run();
+  ASSERT_TRUE(r.has_spans);
+  const obs::SpanSummary& s = r.span_summary;
+  expect_span_invariants(s, cfg.n);
+  EXPECT_GT(s.answered, 0u);
+  // 30% loss with timeouts on must kill some exchanges non-answered.
+  EXPECT_GT(s.timeout + s.superseded + s.evicted, 0u);
+  EXPECT_GT(s.drops, 0u);
+}
+
+TEST(Spans, SummaryIsIdenticalAcrossShardCounts) {
+  // Span aggregation is commutative, so the summary must be byte-equal for
+  // every K within the sharded family (same trajectory, different overlap).
+  auto run_k = [](std::size_t k) {
+    ExperimentConfig cfg = small_config(41);
+    cfg.shards = k;
+    cfg.spans = true;
+    BootstrapExperiment exp(cfg);
+    return exp.run();
+  };
+  const ExperimentResult k1 = run_k(1);
+  ASSERT_TRUE(k1.has_spans);
+  EXPECT_GT(k1.span_summary.opened, 0u);
+  for (const std::size_t k : {2u, 4u}) {
+    const ExperimentResult rk = run_k(k);
+    ASSERT_TRUE(rk.has_spans);
+    const obs::SpanSummary& a = k1.span_summary;
+    const obs::SpanSummary& b = rk.span_summary;
+    EXPECT_EQ(a.opened, b.opened) << "K=" << k;
+    EXPECT_EQ(a.closed, b.closed) << "K=" << k;
+    EXPECT_EQ(a.answered, b.answered) << "K=" << k;
+    EXPECT_EQ(a.timeout, b.timeout) << "K=" << k;
+    EXPECT_EQ(a.superseded, b.superseded) << "K=" << k;
+    EXPECT_EQ(a.evicted, b.evicted) << "K=" << k;
+    EXPECT_EQ(a.sends, b.sends) << "K=" << k;
+    EXPECT_EQ(a.drops, b.drops) << "K=" << k;
+    EXPECT_EQ(a.delivers, b.delivers) << "K=" << k;
+    EXPECT_EQ(a.dead_letters, b.dead_letters) << "K=" << k;
+    EXPECT_EQ(a.rtt_count, b.rtt_count) << "K=" << k;
+    EXPECT_EQ(a.rtt_mean, b.rtt_mean) << "K=" << k;
+    EXPECT_EQ(a.rtt_p50, b.rtt_p50) << "K=" << k;
+    EXPECT_EQ(a.rtt_p95, b.rtt_p95) << "K=" << k;
+    EXPECT_EQ(a.rtt_p99, b.rtt_p99) << "K=" << k;
+    EXPECT_EQ(a.hops_mean, b.hops_mean) << "K=" << k;
+    EXPECT_EQ(a.retries_mean, b.retries_mean) << "K=" << k;
+  }
+}
+
+TEST(Sampler, SeriesIsIdenticalAcrossShardCounts) {
+  // The sampled metric series must not depend on K either — shard.* gauges
+  // are the one deliberate exception (they describe the engine itself).
+  auto run_k = [](std::size_t k) {
+    ExperimentConfig cfg = small_config(43);
+    cfg.shards = k;
+    cfg.sample_every_cycles = 1;
+    BootstrapExperiment exp(cfg);
+    return exp.run();
+  };
+  const ExperimentResult k1 = run_k(1);
+  ASSERT_FALSE(k1.metric_series.empty());
+  for (const std::size_t k : {2u, 4u}) {
+    const ExperimentResult rk = run_k(k);
+    ASSERT_EQ(k1.metric_series.by_name.size(), rk.metric_series.by_name.size());
+    for (const auto& [name, points] : k1.metric_series.by_name) {
+      if (name.rfind("shard.", 0) == 0) continue;
+      const auto it = rk.metric_series.by_name.find(name);
+      ASSERT_NE(it, rk.metric_series.by_name.end()) << name;
+      ASSERT_EQ(points.size(), it->second.size()) << name;
+      for (std::size_t p = 0; p < points.size(); ++p) {
+        EXPECT_EQ(points[p].first, it->second[p].first) << name << " @" << p;
+        EXPECT_EQ(points[p].second, it->second[p].second)
+            << name << " @" << p << " K=" << k;
+      }
     }
   }
 }

@@ -152,5 +152,32 @@ TEST(WindowCrew, SizeOneRunsInline) {
   EXPECT_EQ(seen, caller);
 }
 
+TEST(WindowCrew, TimingRecordsPerLaneWork) {
+  // With timing on, every lane's wall time for the round is readable after
+  // the run() barrier; lanes that do real work read > 0.
+  for (const std::size_t size : {1u, 3u}) {
+    WindowCrew crew(size);
+    EXPECT_FALSE(crew.timing());
+    crew.set_timing(true);
+    EXPECT_TRUE(crew.timing());
+    std::vector<std::uint64_t> sums(size, 0);
+    const std::function<void(std::size_t)> job = [&sums](std::size_t lane) {
+      std::uint64_t acc = 0;
+      for (std::uint64_t i = 0; i <= 200000; ++i) acc += i * i;
+      sums[lane] = acc;
+    };
+    crew.run(job);
+    const std::vector<std::uint64_t>& ns = crew.last_lane_ns();
+    ASSERT_EQ(ns.size(), size);
+    for (std::size_t lane = 0; lane < size; ++lane) {
+      EXPECT_GT(ns[lane], 0u) << "lane " << lane << " crew size " << size;
+    }
+    // Turning timing back off stops the stamping (stale values remain).
+    crew.set_timing(false);
+    EXPECT_FALSE(crew.timing());
+    crew.run(job);
+  }
+}
+
 }  // namespace
 }  // namespace bsvc

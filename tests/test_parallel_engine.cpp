@@ -18,6 +18,12 @@
 //    convergence behavior at matched configuration.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
 #include "adversary/byzantine_model.hpp"
 #include "core/experiment.hpp"
 #include "fault/fault_plan.hpp"
@@ -238,6 +244,63 @@ TEST(ParallelEngineDeathTest, OracleSamplerIsRejectedInShardedMode) {
   // which has no meaning inside a shard window; setup must refuse loudly.
   EXPECT_EXIT(BootstrapExperiment exp(cfg), testing::ExitedWithCode(2),
               "incompatible with sharded execution");
+}
+
+TEST(ParallelEngineDeathTest, ProfilerIsRejectedInSerialMode) {
+  ExperimentConfig cfg = small_config(0);
+  cfg.profile_path = ::testing::TempDir() + "/rejected_prof.json";
+  // The profiler measures the window crew; the serial engine has none, so
+  // setup must refuse with a clear config error instead of writing an empty
+  // trace.
+  EXPECT_EXIT(BootstrapExperiment exp(cfg), testing::ExitedWithCode(2),
+              "requires the sharded engine");
+}
+
+TEST(ParallelEngine, ProfilerAccountsWindowsAndWritesTrace) {
+  const std::string path = ::testing::TempDir() + "/bsvc_prof.json";
+  ExperimentConfig cfg = small_config(2);
+  cfg.profile_path = path;
+  BootstrapExperiment exp(cfg);
+  const ExperimentResult r = exp.run();
+  ASSERT_TRUE(r.has_profile);
+  const obs::ProfileSummary& p = r.profile_summary;
+  EXPECT_EQ(p.shards, 2u);
+  EXPECT_GT(p.windows, 0u);
+  EXPECT_GT(p.events, 0u);
+  EXPECT_GT(p.wall_seconds, 0.0);
+  EXPECT_GT(p.trace_events, 0u);
+  EXPECT_EQ(p.trace_events_dropped, 0u);
+  // The four phases partition each shard's window wall exactly, so their
+  // totals must cover shards x wall (double rounding aside).
+  const double phases =
+      p.dispatch_seconds + p.drain_seconds + p.stall_seconds + p.idle_seconds;
+  const double expected = p.wall_seconds * static_cast<double>(p.shards);
+  EXPECT_NEAR(phases, expected, 1e-6 * expected + 1e-12);
+  EXPECT_GE(p.barrier_stall_fraction, 0.0);
+  EXPECT_LE(p.barrier_stall_fraction, 1.0);
+
+  // The written trace is the object form with the aggregate section; full
+  // structural validation lives in scripts/check_profile.py.
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream text;
+  text << in.rdbuf();
+  const std::string trace = text.str();
+  ASSERT_FALSE(trace.empty());
+  EXPECT_EQ(trace.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(trace.find("\"bsvc_profile\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(trace.find("\"thread_name\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ParallelEngine, ProfilerDoesNotPerturbTheRun) {
+  const std::string path = ::testing::TempDir() + "/bsvc_prof_perturb.json";
+  const ExperimentResult plain = run_one(small_config(2));
+  ExperimentConfig cfg = small_config(2);
+  cfg.profile_path = path;
+  const ExperimentResult profiled = run_one(cfg);
+  expect_same_result(plain, profiled, "profiled");
+  std::remove(path.c_str());
 }
 
 TEST(ParallelEngineDeathTest, ZeroLookaheadIsRejected) {
