@@ -36,6 +36,7 @@ benches=(
   newscast_service
   adversary
   scale
+  workload
 )
 
 # Benches that support per-replica JSONL event traces (--trace); the suite
@@ -70,6 +71,16 @@ for bench in "${benches[@]}"; do
     > "${out_dir}/${bench}.out" || status=$?
   if (( status != 0 )); then
     echo "FAIL ${bench} (exit ${status})" >&2
+    failed+=("${bench}")
+    continue
+  fi
+  # A --spans run must surface the span aggregate: a report missing its
+  # "spans" section means the bench silently dropped the observability the
+  # caller asked for, and the suite's summary should say so.
+  all_flags=" $* ${extra_flags[*]+${extra_flags[*]}} "
+  if [[ "${all_flags}" == *" --spans "* || "${all_flags}" == *" --spans=true "* ]] \
+     && ! grep -q '"spans"' "${out_dir}/BENCH_${bench}.json" 2>/dev/null; then
+    echo "FAIL ${bench}: --spans was passed but the report has no \"spans\" section" >&2
     failed+=("${bench}")
   fi
 done

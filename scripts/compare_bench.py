@@ -17,8 +17,15 @@ events_per_sec is only gated when both sides cover the same tier set; with
 different tier mixes the aggregate is not comparable and is skipped with a
 note.
 
-Only "events_per_sec" (top-level and per-tier) is gated. Any other
-top-level section a report carries — "spans" and "prof" from --spans /
+Workload gating: metrics named "<phase> goodput" / "<phase> cast_coverage"
+(higher is better) and "<phase> rtt_p50" / "rtt_p95" / "rtt_p99" (lower is
+better) are gated with the same tolerance whenever present on both sides —
+the bench/workload request-latency and goodput rows. These are
+deterministic functions of the seed, so any movement is a code change, not
+noise. One-sided keys are reported and skipped, like tiers.
+
+Besides throughput and the workload families, nothing else is gated. Any
+other top-level section a report carries — "spans" and "prof" from --spans /
 --profile runs, or sections future benches add — is ignored, so reports
 with and without those sections gate against each other cleanly.
 
@@ -93,6 +100,52 @@ def tier_series(report: dict) -> dict:
     return tiers
 
 
+# Workload metric families gated from the `metrics` object in addition to the
+# throughput series: (key suffix, higher_is_better).
+WORKLOAD_SUFFIXES = (
+    (" goodput", True),
+    (" cast_coverage", True),
+    (" rtt_p50", False),
+    (" rtt_p95", False),
+    (" rtt_p99", False),
+)
+
+
+def workload_metrics(report: dict) -> dict:
+    """Maps metric key -> (value, higher_is_better) for every workload-family
+    entry in the report's `metrics` object."""
+    metrics = report.get("metrics")
+    if not isinstance(metrics, dict):
+        return {}
+    out = {}
+    for key, value in metrics.items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        for suffix, higher_is_better in WORKLOAD_SUFFIXES:
+            if key.endswith(suffix):
+                out[key] = (float(value), higher_is_better)
+                break
+    return out
+
+
+def gate_workload(label: str, base: float, cur: float, tolerance: float,
+                  higher_is_better: bool) -> bool:
+    """Prints the verdict line for one workload metric; returns True on
+    regression. Lower-is-better metrics (latencies) regress upward."""
+    if base <= 0.0:
+        print(f"{label}: baseline value is not positive -- skipped")
+        return False
+    ratio = cur / base
+    if higher_is_better:
+        failed = ratio < 1.0 - tolerance
+        verdict = f"REGRESSION (> {tolerance:.0%} drop)" if failed else "OK"
+    else:
+        failed = ratio > 1.0 + tolerance
+        verdict = f"REGRESSION (> {tolerance:.0%} rise)" if failed else "OK"
+    print(f"{label}: baseline {base:g}, current {cur:g} ({ratio - 1.0:+.1%}) {verdict}")
+    return failed
+
+
 def gate_one(label: str, base_eps: float, cur_eps: float, tolerance: float) -> bool:
     """Prints the verdict line for one series; returns True on regression."""
     if base_eps <= 0.0:
@@ -149,6 +202,17 @@ def main() -> int:
         for tier in sorted(set(base_tiers) & set(cur_tiers)):
             if gate_one(f"{name}[{tier}]", base_tiers[tier], cur_tiers[tier],
                         args.tolerance):
+                failed = True
+
+        base_wl = workload_metrics(baseline[name])
+        cur_wl = workload_metrics(current[name])
+        for key in sorted(set(base_wl) - set(cur_wl)):
+            print(f"{name}[{key}]: only in baseline (metric not reported here) -- skipped")
+        for key in sorted(set(cur_wl) - set(base_wl)):
+            print(f"{name}[{key}]: no baseline for this metric yet -- skipped")
+        for key in sorted(set(base_wl) & set(cur_wl)):
+            if gate_workload(f"{name}[{key}]", base_wl[key][0], cur_wl[key][0],
+                             args.tolerance, base_wl[key][1]):
                 failed = True
 
         # The aggregate events_per_sec mixes every tier the binary ran; with

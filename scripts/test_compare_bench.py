@@ -192,6 +192,80 @@ class CompareBenchTest(unittest.TestCase):
         self.assertIn("OK", proc.stdout)
         self.assertNotIn("spans", proc.stdout)
 
+    # --- workload metric families (goodput / latency / coverage) -----------
+
+    @staticmethod
+    def workload_report(eps, metrics):
+        return {"events_per_sec": eps, "metrics": dict(metrics)}
+
+    def test_goodput_drop_fails(self):
+        self.write(self.baseline, "BENCH_workload.json",
+                   self.workload_report(1000.0, {"steady goodput": 1.0}))
+        self.write(self.current, "BENCH_workload.json",
+                   self.workload_report(1000.0, {"steady goodput": 0.5}))
+        proc = run_gate(self.baseline, self.current)
+        self.assertEqual(proc.returncode, 1, proc.stdout)
+        self.assertIn("BENCH_workload.json[steady goodput]", proc.stdout)
+        self.assertIn("REGRESSION", proc.stdout)
+        self.assertIn("drop", proc.stdout)
+
+    def test_latency_rise_fails(self):
+        # rtt percentiles are lower-is-better: a rise beyond tolerance fails,
+        # a drop of any size passes.
+        self.write(self.baseline, "BENCH_workload.json",
+                   self.workload_report(1000.0, {"churn rtt_p99": 400.0}))
+        self.write(self.current, "BENCH_workload.json",
+                   self.workload_report(1000.0, {"churn rtt_p99": 900.0}))
+        proc = run_gate(self.baseline, self.current)
+        self.assertEqual(proc.returncode, 1, proc.stdout)
+        self.assertIn("BENCH_workload.json[churn rtt_p99]", proc.stdout)
+        self.assertIn("rise", proc.stdout)
+
+    def test_latency_drop_and_goodput_gain_pass(self):
+        self.write(self.baseline, "BENCH_workload.json",
+                   self.workload_report(1000.0,
+                                        {"steady goodput": 0.5,
+                                         "steady rtt_p50": 400.0,
+                                         "heal cast_coverage": 0.9}))
+        self.write(self.current, "BENCH_workload.json",
+                   self.workload_report(1000.0,
+                                        {"steady goodput": 1.0,
+                                         "steady rtt_p50": 100.0,
+                                         "heal cast_coverage": 1.0}))
+        proc = run_gate(self.baseline, self.current)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("OK", proc.stdout)
+        self.assertNotIn("REGRESSION", proc.stdout)
+
+    def test_coverage_drop_fails(self):
+        self.write(self.baseline, "BENCH_workload.json",
+                   self.workload_report(1000.0, {"heal cast_coverage": 1.0}))
+        self.write(self.current, "BENCH_workload.json",
+                   self.workload_report(1000.0, {"heal cast_coverage": 0.5}))
+        proc = run_gate(self.baseline, self.current)
+        self.assertEqual(proc.returncode, 1, proc.stdout)
+        self.assertIn("heal cast_coverage", proc.stdout)
+
+    def test_one_sided_workload_metric_is_skipped(self):
+        self.write(self.baseline, "BENCH_workload.json",
+                   self.workload_report(1000.0, {"steady goodput": 1.0}))
+        self.write(self.current, "BENCH_workload.json",
+                   self.workload_report(1000.0, {"churn goodput": 1.0}))
+        proc = run_gate(self.baseline, self.current)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("only in baseline (metric not reported here)", proc.stdout)
+        self.assertIn("no baseline for this metric yet", proc.stdout)
+
+    def test_other_workload_metrics_are_not_gated(self):
+        # Counts like "steady requests" / "steady timeouts" are informational;
+        # only the suffix families gate.
+        self.write(self.baseline, "BENCH_workload.json",
+                   self.workload_report(1000.0, {"steady requests": 384.0}))
+        self.write(self.current, "BENCH_workload.json",
+                   self.workload_report(1000.0, {"steady requests": 10.0}))
+        proc = run_gate(self.baseline, self.current)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
     def test_reports_without_metrics_use_top_level_only(self):
         self.write(self.baseline, "BENCH_a.json", {"events_per_sec": 1000.0})
         self.write(self.current, "BENCH_a.json",

@@ -105,6 +105,7 @@ Address BootstrapExperiment::make_node() {
     OracleSampler contacts(engine, addr);
     newscast_ref_.of(engine, addr).init_view(contacts.sample(config_.bootstrap_contacts));
   }
+  if (config_.node_extension) config_.node_extension(engine, addr);
   return addr;
 }
 

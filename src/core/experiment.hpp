@@ -97,6 +97,13 @@ struct ExperimentConfig {
   /// When non-empty, a text plan file loaded over `fault_plan` (the file
   /// wins). Rejected with a clear error at setup on parse failure.
   std::string fault_plan_path;
+  /// Optional per-node extension hook, invoked at the end of make_node() for
+  /// every node — the initial network and later churn joiners alike — so a
+  /// layer above the bootstrap (e.g. the src/workload request/broadcast
+  /// service) can attach additional protocols without core depending on it.
+  /// The sampling service is slot 0 and the bootstrap slot 1; the hook's
+  /// attachments land at slot 2 upward.
+  std::function<void(Engine&, Address)> node_extension;
 };
 
 struct ExperimentResult {

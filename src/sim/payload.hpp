@@ -27,6 +27,9 @@ enum class PayloadKind : std::uint8_t {
   TMan,
   Rumor,
   Aggregation,
+  KvRequest,
+  KvResponse,
+  PrefixCast,
   Custom,
 };
 

@@ -116,7 +116,13 @@ std::optional<std::vector<std::uint8_t>> encode_message(const Payload& payload) 
       w.u64(m->responder_id);
       break;
     }
+    case PayloadKind::KvRequest:
+    case PayloadKind::KvResponse:
+    case PayloadKind::PrefixCast:
     case PayloadKind::Custom:
+      // Workload traffic and test doubles are simulation-local: no wire
+      // format (the workload layer measures routing over the bootstrapped
+      // tables, not codec costs).
       return std::nullopt;
   }
   return w.bytes();

@@ -1,0 +1,123 @@
+// Payloads of the workload layer: KV put/get requests routed hop by hop
+// over the bootstrapped Pastry tables, the direct responses, and the
+// prefix-space broadcast messages (Wählisch et al., "Broadcasting in Prefix
+// Space"). All three are simulation-local — no binary wire format — but
+// carry realistic byte accounting so traffic totals stay meaningful.
+#pragma once
+
+#include <cstdint>
+
+#include "id/descriptor.hpp"
+#include "sim/payload.hpp"
+
+namespace bsvc {
+
+/// The two KV operations a client issues.
+enum class KvOp : std::uint8_t { Put, Get };
+
+/// One KV request in flight. Forwarding rebuilds the message per hop
+/// (payloads are immutable once published), bumping `hops` and decrementing
+/// `ttl`; the root answers the origin directly with a KvResponseMessage.
+/// With `replicate` set the message is a replica placement copy: the
+/// receiver stores and neither forwards nor answers.
+class KvRequestMessage final : public Payload {
+ public:
+  static constexpr PayloadKind kKind = PayloadKind::KvRequest;
+
+  KvRequestMessage(std::uint64_t request_id, KvOp op, NodeId key,
+                   std::uint32_t value_bytes, NodeDescriptor origin, std::uint8_t ttl,
+                   std::uint8_t hops, bool replicate)
+      : Payload(kKind),
+        request_id(request_id),
+        key(key),
+        origin(origin),
+        value_bytes(value_bytes),
+        ttl(ttl),
+        hops(hops),
+        op(op),
+        replicate(replicate) {}
+
+  std::size_t wire_bytes() const override {
+    // id + op + key + origin descriptor + ttl + hops + flag, plus the value
+    // body on puts (gets carry no value).
+    return 8 + 1 + 8 + kDescriptorWireBytes + 1 + 1 + 1 +
+           (op == KvOp::Put ? value_bytes : 0);
+  }
+  const char* type_name() const override { return "kv_request"; }
+  const char* metric_tag() const override {
+    if (replicate) return "kv.replicate";
+    return op == KvOp::Put ? "kv.put" : "kv.get";
+  }
+
+  std::uint64_t request_id;
+  NodeId key;
+  NodeDescriptor origin;
+  std::uint32_t value_bytes;
+  std::uint8_t ttl;   // forwards remaining before the request is dropped
+  std::uint8_t hops;  // forwards taken so far (echoed in the response)
+  KvOp op;
+  bool replicate;
+};
+
+/// The root's answer, sent directly to the request origin (one hop back, as
+/// deployed DHTs do once the root is resolved).
+class KvResponseMessage final : public Payload {
+ public:
+  static constexpr PayloadKind kKind = PayloadKind::KvResponse;
+
+  KvResponseMessage(std::uint64_t request_id, KvOp op, bool found,
+                    std::uint32_t value_bytes, NodeDescriptor root, std::uint8_t hops)
+      : Payload(kKind),
+        request_id(request_id),
+        root(root),
+        value_bytes(value_bytes),
+        hops(hops),
+        op(op),
+        found(found) {}
+
+  std::size_t wire_bytes() const override {
+    // id + op + found + root descriptor + hops, plus the value on get hits.
+    return 8 + 1 + 1 + kDescriptorWireBytes + 1 +
+           (op == KvOp::Get && found ? value_bytes : 0);
+  }
+  const char* type_name() const override { return "kv_response"; }
+  const char* metric_tag() const override { return "kv.response"; }
+
+  std::uint64_t request_id;
+  NodeDescriptor root;
+  std::uint32_t value_bytes;
+  std::uint8_t hops;  // request-path forwards (for origin-side accounting)
+  KvOp op;
+  bool found;  // gets: key present at the root; puts: always true
+};
+
+/// One prefix-space broadcast message. `row` is the length of the ID prefix
+/// the receiver is responsible for: it delegates every prefix-table cell
+/// (i >= row, j != own digit i) to one entry with row i+1. Cells cover
+/// disjoint ID regions, so the dissemination tree is duplicate-free by
+/// construction; coverage measures how complete the tables are.
+class PrefixCastMessage final : public Payload {
+ public:
+  static constexpr PayloadKind kKind = PayloadKind::PrefixCast;
+
+  PrefixCastMessage(std::uint64_t cast_id, NodeDescriptor origin, std::uint8_t row,
+                    std::uint32_t payload_bytes)
+      : Payload(kKind),
+        cast_id(cast_id),
+        origin(origin),
+        payload_bytes(payload_bytes),
+        row(row) {}
+
+  std::size_t wire_bytes() const override {
+    return 8 + kDescriptorWireBytes + 1 + payload_bytes;
+  }
+  const char* type_name() const override { return "prefix_cast"; }
+  const char* metric_tag() const override { return "cast"; }
+
+  std::uint64_t cast_id;
+  NodeDescriptor origin;
+  std::uint32_t payload_bytes;
+  std::uint8_t row;
+};
+
+}  // namespace bsvc

@@ -1,0 +1,224 @@
+#include "workload/service.hpp"
+
+#include <memory>
+
+#include "common/assert.hpp"
+#include "id/digits.hpp"
+#include "overlay/pastry_router.hpp"
+
+namespace bsvc {
+
+namespace {
+
+/// Table entries whose node is dead are skipped — the routing validation's
+/// timeout-and-try-alternate shorthand. Liveness flags only change at window
+/// barriers, so reading them inside shard windows is deterministic.
+bool usable_entry(const Engine& engine, const NodeDescriptor& d) {
+  return d.addr < engine.node_count() && engine.is_alive(d.addr);
+}
+
+}  // namespace
+
+WorkloadService::WorkloadService(WorkloadParams params,
+                                 SlotRef<BootstrapProtocol> bootstrap, WorkloadLog* log)
+    : params_(params), bootstrap_(bootstrap), log_(log) {
+  BSVC_CHECK(log_ != nullptr);
+}
+
+Address WorkloadService::route_step(Context& ctx, NodeId key) const {
+  const Engine& engine = ctx.engine();
+  const BootstrapProtocol& bp = bootstrap_.of(ctx.engine(), ctx.self());
+  if (!bp.active()) return kNullAddress;
+  return pastry_next_hop(ctx.self_id(), ctx.self(), bp.leaf_set(), bp.prefix_table(),
+                         key,
+                         [&engine](const NodeDescriptor& d) { return usable_entry(engine, d); });
+}
+
+std::uint64_t WorkloadService::begin_kv(Context& ctx, KvOp op, NodeId key,
+                                        std::uint32_t value_bytes) {
+  log_->on_issue(op);
+  const Address hop = route_step(ctx, key);
+  if (hop == kNullAddress) {
+    // The origin cannot consult its tables yet (bootstrap mid-warmup or a
+    // fresh churn joiner): fail fast, no span, no timer.
+    log_->on_unroutable(op);
+    return 0;
+  }
+  const std::uint64_t id =
+      (static_cast<std::uint64_t>(ctx.self()) << 40) | kWorkloadIdBit | req_seq_++;
+  if (obs::SpanLog* spans = ctx.engine().span_log(); spans != nullptr) {
+    spans->open(id, ctx.now(), 0);
+  }
+  pending_.emplace(id, Pending{op, ctx.now()});
+  ctx.schedule_timer(params_.timeout, id);
+
+  KvRequestMessage req(id, op, key, value_bytes, ctx.engine().descriptor_of(ctx.self()),
+                       static_cast<std::uint8_t>(params_.max_hops), 0, false);
+  if (hop == ctx.self()) {
+    // Already the root: serve locally, no wire traffic for the request.
+    serve_as_root(ctx, req);
+  } else {
+    auto msg = std::make_unique<KvRequestMessage>(req);
+    // `hops` counts request-path messages, so the origin's own send is the
+    // first one; a request served by its first receiver reports hops = 1.
+    msg->ttl = req.ttl - 1;
+    msg->hops = 1;
+    msg->span = id;
+    ctx.send(hop, std::move(msg));
+  }
+  return id;
+}
+
+void WorkloadService::on_timer(Context& ctx, std::uint64_t timer_id) {
+  const auto it = pending_.find(timer_id);
+  if (it == pending_.end()) return;  // answered before the timeout fired
+  const KvOp op = it->second.op;
+  pending_.erase(it);
+  log_->on_timeout(op);
+  if (obs::SpanLog* spans = ctx.engine().span_log(); spans != nullptr) {
+    spans->close(timer_id, ctx.now(), obs::SpanOutcome::Timeout);
+  }
+}
+
+void WorkloadService::on_message(Context& ctx, Address /*from*/, const Payload& payload) {
+  if (const auto* req = payload_cast<KvRequestMessage>(payload)) {
+    handle_request(ctx, *req);
+    return;
+  }
+  if (const auto* resp = payload_cast<KvResponseMessage>(payload)) {
+    const auto it = pending_.find(resp->request_id);
+    if (it == pending_.end()) return;  // timed out before the answer arrived
+    const Pending pending = it->second;
+    pending_.erase(it);
+    log_->on_answer(pending.op, ctx.now() - pending.issued_at, resp->hops, resp->found);
+    if (obs::SpanLog* spans = ctx.engine().span_log(); spans != nullptr) {
+      spans->close(resp->request_id, ctx.now(), obs::SpanOutcome::Answered);
+    }
+    return;
+  }
+  if (const auto* cast = payload_cast<PrefixCastMessage>(payload)) {
+    handle_cast(ctx, *cast);
+  }
+}
+
+void WorkloadService::handle_request(Context& ctx, const KvRequestMessage& req) {
+  if (req.replicate) {
+    store_[req.key] = req.value_bytes;  // replica placement: store only
+    return;
+  }
+  const Address hop = route_step(ctx, req.key);
+  if (hop == ctx.self()) {
+    serve_as_root(ctx, req);
+    return;
+  }
+  // A node that cannot consult its tables, has exhausted the hop budget, or
+  // finds no usable next hop drops the request — the origin's timeout is the
+  // failure signal, exactly as in a deployment.
+  if (hop == kNullAddress || req.ttl == 0) return;
+  auto msg = std::make_unique<KvRequestMessage>(req);
+  msg->ttl = req.ttl - 1;
+  msg->hops = req.hops + 1;
+  msg->span = req.request_id;
+  ctx.send(hop, std::move(msg));
+}
+
+void WorkloadService::serve_as_root(Context& ctx, const KvRequestMessage& req) {
+  bool found = true;
+  if (req.op == KvOp::Put) {
+    store_[req.key] = req.value_bytes;
+    replicate_put(ctx, req);
+  } else {
+    found = store_.find(req.key) != store_.end();
+  }
+  if (req.origin.addr == ctx.self()) {
+    // Origin is the root: complete synchronously, no response on the wire.
+    finish(ctx, req.request_id, req.op, req.hops, found);
+    return;
+  }
+  auto resp = std::make_unique<KvResponseMessage>(
+      req.request_id, req.op, found, req.value_bytes,
+      ctx.engine().descriptor_of(ctx.self()), req.hops);
+  resp->span = req.request_id;
+  ctx.send(req.origin.addr, std::move(resp));
+}
+
+void WorkloadService::replicate_put(Context& ctx, const KvRequestMessage& req) {
+  const BootstrapProtocol& bp = bootstrap_.of(ctx.engine(), ctx.self());
+  if (!bp.active()) return;
+  std::size_t placed = 0;
+  for (const NodeDescriptor& d : bp.leaf_set().sorted_by_ring_distance()) {
+    if (placed == params_.replicas) break;
+    if (!usable_entry(ctx.engine(), d)) continue;
+    auto copy = std::make_unique<KvRequestMessage>(req);
+    copy->replicate = true;
+    copy->ttl = 0;
+    copy->span = req.request_id;
+    ctx.send(d.addr, std::move(copy));
+    ++placed;
+  }
+}
+
+void WorkloadService::finish(Context& ctx, std::uint64_t request_id, KvOp op,
+                             std::uint32_t hops, bool found) {
+  const auto it = pending_.find(request_id);
+  if (it == pending_.end()) return;
+  const Pending pending = it->second;
+  pending_.erase(it);
+  log_->on_answer(op, ctx.now() - pending.issued_at, hops, found);
+  if (obs::SpanLog* spans = ctx.engine().span_log(); spans != nullptr) {
+    spans->close(request_id, ctx.now(), obs::SpanOutcome::Answered);
+  }
+}
+
+void WorkloadService::begin_cast(Context& ctx, std::uint64_t cast_id,
+                                 std::uint32_t payload_bytes) {
+  log_->on_cast_launch();
+  auto& copies = cast_copies_[cast_id];
+  ++copies;
+  log_->on_cast_receipt(copies == 1);
+  forward_cast(ctx, cast_id, ctx.engine().descriptor_of(ctx.self()), 0, payload_bytes);
+}
+
+void WorkloadService::handle_cast(Context& ctx, const PrefixCastMessage& msg) {
+  auto& copies = cast_copies_[msg.cast_id];
+  ++copies;
+  log_->on_cast_receipt(copies == 1);
+  // The dissemination tree is duplicate-free by construction (cells cover
+  // disjoint ID regions); not re-forwarding duplicates is a backstop.
+  if (copies > 1) return;
+  forward_cast(ctx, msg.cast_id, msg.origin, msg.row, msg.payload_bytes);
+}
+
+void WorkloadService::forward_cast(Context& ctx, std::uint64_t cast_id,
+                                   const NodeDescriptor& origin, int row,
+                                   std::uint32_t payload_bytes) {
+  const BootstrapProtocol& bp = bootstrap_.of(ctx.engine(), ctx.self());
+  if (!bp.active()) return;  // cannot delegate: this subtree is lost
+  const PrefixTable& table = bp.prefix_table();
+  const DigitConfig& digits = table.digits();
+  const NodeId own = ctx.self_id();
+  for (int i = row; i < table.rows(); ++i) {
+    const int own_digit = digit(own, i, digits);
+    for (int j = 0; j < digits.radix(); ++j) {
+      if (j == own_digit) continue;
+      if (table.cell_count(i, j) == 0) continue;
+      // First alive entry of the cell; every entry covers the same disjoint
+      // region, so any one of them keeps the tree duplicate-free.
+      for (const NodeDescriptor& d : table.cell(i, j)) {
+        if (!usable_entry(ctx.engine(), d)) continue;
+        auto msg = std::make_unique<PrefixCastMessage>(
+            cast_id, origin, static_cast<std::uint8_t>(i + 1), payload_bytes);
+        ctx.send(d.addr, std::move(msg));
+        log_->on_cast_forward();
+        break;
+      }
+    }
+  }
+}
+
+std::uint32_t WorkloadService::cast_copies(std::uint64_t cast_id) const {
+  const auto it = cast_copies_.find(cast_id);
+  return it == cast_copies_.end() ? 0 : it->second;
+}
+
+}  // namespace bsvc

@@ -1,0 +1,107 @@
+// The per-node workload service: a small KV store served over the
+// bootstrapped overlay, plus prefix-space broadcast.
+//
+// Requests are routed hop by hop with the same Pastry decision the routing
+// validation uses (overlay/pastry_next_hop) over the co-located bootstrap
+// protocol's live tables, with dead table entries skipped — the simulator's
+// shorthand for timeout-and-try-alternate. The root stores/serves the key,
+// replicates puts onto its closest leaf-set neighbours, and answers the
+// origin directly. Every request is one causal span (PR 7 machinery): opened
+// at issue, closed on answer or timeout, transport events attributed via the
+// payload's span id.
+//
+// Request ids are content-addressed like the engine's event keys —
+// (origin address << 40) | kWorkloadIdBit | per-origin sequence — so they
+// are a pure function of the trajectory and never collide with the
+// bootstrap protocol's exchange span ids (which keep bit 39 clear).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "core/bootstrap.hpp"
+#include "sim/protocol.hpp"
+#include "sim/slot_ref.hpp"
+#include "workload/messages.hpp"
+#include "workload/workload_log.hpp"
+
+namespace bsvc {
+
+/// Bit 39 of the 40-bit id counter field: set on workload request ids,
+/// clear on bootstrap exchange span ids — the two spaces stay disjoint.
+inline constexpr std::uint64_t kWorkloadIdBit = 1ull << 39;
+/// Additionally set (with kWorkloadIdBit) on broadcast cast ids.
+inline constexpr std::uint64_t kCastIdBit = 1ull << 38;
+
+/// Tunables of the workload service (shared by every node).
+struct WorkloadParams {
+  /// Replica copies a put places on the root's closest alive leaf-set
+  /// neighbours (the root's own copy not counted).
+  std::size_t replicas = 2;
+  /// Ticks after which an unanswered request times out at the origin.
+  SimTime timeout = 2 * kDelta;
+  /// Forwarding budget per request; exhausting it drops the request
+  /// (misrouted loops surface as timeouts, not infinite traffic).
+  int max_hops = 64;
+};
+
+class WorkloadService final : public Protocol {
+ public:
+  /// `bootstrap` locates the co-located BootstrapProtocol whose tables the
+  /// service routes over; `log` is the shared aggregator (never null).
+  WorkloadService(WorkloadParams params, SlotRef<BootstrapProtocol> bootstrap,
+                  WorkloadLog* log);
+
+  void on_timer(Context& ctx, std::uint64_t timer_id) override;
+  void on_message(Context& ctx, Address from, const Payload& payload) override;
+
+  /// Issues one KV request from this node. Driver entry point, called from
+  /// barrier context (schedule_call) or tests; returns the request id (0
+  /// when the request was unroutable — the origin's bootstrap protocol has
+  /// not activated yet).
+  std::uint64_t begin_kv(Context& ctx, KvOp op, NodeId key, std::uint32_t value_bytes);
+
+  /// Launches one prefix broadcast rooted at this node. The origin counts as
+  /// its own first delivery.
+  void begin_cast(Context& ctx, std::uint64_t cast_id, std::uint32_t payload_bytes);
+
+  // --- observers (tests, the driver's coverage verification) -------------
+  bool has_key(NodeId key) const { return store_.find(key) != store_.end(); }
+  std::size_t store_size() const { return store_.size(); }
+  /// Copies of `cast_id` received by this node (0 = never reached).
+  std::uint32_t cast_copies(std::uint64_t cast_id) const;
+  std::size_t pending_requests() const { return pending_.size(); }
+
+ private:
+  struct Pending {
+    KvOp op;
+    SimTime issued_at;
+  };
+
+  /// The Pastry next hop at this node for `key` over the live tables, with
+  /// dead entries skipped; own address when this node is the root,
+  /// kNullAddress when the bootstrap protocol is not active yet.
+  Address route_step(Context& ctx, NodeId key) const;
+
+  void handle_request(Context& ctx, const KvRequestMessage& req);
+  /// Serves the request at the root: stores/looks up, replicates puts,
+  /// answers the origin.
+  void serve_as_root(Context& ctx, const KvRequestMessage& req);
+  void replicate_put(Context& ctx, const KvRequestMessage& req);
+  void finish(Context& ctx, std::uint64_t request_id, KvOp op, std::uint32_t hops,
+              bool found);
+  void handle_cast(Context& ctx, const PrefixCastMessage& msg);
+  /// Delegates every cell (row >= `row`, digit != own) to one alive entry.
+  void forward_cast(Context& ctx, std::uint64_t cast_id, const NodeDescriptor& origin,
+                    int row, std::uint32_t payload_bytes);
+
+  WorkloadParams params_;
+  SlotRef<BootstrapProtocol> bootstrap_;
+  WorkloadLog* log_;
+  std::unordered_map<NodeId, std::uint32_t> store_;  // key -> value bytes
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  std::unordered_map<std::uint64_t, std::uint32_t> cast_copies_;
+  std::uint64_t req_seq_ = 0;
+};
+
+}  // namespace bsvc

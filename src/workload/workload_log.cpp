@@ -1,0 +1,115 @@
+#include "workload/workload_log.hpp"
+
+#include <algorithm>
+
+namespace bsvc {
+
+// Request latency in ticks: a request travels a handful of transport hops
+// (<= 150 ticks each) plus the direct response, and times out after a few
+// cycles — [0, 4Δ) in 8-tick buckets covers the whole range; later
+// observations clamp into the last bucket like every HistogramMetric.
+WorkloadLog::WorkloadLog() : rtt_(0.0, 4.0 * kDelta, 512) {}
+
+void WorkloadLog::bind_registry(obs::MetricsRegistry& registry) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  reg_put_sent_ = &registry.counter("workload.put.sent");
+  reg_get_sent_ = &registry.counter("workload.get.sent");
+  reg_answered_ = &registry.counter("workload.answered");
+  reg_timeout_ = &registry.counter("workload.timeout");
+  reg_unroutable_ = &registry.counter("workload.unroutable");
+  reg_cast_delivered_ = &registry.counter("workload.cast.delivered");
+  reg_cast_forwarded_ = &registry.counter("workload.cast.forwarded");
+}
+
+void WorkloadLog::on_issue(KvOp op) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (op == KvOp::Put) {
+    ++puts_;
+    if (reg_put_sent_ != nullptr) reg_put_sent_->inc();
+  } else {
+    ++gets_;
+    if (reg_get_sent_ != nullptr) reg_get_sent_->inc();
+  }
+}
+
+void WorkloadLog::on_unroutable(KvOp /*op*/) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++unroutable_;
+  if (reg_unroutable_ != nullptr) reg_unroutable_->inc();
+}
+
+void WorkloadLog::on_answer(KvOp op, SimTime rtt, std::uint32_t hops, bool found) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (op == KvOp::Put) {
+    ++put_ok_;
+  } else {
+    ++get_ok_;
+    if (found) {
+      ++get_found_;
+    } else {
+      ++get_miss_;
+    }
+  }
+  rtt_.add(static_cast<double>(rtt));
+  hops_total_ += hops;
+  hops_max_ = std::max<std::uint64_t>(hops_max_, hops);
+  if (reg_answered_ != nullptr) reg_answered_->inc();
+}
+
+void WorkloadLog::on_timeout(KvOp /*op*/) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++timeouts_;
+  if (reg_timeout_ != nullptr) reg_timeout_->inc();
+}
+
+void WorkloadLog::on_cast_launch() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++casts_;
+}
+
+void WorkloadLog::on_cast_receipt(bool first) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (first) {
+    ++cast_delivered_;
+    if (reg_cast_delivered_ != nullptr) reg_cast_delivered_->inc();
+  } else {
+    ++cast_duplicates_;
+  }
+}
+
+void WorkloadLog::on_cast_forward() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++cast_forwards_;
+  if (reg_cast_forwarded_ != nullptr) reg_cast_forwarded_->inc();
+}
+
+WorkloadSummary WorkloadLog::summary() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  WorkloadSummary s;
+  s.puts = puts_;
+  s.gets = gets_;
+  s.put_ok = put_ok_;
+  s.get_ok = get_ok_;
+  s.get_found = get_found_;
+  s.get_miss = get_miss_;
+  s.timeouts = timeouts_;
+  s.unroutable = unroutable_;
+  s.rtt_count = rtt_.count();
+  s.rtt_mean = rtt_.mean();
+  s.rtt_max = rtt_.max();
+  s.rtt_p50 = rtt_.quantile(0.50);
+  s.rtt_p95 = rtt_.quantile(0.95);
+  s.rtt_p99 = rtt_.quantile(0.99);
+  const std::uint64_t answered = put_ok_ + get_ok_;
+  s.hops_mean = answered == 0 ? 0.0
+                              : static_cast<double>(hops_total_) /
+                                    static_cast<double>(answered);
+  s.hops_max = static_cast<double>(hops_max_);
+  s.casts = casts_;
+  s.cast_delivered = cast_delivered_;
+  s.cast_duplicates = cast_duplicates_;
+  s.cast_forwards = cast_forwards_;
+  return s;
+}
+
+}  // namespace bsvc
