@@ -37,6 +37,7 @@ benches=(
   adversary
   scale
   workload
+  degradation
 )
 
 # Benches that support per-replica JSONL event traces (--trace); the suite

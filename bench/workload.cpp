@@ -28,11 +28,18 @@ namespace {
 struct PhasePlan {
   std::string name;
   ExperimentConfig cfg;
+  // Per-phase service knobs: bootstrap and steady run with the retry layer
+  // off (the no-retry reference rows), churn and heal run with it on.
+  WorkloadParams wl;
   // Request issue window and broadcast launch times, in cycles past the
   // bootstrap epoch (warmup end).
   std::size_t wl_from_cycle = 0;
   std::size_t wl_to_cycle = 0;
   std::vector<std::size_t> cast_cycles;
+  // Extra cycles past max_cycles before the summary: 3 covers the plain 2Δ
+  // request timeout; retry phases need the deepest backed-off chain to
+  // resolve (answer or burn its budget) so goodput is not under-counted.
+  std::size_t quiesce_cycles = 3;
 };
 
 struct PhaseOutcome {
@@ -46,11 +53,14 @@ struct PhaseOutcome {
 };
 
 PhaseOutcome run_phase(PhasePlan plan, DriverConfig base_driver) {
-  WorkloadStack stack;
+  WorkloadStack stack(plan.wl);
   plan.cfg.stop_at_convergence = false;
   plan.cfg.node_extension = stack.node_extension();
   BootstrapExperiment exp(plan.cfg);
   stack.log().bind_registry(exp.engine().metrics());
+  if (plan.wl.retry || plan.wl.hedge_delay > 0 || plan.wl.cast_retries > 0) {
+    stack.log().bind_retry_registry(exp.engine().metrics());
+  }
 
   const SimTime delta = plan.cfg.bootstrap.delta;
   const SimTime epoch = plan.cfg.warmup_cycles * delta;
@@ -66,9 +76,8 @@ PhaseOutcome run_phase(PhasePlan plan, DriverConfig base_driver) {
   PhaseOutcome out;
   out.name = plan.name;
   out.result = exp.run();
-  // Quiesce: three extra cycles cover the request timeout (2Δ) and in-flight
-  // broadcast deliveries, so every request resolves before the summary.
-  exp.engine().run_until(epoch + (plan.cfg.max_cycles + 3) * delta);
+  // Quiesce so every request resolves before the summary (see quiesce_cycles).
+  exp.engine().run_until(epoch + (plan.cfg.max_cycles + plan.quiesce_cycles) * delta);
   out.wl = stack.log().summary();
   out.cov = driver.verify_casts(exp.engine());
   out.total_events = exp.engine().events_dispatched();
@@ -103,7 +112,8 @@ void write_summary(const std::string& path, std::uint64_t seed, std::size_t n,
         "\"rtt_p50\": %.9g, \"rtt_p95\": %.9g, \"rtt_p99\": %.9g, "
         "\"hops_mean\": %.9g, \"hops_max\": %.9g, \"casts\": %llu, "
         "\"cast_expected\": %zu, \"cast_reached\": %zu, "
-        "\"cast_duplicates\": %llu, \"cast_forwards\": %llu}",
+        "\"cast_duplicates\": %llu, \"cast_forwards\": %llu, "
+        "\"kv_retries\": %llu, \"hedges_sent\": %llu, \"hedge_wins\": %llu}",
         i == 0 ? "" : ",", phases[i].name.c_str(),
         static_cast<unsigned long long>(w.puts),
         static_cast<unsigned long long>(w.gets),
@@ -117,7 +127,10 @@ void write_summary(const std::string& path, std::uint64_t seed, std::size_t n,
         w.rtt_p95, w.rtt_p99, w.hops_mean, w.hops_max,
         static_cast<unsigned long long>(w.casts), cov.expected, cov.reached,
         static_cast<unsigned long long>(cov.duplicates),
-        static_cast<unsigned long long>(w.cast_forwards));
+        static_cast<unsigned long long>(w.cast_forwards),
+        static_cast<unsigned long long>(w.kv_retries),
+        static_cast<unsigned long long>(w.hedges_sent),
+        static_cast<unsigned long long>(w.hedge_wins));
   }
   std::fprintf(f, "\n  ]\n}\n");
   std::fclose(f);
@@ -180,6 +193,19 @@ int main(int argc, char** argv) {
     p.cast_cycles = {27, 28};
     plans.push_back(std::move(p));
   }
+  // The faulty phases (churn, heal) run with the retry layer on: bounded
+  // backed-off KV retries over adaptive RTT timeouts plus hedged gets. A
+  // budget-5 chain with the timeout backed off to its 2Δ clamp stretches
+  // ~26Δ past the last issue, hence the long quiesce window.
+  WorkloadParams retry_wl;
+  retry_wl.retry = true;
+  retry_wl.retry_budget = 5;
+  retry_wl.retry_backoff = 1.5;
+  retry_wl.retry_jitter = 0.1;
+  retry_wl.adaptive_timeout = true;
+  retry_wl.rtt_min_timeout = 64;
+  retry_wl.rtt_max_timeout = 2 * kDelta;
+  retry_wl.hedge_delay = kDelta / 2;
   {
     // CHURN: continuous fail/join at 2%/cycle each with the liveness
     // extension on — requests race evictions, joiners serve mid-bootstrap.
@@ -190,20 +216,23 @@ int main(int argc, char** argv) {
     p.cfg.churn_join_rate = 0.02;
     p.cfg.bootstrap.evict_unresponsive = true;
     p.cfg.bootstrap.tombstone_ttl_cycles = 5;
+    p.wl = retry_wl;
     p.wl_from_cycle = 14;
     p.wl_to_cycle = 26;
     p.cast_cycles = {27, 28};
+    p.quiesce_cycles = 28;
     plans.push_back(std::move(p));
   }
   {
     // HEAL: the partition_heal scenario with traffic flowing throughout —
-    // requests into the far side time out while the cut holds (cycles
-    // 4..16), goodput recovers after the heal; broadcasts launch post-heal.
+    // requests into the far side retry across the cut window (cycles 4..16)
+    // and resolve once it heals; broadcasts launch post-heal.
     PhasePlan p;
     p.name = "heal";
     p.cfg = base_cfg(3, 32);
     p.cfg.bootstrap.evict_unresponsive = true;
     p.cfg.bootstrap.tombstone_ttl_cycles = 5;
+    p.wl = retry_wl;
     const SimTime delta = p.cfg.bootstrap.delta;
     const SimTime epoch = p.cfg.warmup_cycles * delta;
     PartitionSpec cut;
@@ -214,6 +243,7 @@ int main(int argc, char** argv) {
     p.wl_from_cycle = 2;
     p.wl_to_cycle = 28;
     p.cast_cycles = {29, 30};
+    p.quiesce_cycles = 28;
     plans.push_back(std::move(p));
   }
 
@@ -256,6 +286,10 @@ int main(int argc, char** argv) {
     report.add_metric(ph.name + " cast_coverage", ph.cov.coverage());
     report.add_metric(ph.name + " cast_duplicates",
                       static_cast<double>(ph.cov.duplicates));
+    // Counter rows (informational, not gated): zero for the retry-off phases.
+    report.add_metric(ph.name + " retry.kv", static_cast<double>(w.kv_retries));
+    report.add_metric(ph.name + " hedge.sent", static_cast<double>(w.hedges_sent));
+    report.add_metric(ph.name + " hedge.win", static_cast<double>(w.hedge_wins));
     if (ph.has_spans) report.set_spans(ph.spans);  // last phase wins (heal)
   }
   std::printf("%s\n", table.render().c_str());

@@ -57,6 +57,12 @@ fi
 
 ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
 
+# Chaos-soak smoke under the sanitizer: 24 seeded composite fault scenarios
+# (partitions x loss x latency x crash x Byzantine) through the full stack
+# with retries/hedging on, invariant oracles checked and a cross-shard
+# digest replay — the fuzzer tier most likely to surface lifetime bugs.
+"${build_dir}/bench/chaos_soak" --smoke
+
 # Second pass over the golden-replay witnesses with the observability layer
 # fully enabled (JSONL trace sink + per-cycle sampler): the witnesses must
 # hold bit-for-bit, and the sink/sampler code paths run under the sanitizer.

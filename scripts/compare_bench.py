@@ -18,11 +18,13 @@ different tier mixes the aggregate is not comparable and is skipped with a
 note.
 
 Workload gating: metrics named "<phase> goodput" / "<phase> cast_coverage"
-(higher is better) and "<phase> rtt_p50" / "rtt_p95" / "rtt_p99" (lower is
-better) are gated with the same tolerance whenever present on both sides —
-the bench/workload request-latency and goodput rows. These are
-deterministic functions of the seed, so any movement is a code change, not
-noise. One-sided keys are reported and skipped, like tiers.
+(higher is better) and "<phase> timeouts" / "rtt_p50" / "rtt_p95" /
+"rtt_p99" (lower is better) are gated with the same tolerance whenever
+present on both sides — the bench/workload request-latency and goodput rows
+and the bench/degradation per-arm rows. These are deterministic functions
+of the seed, so any movement is a code change, not noise. One-sided keys
+are reported and skipped, like tiers; a zero baseline (e.g. "loss0_base
+timeouts") is skipped rather than divided by.
 
 Besides throughput and the workload families, nothing else is gated. Any
 other top-level section a report carries — "spans" and "prof" from --spans /
@@ -101,10 +103,15 @@ def tier_series(report: dict) -> dict:
 
 
 # Workload metric families gated from the `metrics` object in addition to the
-# throughput series: (key suffix, higher_is_better).
+# throughput series: (key suffix, higher_is_better). The suffix match also
+# covers the degradation sweep's per-arm rows ("loss20_retry goodput",
+# "loss20_retry timeouts", ...). Counter-style rows (retry.kv, hedge.*,
+# rtt.samples) are informational and deliberately not gated: their absolute
+# values shift with any retry-tuning change without being a regression.
 WORKLOAD_SUFFIXES = (
     (" goodput", True),
     (" cast_coverage", True),
+    (" timeouts", False),
     (" rtt_p50", False),
     (" rtt_p95", False),
     (" rtt_p99", False),

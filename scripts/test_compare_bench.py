@@ -257,14 +257,29 @@ class CompareBenchTest(unittest.TestCase):
         self.assertIn("no baseline for this metric yet", proc.stdout)
 
     def test_other_workload_metrics_are_not_gated(self):
-        # Counts like "steady requests" / "steady timeouts" are informational;
-        # only the suffix families gate.
+        # Counts like "steady requests" / "loss20_retry retry.kv" are
+        # informational; only the suffix families gate.
         self.write(self.baseline, "BENCH_workload.json",
                    self.workload_report(1000.0, {"steady requests": 384.0}))
         self.write(self.current, "BENCH_workload.json",
                    self.workload_report(1000.0, {"steady requests": 10.0}))
         proc = run_gate(self.baseline, self.current)
         self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+    def test_timeouts_regress_upward(self):
+        # Degradation-sweep rows: a timeout count rising past the tolerance
+        # fails the gate (lower is better), and a zero baseline is skipped
+        # rather than divided by.
+        self.write(self.baseline, "BENCH_degradation.json",
+                   self.workload_report(1000.0, {"loss20_retry timeouts": 4.0,
+                                                 "loss0_base timeouts": 0.0}))
+        self.write(self.current, "BENCH_degradation.json",
+                   self.workload_report(1000.0, {"loss20_retry timeouts": 40.0,
+                                                 "loss0_base timeouts": 0.0}))
+        proc = run_gate(self.baseline, self.current)
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn("REGRESSION", proc.stdout)
+        self.assertIn("not positive -- skipped", proc.stdout)
 
     def test_reports_without_metrics_use_top_level_only(self):
         self.write(self.baseline, "BENCH_a.json", {"events_per_sec": 1000.0})

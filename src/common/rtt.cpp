@@ -1,0 +1,53 @@
+#include "common/rtt.hpp"
+
+#include <algorithm>
+
+namespace bsvc {
+
+void RttEstimator::on_sample(std::uint64_t rtt) {
+  ++samples_;
+  backoff_shift_ = 0;  // a clean sample proves the path works again
+  if (!has_sample_) {
+    has_sample_ = true;
+    srtt_ = rtt;
+    rttvar_ = rtt / 2;
+    return;
+  }
+  // RFC 6298 gains in integer arithmetic: rttvar = 3/4 rttvar + 1/4 |err|,
+  // srtt = 7/8 srtt + 1/8 rtt.
+  const std::uint64_t err = rtt > srtt_ ? rtt - srtt_ : srtt_ - rtt;
+  rttvar_ = (3 * rttvar_ + err) / 4;
+  srtt_ = (7 * srtt_ + rtt) / 8;
+}
+
+std::uint64_t RttEstimator::timeout() const {
+  std::uint64_t base = has_sample_ ? srtt_ + 4 * rttvar_ : config_.initial_timeout;
+  // Apply the loss backoff, saturating well before overflow.
+  const std::uint32_t shift = std::min<std::uint32_t>(backoff_shift_, 16);
+  if (base > (config_.max_timeout >> shift)) {
+    base = config_.max_timeout;
+  } else {
+    base <<= shift;
+  }
+  return std::clamp(base, config_.min_timeout, config_.max_timeout);
+}
+
+void RttEstimator::on_timeout() {
+  if (backoff_shift_ < 16) ++backoff_shift_;
+}
+
+std::uint64_t RetryPolicy::delay(int attempt, std::uint64_t base, Rng& rng) const {
+  std::uint64_t d = std::max<std::uint64_t>(base, 1);
+  // Integer exponentiation of the backoff factor, saturating at 2^32 * base
+  // (far beyond any sane budget); fractional factors round down per step.
+  for (int k = 1; k < attempt && d < (std::uint64_t{1} << 48); ++k) {
+    d = static_cast<std::uint64_t>(static_cast<double>(d) * backoff);
+  }
+  if (jitter > 0.0) {
+    const auto spread = static_cast<std::uint64_t>(jitter * static_cast<double>(d));
+    if (spread > 0) d += rng.below(spread + 1);
+  }
+  return std::max<std::uint64_t>(d, 1);
+}
+
+}  // namespace bsvc

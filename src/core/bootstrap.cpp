@@ -28,6 +28,12 @@ BootstrapProtocol::BootstrapProtocol(BootstrapConfig config, PeerSampler* sample
   BSVC_CHECK(config_.c >= 2);
   BSVC_CHECK(config_.k >= 1);
   config_.digits.validate<NodeId>();
+  RttConfig rc;
+  rc.initial_timeout =
+      config_.exchange_timeout != 0 ? config_.exchange_timeout : config_.delta / 2;
+  rc.min_timeout = config_.rtt_min_timeout;
+  rc.max_timeout = config_.rtt_max_timeout;
+  rtt_ = RttEstimator(rc);
 }
 
 void BootstrapProtocol::on_start(Context& ctx) {
@@ -38,6 +44,13 @@ void BootstrapProtocol::on_start(Context& ctx) {
   ctr_select_peer_empty_ = &metrics.counter("bootstrap.select_peer_empty");
   ctr_condemned_ = &metrics.counter("bootstrap.condemned");
   ctr_exchange_timeout_ = &metrics.counter("bootstrap.exchange_timeout");
+  if (config_.retry_exchanges) ctr_retry_ = &metrics.counter("retry.exchange");
+  if (config_.adaptive_timeout) ctr_rtt_samples_ = &metrics.counter("rtt.samples");
+  if (config_.suspicion_threshold > 0) {
+    ctr_suspect_marked_ = &metrics.counter("suspect.marked");
+    ctr_suspect_decayed_ = &metrics.counter("suspect.decayed");
+    ctr_suspect_evicted_ = &metrics.counter("suspect.evicted");
+  }
   if (config_.harden) {
     ctr_q_held_ = &metrics.counter("quarantine.held");
     ctr_q_promoted_ = &metrics.counter("quarantine.promoted");
@@ -82,14 +95,46 @@ void BootstrapProtocol::on_timer(Context& ctx, std::uint64_t timer_id) {
   }
 }
 
+SimTime BootstrapProtocol::exchange_timeout_value() const {
+  if (config_.adaptive_timeout) return static_cast<SimTime>(rtt_.timeout());
+  return config_.exchange_timeout != 0 ? config_.exchange_timeout : config_.delta / 2;
+}
+
 void BootstrapProtocol::on_exchange_timeout(Context& ctx, std::uint64_t seq) {
   // Only the newest exchange counts: a stale timer means the peer answered
   // or a later exchange replaced it.
   if (seq != exchange_seq_ || probe_answered_ || probe_peer_.addr == kNullAddress) return;
   if (!active()) return;
   now_ = ctx.now();
+  if (config_.retry_exchanges && exchange_attempts_ <= config_.exchange_retry_budget) {
+    // Retransmit to the same peer with a freshly rebuilt message (the tables
+    // may have moved since the first send). Karn's rule: a retried exchange
+    // contributes no RTT sample — its answer could belong to any copy.
+    rtt_.on_timeout();
+    exchange_retried_ = true;
+    ++exchange_attempts_;
+    if (ctr_retry_ != nullptr) ctr_retry_->inc();
+    if (span_log_ != nullptr && open_span_ != obs::kNoSpan) span_log_->on_retry(open_span_);
+    auto msg = create_message(probe_peer_.id, /*is_request=*/true);
+    msg->span = open_span_;
+    ctx.send(probe_peer_.addr, std::move(msg));
+    const RetryPolicy policy{config_.exchange_retry_budget, config_.retry_backoff,
+                             config_.retry_jitter};
+    const SimTime delay = static_cast<SimTime>(
+        policy.delay(exchange_attempts_ - 1, exchange_timeout_value(), ctx.rng()));
+    ++exchange_seq_;
+    ctx.schedule_timer(delay, kExchangeTimeoutBase + exchange_seq_);
+    return;
+  }
+  if (config_.adaptive_timeout) rtt_.on_timeout();
   if (ctr_exchange_timeout_ != nullptr) ctr_exchange_timeout_->inc();
   close_span(now_, obs::SpanOutcome::Timeout);
+  if (config_.suspicion_threshold > 0 && raise_suspicion(probe_peer_.addr)) {
+    if (ctr_suspect_evicted_ != nullptr) ctr_suspect_evicted_->inc();
+    suspicion_.erase(probe_peer_.addr);
+    condemn(probe_peer_.id, now_);
+    return;
+  }
   // Demote the silent peer into the probing path: SELECTPEER skips it until
   // it answers, and kProbeAttempts silent probes condemn it.
   send_probe(ctx, probe_peer_);
@@ -141,12 +186,13 @@ void BootstrapProtocol::active_step(Context& ctx) {
   }
   probe_peer_ = *peer;
   probe_answered_ = false;
+  exchange_attempts_ = 1;
+  exchange_retried_ = false;
+  exchange_sent_at_ = now_;
   ctx.send(peer->addr, std::move(msg));
   if (config_.evict_unresponsive) {
-    const SimTime timeout =
-        config_.exchange_timeout != 0 ? config_.exchange_timeout : config_.delta / 2;
     ++exchange_seq_;
-    ctx.schedule_timer(timeout, kExchangeTimeoutBase + exchange_seq_);
+    ctx.schedule_timer(exchange_timeout_value(), kExchangeTimeoutBase + exchange_seq_);
   }
 }
 
@@ -157,7 +203,21 @@ void BootstrapProtocol::maintenance_step(Context& ctx) {
   const SimTime now = ctx.now();
   for (auto it = outstanding_probes_.begin(); it != outstanding_probes_.end();) {
     if (now - it->sent > config_.delta) {
-      if (it->attempts >= kProbeAttempts) {
+      // One-shot mode evicts after kProbeAttempts silences; accrual mode adds
+      // one suspicion unit per silent round and keeps probing below the
+      // threshold, so a transiently slow peer survives (its answers decay
+      // the level back down).
+      bool evict;
+      if (config_.suspicion_threshold > 0) {
+        evict = raise_suspicion(it->target.addr);
+        if (evict) {
+          if (ctr_suspect_evicted_ != nullptr) ctr_suspect_evicted_->inc();
+          suspicion_.erase(it->target.addr);
+        }
+      } else {
+        evict = it->attempts >= kProbeAttempts;
+      }
+      if (evict) {
         condemn(it->target.id, now);
         last_heard_.erase(it->target.addr);
         if (config_.harden) {
@@ -392,6 +452,7 @@ void BootstrapProtocol::on_message(Context& ctx, Address from, const Payload& pa
   std::optional<NodeDescriptor> answered_probe;
   if (config_.evict_unresponsive) {
     last_heard_[from] = ctx.now();
+    if (config_.suspicion_threshold > 0) decay_suspicion(from);
     for (auto it = outstanding_probes_.begin(); it != outstanding_probes_.end(); ++it) {
       if (it->target.addr == from) {
         answered_probe = it->target;
@@ -441,6 +502,10 @@ void BootstrapProtocol::on_message(Context& ctx, Address from, const Payload& pa
   }
   if (from == probe_peer_.addr) {
     if (!probe_answered_) {
+      if (config_.adaptive_timeout && !exchange_retried_ && now_ >= exchange_sent_at_) {
+        rtt_.on_sample(now_ - exchange_sent_at_);
+        if (ctr_rtt_samples_ != nullptr) ctr_rtt_samples_->inc();
+      }
       close_span(now_, obs::SpanOutcome::Answered,
                  static_cast<std::uint32_t>(msg->entry_count()));
     }
@@ -459,6 +524,21 @@ void BootstrapProtocol::on_message(Context& ctx, Address from, const Payload& pa
   if (stats_ != nullptr) ++stats_->messages_received;
   if (config_.evict_unresponsive) adopt_tombstones(msg->tombstones, ctx.now());
   update_from(*msg, from);
+}
+
+bool BootstrapProtocol::raise_suspicion(Address addr) {
+  if (addr == kNullAddress) return false;
+  int& level = suspicion_[addr];
+  ++level;
+  if (ctr_suspect_marked_ != nullptr) ctr_suspect_marked_->inc();
+  return level >= config_.suspicion_threshold;
+}
+
+void BootstrapProtocol::decay_suspicion(Address addr) {
+  const auto it = suspicion_.find(addr);
+  if (it == suspicion_.end()) return;
+  if (ctr_suspect_decayed_ != nullptr) ctr_suspect_decayed_->inc();
+  if (--it->second <= 0) suspicion_.erase(it);
 }
 
 void BootstrapProtocol::condemn(NodeId id, SimTime now) {

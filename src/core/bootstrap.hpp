@@ -18,6 +18,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/rtt.hpp"
 #include "common/stats.hpp"
 #include "core/config.hpp"
 #include "core/leaf_set.hpp"
@@ -209,6 +210,13 @@ class BootstrapProtocol final : public Protocol {
   obs::Counter* ctr_select_peer_empty_ = nullptr;
   obs::Counter* ctr_condemned_ = nullptr;
   obs::Counter* ctr_exchange_timeout_ = nullptr;
+  // Retry / suspicion counters (registered only when the matching feature is
+  // on, so legacy runs keep an unchanged metrics registry).
+  obs::Counter* ctr_retry_ = nullptr;            // retry.exchange
+  obs::Counter* ctr_rtt_samples_ = nullptr;      // rtt.samples
+  obs::Counter* ctr_suspect_marked_ = nullptr;   // suspect.marked
+  obs::Counter* ctr_suspect_decayed_ = nullptr;  // suspect.decayed
+  obs::Counter* ctr_suspect_evicted_ = nullptr;  // suspect.evicted
   // Hardening counters (registered only with config_.harden, so unhardened
   // runs keep an unchanged metrics registry).
   obs::Counter* ctr_q_held_ = nullptr;          // quarantine.held
@@ -238,6 +246,27 @@ class BootstrapProtocol final : public Protocol {
   std::size_t prefix_probe_cursor_ = 0;
   // Monotone exchange counter; pairs with kExchangeTimeoutBase.
   std::uint64_t exchange_seq_ = 0;
+  // --- adaptive retry state (config_.retry_exchanges / adaptive_timeout) ---
+  // Per-node RTT estimator fed from clean exchange round trips; Karn's rule
+  // is enforced via exchange_retried_ (a retransmitted exchange contributes
+  // no sample — its answer could belong to any of its transmissions).
+  RttEstimator rtt_;
+  int exchange_attempts_ = 1;      // transmissions of the current exchange
+  bool exchange_retried_ = false;  // any retransmission happened
+  SimTime exchange_sent_at_ = 0;   // first transmission time (RTT sample base)
+  /// Current per-exchange answer timeout: the RTT estimate when
+  /// adaptive_timeout is on, else the fixed config value (0 = Δ/2).
+  SimTime exchange_timeout_value() const;
+  // --- suspicion accrual (config_.suspicion_threshold > 0) ----------------
+  // Suspicion level per address. Raised one unit per unanswered exchange or
+  // silent probe round, lowered one unit per message heard; reaching the
+  // threshold condemns. Bounded: entries leave on decay-to-zero or condemn.
+  std::unordered_map<Address, int> suspicion_;
+  /// Adds one suspicion unit; returns true when the threshold is reached
+  /// (the caller condemns).
+  bool raise_suspicion(Address addr);
+  /// Removes one suspicion unit on any sign of life.
+  void decay_suspicion(Address addr);
   // --- causal exchange spans (engine SpanLog installed; else inert) -------
   // The log pointer is cached at on_start; spans only open when it is set,
   // so an uninstalled log leaves every member below untouched.

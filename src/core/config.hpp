@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 
 #include "id/digits.hpp"
 #include "sim/engine.hpp"
@@ -68,6 +69,67 @@ struct BootstrapConfig {
   /// protocol is byte-identical to the unhardened build — the golden
   /// replays witness this.
   bool harden = false;
+
+  // --- adaptive retry / suspicion extension (requires evict_unresponsive,
+  // --- which owns the per-exchange timeout machinery; see docs/workloads.md)
+
+  /// Retransmit an unanswered exchange request — same peer, freshly rebuilt
+  /// message, exponential backoff with per-node-RNG jitter — before demoting
+  /// the peer into the probing path. Off by default: disabled runs are
+  /// bit-identical to the pre-retry protocol (golden replays witness this).
+  bool retry_exchanges = false;
+  /// Retransmissions allowed per exchange beyond the first send. Must be
+  /// positive when retry_exchanges is set (experiment setup enforces it).
+  int exchange_retry_budget = 2;
+  /// Backoff multiplier and jitter fraction of the retry schedule.
+  double retry_backoff = 2.0;
+  double retry_jitter = 0.1;
+  /// Replace the fixed exchange_timeout with a per-node Jacobson/Karn
+  /// estimate, srtt + 4 * rttvar clamped to [rtt_min_timeout,
+  /// rtt_max_timeout]. Samples come from clean (never-retransmitted)
+  /// exchange round trips; retried exchanges are discarded per Karn's rule.
+  bool adaptive_timeout = false;
+  SimTime rtt_min_timeout = 64;
+  SimTime rtt_max_timeout = 4 * kDelta;
+  /// Suspicion-level failure accrual replacing one-shot eviction: every
+  /// unanswered exchange or silent probe round adds one suspicion unit for
+  /// the peer, any message heard from it removes one, and the peer is
+  /// condemned only when its level reaches this threshold — so a transient
+  /// latency spike demotes (SELECTPEER skips the suspect) without evicting
+  /// a live peer. 0 keeps the legacy kProbeAttempts one-shot eviction.
+  int suspicion_threshold = 0;
+
+  /// Returns "" when the retry/timeout knobs are coherent with the transport
+  /// (min one-way latency `min_latency`), else the first problem. Experiment
+  /// setup rejects a bad config via the exit-2 path.
+  std::string validate(SimTime min_latency) const {
+    if (evict_unresponsive && exchange_timeout != 0 && exchange_timeout <= min_latency) {
+      return "exchange_timeout (" + std::to_string(exchange_timeout) +
+             ") must exceed the transport's min_latency (" +
+             std::to_string(min_latency) + "): an answer can never arrive sooner";
+    }
+    if (retry_exchanges && exchange_retry_budget <= 0) {
+      return "exchange_retry_budget must be positive when retry_exchanges is set (got " +
+             std::to_string(exchange_retry_budget) + ")";
+    }
+    if (retry_exchanges && !evict_unresponsive) {
+      return "retry_exchanges requires evict_unresponsive (it rides the "
+             "per-exchange timeout machinery)";
+    }
+    if (adaptive_timeout && !evict_unresponsive) {
+      return "adaptive_timeout requires evict_unresponsive (it replaces the "
+             "per-exchange timeout value)";
+    }
+    if (adaptive_timeout &&
+        (rtt_min_timeout <= min_latency || rtt_min_timeout > rtt_max_timeout)) {
+      return "adaptive timeout bounds must satisfy min_latency < rtt_min_timeout "
+             "<= rtt_max_timeout";
+    }
+    if (suspicion_threshold < 0) {
+      return "suspicion_threshold must be >= 0 (0 disables accrual)";
+    }
+    return "";
+  }
 };
 
 }  // namespace bsvc

@@ -30,6 +30,12 @@ BootstrapExperiment::BootstrapExperiment(ExperimentConfig config) : config_(std:
   if (const std::string err = transport.validate(); !err.empty()) {
     config_error("transport config", err);
   }
+  // The retry/timeout knobs are only coherent relative to the transport's
+  // minimum latency, so they are checked here — where both are known.
+  if (const std::string err = config_.bootstrap.validate(transport.min_latency);
+      !err.empty()) {
+    config_error("bootstrap config", err);
+  }
   if (config_.shards != 0 && config_.sampler == SamplerKind::Oracle) {
     config_error("sampler config",
                  "SamplerKind::Oracle is incompatible with sharded execution "

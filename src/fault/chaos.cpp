@@ -1,0 +1,230 @@
+#include "fault/chaos.hpp"
+
+#include <cstdio>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace bsvc {
+
+namespace {
+
+/// A window of `min_cycles`..`max_cycles` deltas placed uniformly inside
+/// [epoch, horizon].
+TimeWindow draw_window(Rng& rng, const ChaosGenConfig& gen, std::uint64_t min_cycles,
+                       std::uint64_t max_cycles) {
+  const SimTime span = gen.horizon - gen.epoch;
+  SimTime len = (min_cycles + rng.below(max_cycles - min_cycles + 1)) * gen.delta;
+  if (len >= span) len = span - 1;
+  const SimTime start = gen.epoch + rng.below(span - len);
+  return TimeWindow{start, start + len};
+}
+
+void append(std::string& out, const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  out += buf;
+}
+
+}  // namespace
+
+ChaosCase make_chaos_case(const ChaosGenConfig& gen, std::uint64_t suite_seed,
+                          std::size_t index) {
+  BSVC_CHECK(gen.horizon > gen.epoch + 4 * gen.delta);
+  BSVC_CHECK(gen.n >= 8);
+  // Distinct stream per (suite, case): the multiplier is odd so index + 1
+  // never collapses two cases onto one seed.
+  Rng rng(suite_seed ^ (0xC2B2AE3D27D4EB4Full * (index + 1)));
+
+  ChaosCase c;
+  c.index = index;
+  c.seed = suite_seed * 1000003ull + index;
+  c.plan.seed = rng.next_u64();
+
+  if (rng.chance(0.55)) {
+    PartitionSpec p;
+    p.window = draw_window(rng, gen, 3, 8);
+    if (rng.chance(0.30)) {
+      p.kind = PartitionSpec::Kind::Modulo;
+      p.value = static_cast<std::uint32_t>(2 + rng.below(3));
+    } else {
+      p.kind = PartitionSpec::Kind::Cut;
+      p.value = static_cast<std::uint32_t>(gen.n / 4 + rng.below(gen.n / 2));
+    }
+    c.plan.partitions.push_back(p);
+  }
+  if (rng.chance(0.60)) {
+    LinkLossSpec l;
+    l.window = draw_window(rng, gen, 4, 10);
+    l.drop_probability = 0.05 + 0.30 * rng.uniform01();
+    c.plan.link_loss.push_back(l);
+  }
+  if (rng.chance(0.50)) {
+    LatencySpec l;
+    l.window = draw_window(rng, gen, 3, 8);
+    if (rng.chance(0.50)) {
+      l.mode = LatencySpec::Mode::Spike;
+      l.add = gen.delta / 10 + rng.below(gen.delta / 2);
+    } else {
+      l.mode = LatencySpec::Mode::Pareto;
+      l.scale = 20.0 + static_cast<double>(rng.below(60));
+      l.alpha = 1.5 + rng.uniform01();
+      l.cap = 4 * gen.delta;
+    }
+    c.plan.latency.push_back(l);
+  }
+  if (rng.chance(0.30)) {
+    DuplicateSpec d;
+    d.window = draw_window(rng, gen, 3, 8);
+    d.probability = 0.05 + 0.25 * rng.uniform01();
+    d.jitter = 20 + rng.below(180);
+    c.plan.duplicates.push_back(d);
+  }
+  if (rng.chance(0.30)) {
+    ReorderSpec r;
+    r.window = draw_window(rng, gen, 3, 8);
+    r.probability = 0.05 + 0.25 * rng.uniform01();
+    r.max_delay = 50 + rng.below(150);
+    c.plan.reorders.push_back(r);
+  }
+  if (rng.chance(0.50)) {
+    CrashSpec cr;
+    cr.window = draw_window(rng, gen, 2, 6);
+    cr.fraction = 0.05 + 0.20 * rng.uniform01();
+    c.plan.crashes.push_back(cr);
+  }
+  if (gen.byzantine_max_fraction > 0.0 && rng.chance(0.25)) {
+    c.byzantine_fraction = gen.byzantine_max_fraction * (0.3 + 0.7 * rng.uniform01());
+    c.adversary_seed = rng.next_u64();
+    c.byz_poison = rng.chance(0.70);
+    c.byz_eclipse = !c.byz_poison || rng.chance(0.30);
+    c.byz_suppress = rng.chance(0.50) ? 0.3 * rng.uniform01() : 0.0;
+  }
+  // Adversarial cases always run hardened: the unhardened protocol is
+  // eclipsable forever by design (the adversary bench demonstrates exactly
+  // that), so demanding re-convergence from it would fuzz a known
+  // vulnerability, not hunt regressions. Benign cases cover harden=off.
+  c.harden = c.has_adversary() || rng.chance(0.50);
+  c.retries = rng.chance(0.50);
+  return c;
+}
+
+std::string ChaosCase::describe() const {
+  std::string s;
+  if (!plan.partitions.empty()) {
+    s += plan.partitions[0].kind == PartitionSpec::Kind::Cut ? "partition=cut "
+                                                             : "partition=mod ";
+  }
+  if (!plan.link_loss.empty()) append(s, "loss=%.2f ", plan.link_loss[0].drop_probability);
+  if (!plan.latency.empty()) {
+    s += plan.latency[0].mode == LatencySpec::Mode::Spike ? "lat=spike " : "lat=pareto ";
+  }
+  if (!plan.duplicates.empty()) append(s, "dup=%.2f ", plan.duplicates[0].probability);
+  if (!plan.reorders.empty()) append(s, "reorder=%.2f ", plan.reorders[0].probability);
+  if (!plan.crashes.empty()) append(s, "crash=%.2f ", plan.crashes[0].fraction);
+  if (has_adversary()) append(s, "byz=%.3f ", byzantine_fraction);
+  s += harden ? "harden=1 " : "harden=0 ";
+  s += retries ? "retries=1" : "retries=0";
+  return s;
+}
+
+std::vector<std::string> check_chaos_invariants(const ChaosObservation& o) {
+  std::vector<std::string> bad;
+  auto fail = [&bad](std::string msg) { bad.push_back(std::move(msg)); };
+
+  // 1. Message conservation: every copy the transport accounted as an
+  // outcome traces back to a send or a fault-injected duplicate.
+  if (o.delivered + o.dropped + o.to_dead > o.sent + o.duplicated) {
+    fail("message conservation violated: delivered " + std::to_string(o.delivered) +
+         " + dropped " + std::to_string(o.dropped) + " + to_dead " +
+         std::to_string(o.to_dead) + " > sent " + std::to_string(o.sent) +
+         " + duplicated " + std::to_string(o.duplicated));
+  }
+
+  // 2. Workload ledger: every issued request resolved exactly one way, and
+  // nothing is still pending after the quiesce tail.
+  if (o.wl_issued != o.wl_answered + o.wl_timeouts + o.wl_unroutable) {
+    fail("workload ledger unbalanced: issued " + std::to_string(o.wl_issued) +
+         " != answered " + std::to_string(o.wl_answered) + " + timeouts " +
+         std::to_string(o.wl_timeouts) + " + unroutable " +
+         std::to_string(o.wl_unroutable));
+  }
+  if (o.wl_pending != 0) {
+    fail("requests leaked: " + std::to_string(o.wl_pending) +
+         " still pending after quiesce");
+  }
+
+  // 3. Span ledger.
+  if (o.span_stray != 0) fail("stray span closes: " + std::to_string(o.span_stray));
+  if (o.span_overflow != 0) {
+    fail("span overflow drops: " + std::to_string(o.span_overflow));
+  }
+  if (o.span_closed > o.span_opened ||
+      o.span_in_flight != o.span_opened - o.span_closed) {
+    fail("span ledger unbalanced: opened " + std::to_string(o.span_opened) +
+         ", closed " + std::to_string(o.span_closed) + ", in_flight " +
+         std::to_string(o.span_in_flight));
+  }
+
+  // 4. Liveness: every crash window has healed and nobody is eclipsed
+  // forever — an alive node that never activated, or whose leaf set is
+  // empty after the recovery tail, is permanently cut off.
+  if (o.alive != o.n) {
+    fail("crash windows did not heal: " + std::to_string(o.alive) + "/" +
+         std::to_string(o.n) + " alive");
+  }
+  if (o.inactive_alive != 0) {
+    fail("eclipsed forever: " + std::to_string(o.inactive_alive) +
+         " alive nodes never activated");
+  }
+  if (o.empty_leaf_alive != 0) {
+    fail("eclipsed forever: " + std::to_string(o.empty_leaf_alive) +
+         " alive nodes hold an empty leaf set");
+  }
+
+  // 5. Re-convergence, loosely: after the recovery tail the overlay must be
+  // substantially rebuilt whatever the faults were (a strict bound belongs
+  // to scenario-specific tests, not a fuzzer oracle). Hardened quarantine
+  // repairs leaf sets slowly after compound partition+crash+byzantine
+  // windows — prefix tables recover fully while leaf sets drain at a few
+  // entries per cycle — so the bound only rejects overlays that stayed
+  // mostly broken.
+  if (o.missing_leaf_fraction > 0.65) {
+    std::string msg = "no re-convergence: missing leaf fraction ";
+    append(msg, "%.4f", o.missing_leaf_fraction);
+    fail(std::move(msg));
+  }
+  return bad;
+}
+
+std::uint64_t chaos_digest(const ChaosObservation& o) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffull;
+      h *= 0x100000001b3ull;
+    }
+  };
+  mix(o.sent);
+  mix(o.dropped);
+  mix(o.to_dead);
+  mix(o.delivered);
+  mix(o.duplicated);
+  mix(o.wl_issued);
+  mix(o.wl_answered);
+  mix(o.wl_timeouts);
+  mix(o.wl_unroutable);
+  mix(o.wl_pending);
+  mix(o.span_opened);
+  mix(o.span_closed);
+  mix(o.span_in_flight);
+  mix(o.n);
+  mix(o.alive);
+  mix(o.inactive_alive);
+  mix(o.empty_leaf_alive);
+  // Quantized so the digest stays a pure integer function of the trajectory.
+  mix(static_cast<std::uint64_t>(o.missing_leaf_fraction * 1e9));
+  return h;
+}
+
+}  // namespace bsvc

@@ -1,0 +1,112 @@
+// Chaos fuzzing for the fault layer: a seeded generator of randomized
+// composite fault scenarios — partitions x link loss x latency spikes /
+// heavy tails x duplication x reordering x crash-recover windows, with an
+// optional Byzantine layer — plus the invariant oracles a soak harness
+// checks after every run.
+//
+// A ChaosCase is plain data and a pure function of (suite seed, case index):
+// the same pair regenerates the same case on any machine, so a soak failure
+// reported as "seed S case I" reproduces with two numbers. The Byzantine
+// half is carried as plain numbers (fraction / behavior flags) rather than
+// an AdversaryPlan so this header stays inside bsvc_fault; the harness
+// assembles the plan (bench/chaos_soak.cpp shows the three lines).
+//
+// The oracles are deliberately scenario-independent: whatever the fault mix
+// did, after every window has closed and the run has quiesced, conservation
+// of messages, the workload ledger, the span ledger, and basic liveness
+// (nobody eclipsed forever, the overlay re-converged) must all hold.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/fault_plan.hpp"
+
+namespace bsvc {
+
+/// Bounds the generator draws within: all fault windows open at or after
+/// `epoch` and close by `horizon` (so the run's tail is a recovery phase the
+/// re-convergence oracle can check).
+struct ChaosGenConfig {
+  std::size_t n = 48;
+  SimTime delta = kDelta;
+  SimTime epoch = 0;
+  SimTime horizon = 0;
+  /// Upper bound on the Byzantine fraction a case may draw (0 disables the
+  /// adversary component entirely).
+  double byzantine_max_fraction = 0.10;
+};
+
+/// One generated scenario. `plan` is ready to drop into
+/// ExperimentConfig::fault_plan; the byz_* fields describe the adversary
+/// layer for the harness to assemble; `harden`/`retries` toggle the defense
+/// features so the soak covers every quadrant of the defense matrix.
+struct ChaosCase {
+  std::uint64_t seed = 0;  // experiment seed for this case
+  std::size_t index = 0;
+  FaultPlan plan;
+  double byzantine_fraction = 0.0;
+  std::uint64_t adversary_seed = 0;
+  bool byz_poison = false;
+  bool byz_eclipse = false;
+  double byz_suppress = 0.0;
+  bool harden = false;
+  bool retries = false;
+
+  bool has_adversary() const { return byzantine_fraction > 0.0; }
+  /// One-line summary ("partition=cut loss=0.21 crash=0.12 byz=0.06 ...")
+  /// for failure reports.
+  std::string describe() const;
+};
+
+/// Generates case `index` of suite `suite_seed`. Deterministic and
+/// platform-independent; every draw comes from a private splitmix-seeded
+/// stream over (suite_seed, index).
+ChaosCase make_chaos_case(const ChaosGenConfig& gen, std::uint64_t suite_seed,
+                          std::size_t index);
+
+/// What the harness measured after the run + quiesce. Plain numbers so the
+/// oracle is trivially testable and the digest is platform-independent.
+struct ChaosObservation {
+  // Engine traffic totals.
+  std::uint64_t sent = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t to_dead = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t duplicated = 0;
+  // Workload ledger.
+  std::uint64_t wl_issued = 0;
+  std::uint64_t wl_answered = 0;
+  std::uint64_t wl_timeouts = 0;
+  std::uint64_t wl_unroutable = 0;
+  std::uint64_t wl_pending = 0;  // sum of pending_requests() after quiesce
+  // Span ledger.
+  std::uint64_t span_opened = 0;
+  std::uint64_t span_closed = 0;
+  std::uint64_t span_in_flight = 0;
+  std::uint64_t span_stray = 0;
+  std::uint64_t span_overflow = 0;
+  // Population and convergence at the end of the recovery tail.
+  std::size_t n = 0;
+  std::size_t alive = 0;
+  std::size_t inactive_alive = 0;    // alive nodes whose bootstrap never activated
+  std::size_t empty_leaf_alive = 0;  // alive, active, but an empty leaf set
+  double missing_leaf_fraction = 0.0;
+};
+
+/// Checks every invariant; returns one message per violation (empty = pass):
+///   1. message conservation: delivered + dropped + to_dead <= sent + duplicated
+///   2. workload ledger balances and nothing is left pending after quiesce
+///   3. span ledger balances, no stray closes, no overflow drops
+///   4. liveness: every crash window healed (alive == n), nobody is
+///      eclipsed forever (no inactive or empty-leaf-set alive node)
+///   5. re-convergence: missing-leaf fraction back under a loose bound
+std::vector<std::string> check_chaos_invariants(const ChaosObservation& o);
+
+/// Order-fixed FNV-1a digest over the observation: byte-identical across
+/// --shards K iff the trajectories match, which is what the soak's replay
+/// subset asserts.
+std::uint64_t chaos_digest(const ChaosObservation& o);
+
+}  // namespace bsvc

@@ -41,6 +41,7 @@ void SpanLog::bind_registry(MetricsRegistry& registry) {
       &registry.counter("span.superseded");
   reg_outcomes_[static_cast<std::size_t>(SpanOutcome::Evicted)] =
       &registry.counter("span.evicted");
+  reg_retries_ = &registry.counter("span.retries");
 }
 
 void SpanLog::open(SpanId id, std::uint64_t now, std::uint32_t request_descriptors) {
@@ -76,7 +77,10 @@ void SpanLog::close(SpanId id, std::uint64_t now, SpanOutcome outcome,
     answer_descriptors_total_ += answer_descriptors;
   }
   hops_total_ += rec.delivers;
-  retries_total_ += rec.sends > 0 ? rec.sends - 1 : 0;
+  // Explicit retransmissions only: transport sends also count multi-hop
+  // forwards and answer legs, so sends - 1 over-reported for anything but a
+  // plain two-leg exchange.
+  retries_total_ += rec.retries;
   request_descriptors_total_ += rec.request_descriptors;
 }
 
@@ -87,6 +91,13 @@ void SpanLog::on_transport(SpanId id, SpanTransport transport) {
   if (it == in_flight_.end()) return;
   if (transport == SpanTransport::Send) ++it->second.sends;
   if (transport == SpanTransport::Deliver) ++it->second.delivers;
+}
+
+void SpanLog::on_retry(SpanId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (reg_retries_ != nullptr) reg_retries_->inc();
+  const auto it = in_flight_.find(id);
+  if (it != in_flight_.end()) ++it->second.retries;
 }
 
 SpanSummary SpanLog::summary() const {

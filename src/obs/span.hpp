@@ -79,7 +79,7 @@ struct SpanSummary {
   double lifetime_p99 = 0.0;
   // Per-closed-span means.
   double hops_mean = 0.0;     // transport deliveries per span (request + answer)
-  double retries_mean = 0.0;  // sends beyond the first per span
+  double retries_mean = 0.0;  // explicit retransmissions per span (on_retry)
   double request_descriptors_mean = 0.0;
   double answer_descriptors_mean = 0.0;  // over answered spans
 };
@@ -120,6 +120,11 @@ class SpanLog {
   /// after the span closed) but update no per-span state.
   void on_transport(SpanId id, SpanTransport transport);
 
+  /// Records one explicit retransmission on span `id` (the retry layer's
+  /// hook — transport sends alone cannot distinguish a retry from a
+  /// multi-hop forward). Mirrors into the "span.retries" registry counter.
+  void on_retry(SpanId id);
+
   SpanSummary summary() const;
 
  private:
@@ -128,6 +133,7 @@ class SpanLog {
     std::uint32_t request_descriptors = 0;
     std::uint32_t sends = 0;
     std::uint32_t delivers = 0;
+    std::uint32_t retries = 0;
   };
 
   mutable std::mutex mutex_;
@@ -146,6 +152,7 @@ class SpanLog {
   HistogramMetric rtt_;
   HistogramMetric lifetime_;
   Counter* reg_opened_ = nullptr;
+  Counter* reg_retries_ = nullptr;
   Counter* reg_outcomes_[4] = {nullptr, nullptr, nullptr, nullptr};
 };
 

@@ -1,13 +1,23 @@
 #include "workload/driver.hpp"
 
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <string>
 #include <utility>
 
 #include "sim/engine.hpp"
 
 namespace bsvc {
 
-WorkloadStack::WorkloadStack(WorkloadParams params) : params_(params) {}
+WorkloadStack::WorkloadStack(WorkloadParams params) : params_(params) {
+  // Same exit-2 setup-error convention as Experiment: an incoherent knob set
+  // is an input mistake, not a simulation outcome.
+  if (const std::string err = params_.validate(); !err.empty()) {
+    std::fprintf(stderr, "workload config error: %s\n", err.c_str());
+    std::exit(2);
+  }
+}
 
 std::function<void(Engine&, Address)> WorkloadStack::node_extension(
     SlotRef<BootstrapProtocol> bootstrap) {

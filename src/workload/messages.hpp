@@ -57,6 +57,9 @@ class KvRequestMessage final : public Payload {
   std::uint8_t hops;  // forwards taken so far (echoed in the response)
   KvOp op;
   bool replicate;
+  /// Hedged duplicate of a get (tail-latency mitigation): any node holding
+  /// the key — a leaf-set replica, not just the root — may answer directly.
+  bool hedge = false;
 };
 
 /// The root's answer, sent directly to the request origin (one hop back, as
@@ -89,6 +92,9 @@ class KvResponseMessage final : public Payload {
   std::uint8_t hops;  // request-path forwards (for origin-side accounting)
   KvOp op;
   bool found;  // gets: key present at the root; puts: always true
+  /// The answer travelled on behalf of a hedged copy (origin-side hedge-win
+  /// accounting when it arrives first).
+  bool hedged = false;
 };
 
 /// One prefix-space broadcast message. `row` is the length of the ID prefix
@@ -118,6 +124,14 @@ class PrefixCastMessage final : public Payload {
   NodeDescriptor origin;
   std::uint32_t payload_bytes;
   std::uint8_t row;
+  /// Re-delegation handshake (cast_retries > 0): the delegator sets
+  /// want_ack and a delegator-local token; the receiver echoes the token in
+  /// a tiny ack message (ack = true, payload_bytes = 0), and a silent cell
+  /// entry is re-delegated to an alternate on timeout. All three fields are
+  /// simulation-local, like the span id.
+  bool want_ack = false;
+  bool ack = false;
+  std::uint64_t token = 0;
 };
 
 }  // namespace bsvc

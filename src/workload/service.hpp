@@ -17,8 +17,11 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
+#include <vector>
 
+#include "common/rtt.hpp"
 #include "core/bootstrap.hpp"
 #include "sim/protocol.hpp"
 #include "sim/slot_ref.hpp"
@@ -32,17 +35,71 @@ namespace bsvc {
 inline constexpr std::uint64_t kWorkloadIdBit = 1ull << 39;
 /// Additionally set (with kWorkloadIdBit) on broadcast cast ids.
 inline constexpr std::uint64_t kCastIdBit = 1ull << 38;
+/// Timer-id tags within the same counter field (per-origin sequences stay
+/// far below 2^36, so the tag bits never collide with real ids): bit 37
+/// marks the hedge timer of the request id with the bit cleared, bit 36
+/// (together with the cast bits) a cast re-delegation ack timeout.
+inline constexpr std::uint64_t kHedgeTimerBit = 1ull << 37;
+inline constexpr std::uint64_t kDelegTimerBit = 1ull << 36;
 
 /// Tunables of the workload service (shared by every node).
 struct WorkloadParams {
   /// Replica copies a put places on the root's closest alive leaf-set
   /// neighbours (the root's own copy not counted).
   std::size_t replicas = 2;
-  /// Ticks after which an unanswered request times out at the origin.
+  /// Ticks after which an unanswered request times out at the origin (the
+  /// fixed fallback; adaptive_timeout replaces it with the RTT estimate).
   SimTime timeout = 2 * kDelta;
   /// Forwarding budget per request; exhausting it drops the request
   /// (misrouted loops surface as timeouts, not infinite traffic).
   int max_hops = 64;
+
+  // --- retry / hedging extension (all off by default: a disabled build is
+  // --- bit-identical to the pre-retry service; see docs/workloads.md) -----
+
+  /// Retransmit an unanswered request from the origin — re-routed over the
+  /// live tables, exponential backoff, per-node-RNG jitter — before the
+  /// final timeout. The request id (and its causal span) stays the same.
+  bool retry = false;
+  /// Retransmissions allowed per request. Must be positive with retry on.
+  int retry_budget = 3;
+  double retry_backoff = 2.0;
+  double retry_jitter = 0.1;
+  /// Replace the fixed timeout with a per-node Jacobson/Karn estimate
+  /// (srtt + 4 * rttvar clamped to [rtt_min_timeout, rtt_max_timeout]).
+  /// Karn's rule: retried or hedged requests contribute no sample.
+  bool adaptive_timeout = false;
+  SimTime rtt_min_timeout = 64;
+  SimTime rtt_max_timeout = 4 * kDelta;
+  /// Hedged gets: when > 0 and the get is still unanswered this many ticks
+  /// after issue, a second copy goes out over an alternate first hop, and
+  /// any node holding the key (a leaf-set replica) may answer it directly.
+  SimTime hedge_delay = 0;
+  /// Per-cell cast re-delegation budget: when > 0 every delegated cell
+  /// entry must ack, and a silent entry is re-delegated to an alternate
+  /// entry of the same cell up to this many times. 0 disables the
+  /// handshake entirely (no ack traffic).
+  int cast_retries = 0;
+  /// Ack timeout of the re-delegation handshake.
+  SimTime cast_ack_timeout = kDelta / 2;
+
+  /// Returns "" when coherent, else the first problem (zero/negative retry
+  /// budgets with the feature on, inverted timeout bounds).
+  std::string validate() const {
+    if (retry && retry_budget <= 0) {
+      return "retry_budget must be positive when retry is set (got " +
+             std::to_string(retry_budget) + ")";
+    }
+    if (cast_retries < 0) return "cast_retries must be >= 0";
+    if (cast_retries > 0 && cast_ack_timeout == 0) {
+      return "cast_ack_timeout must be positive when cast_retries is set";
+    }
+    if (adaptive_timeout && (rtt_min_timeout == 0 || rtt_min_timeout > rtt_max_timeout)) {
+      return "adaptive timeout bounds must satisfy 0 < rtt_min_timeout <= rtt_max_timeout";
+    }
+    if (timeout == 0) return "timeout must be positive";
+    return "";
+  }
 };
 
 class WorkloadService final : public Protocol {
@@ -76,12 +133,41 @@ class WorkloadService final : public Protocol {
   struct Pending {
     KvOp op;
     SimTime issued_at;
+    // Retry/hedge state (inert while both features are off).
+    NodeId key = 0;
+    std::uint32_t value_bytes = 0;
+    int attempts = 1;        // transmissions so far (1 = original only)
+    bool retried = false;    // Karn's rule: sample only unambiguous answers
+    bool hedge_sent = false;
+  };
+
+  /// One outstanding cast delegation awaiting an ack (cast_retries > 0).
+  struct OutstandingDelegation {
+    std::uint64_t cast_id = 0;
+    NodeDescriptor origin;
+    int cell_row = 0;    // prefix-table cell the delegate covers
+    int cell_digit = 0;
+    std::uint32_t payload_bytes = 0;
+    int attempts = 1;
+    std::vector<Address> tried;  // entries already delegated for this cell
   };
 
   /// The Pastry next hop at this node for `key` over the live tables, with
   /// dead entries skipped; own address when this node is the root,
   /// kNullAddress when the bootstrap protocol is not active yet.
   Address route_step(Context& ctx, NodeId key) const;
+  /// Same, but never returns `exclude` (hedge diversity: the second copy
+  /// leaves over a different first hop when one exists).
+  Address route_step_excluding(Context& ctx, NodeId key, Address exclude) const;
+
+  /// The origin-side timeout for the next (re)transmission: the adaptive
+  /// estimate when enabled, else the fixed params timeout.
+  SimTime timeout_value() const;
+  /// Retransmits request `id` (budget already checked): re-routes, resends
+  /// under the same id/span, schedules the next backed-off timeout.
+  void retry_request(Context& ctx, std::uint64_t id, Pending& p);
+  void on_hedge_timer(Context& ctx, std::uint64_t id);
+  void on_delegation_timeout(Context& ctx, std::uint64_t token);
 
   void handle_request(Context& ctx, const KvRequestMessage& req);
   /// Serves the request at the root: stores/looks up, replicates puts,
@@ -90,10 +176,17 @@ class WorkloadService final : public Protocol {
   void replicate_put(Context& ctx, const KvRequestMessage& req);
   void finish(Context& ctx, std::uint64_t request_id, KvOp op, std::uint32_t hops,
               bool found);
-  void handle_cast(Context& ctx, const PrefixCastMessage& msg);
+  void handle_cast(Context& ctx, Address from, const PrefixCastMessage& msg);
   /// Delegates every cell (row >= `row`, digit != own) to one alive entry.
   void forward_cast(Context& ctx, std::uint64_t cast_id, const NodeDescriptor& origin,
                     int row, std::uint32_t payload_bytes);
+  /// Sends one delegation copy with the ack handshake armed (cast_retries
+  /// path): allocates a token, records the outstanding delegation, schedules
+  /// its ack timeout.
+  void send_delegation(Context& ctx, std::uint64_t cast_id, const NodeDescriptor& origin,
+                       Address to, int cell_row, int cell_digit,
+                       std::uint32_t payload_bytes, std::vector<Address> tried,
+                       int attempts);
 
   WorkloadParams params_;
   SlotRef<BootstrapProtocol> bootstrap_;
@@ -101,7 +194,10 @@ class WorkloadService final : public Protocol {
   std::unordered_map<NodeId, std::uint32_t> store_;  // key -> value bytes
   std::unordered_map<std::uint64_t, Pending> pending_;
   std::unordered_map<std::uint64_t, std::uint32_t> cast_copies_;
+  std::unordered_map<std::uint64_t, OutstandingDelegation> delegations_;  // token ->
+  RttEstimator rtt_;
   std::uint64_t req_seq_ = 0;
+  std::uint64_t deleg_seq_ = 0;
 };
 
 }  // namespace bsvc

@@ -21,6 +21,15 @@ void WorkloadLog::bind_registry(obs::MetricsRegistry& registry) {
   reg_cast_forwarded_ = &registry.counter("workload.cast.forwarded");
 }
 
+void WorkloadLog::bind_retry_registry(obs::MetricsRegistry& registry) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  reg_retry_kv_ = &registry.counter("retry.kv");
+  reg_hedge_sent_ = &registry.counter("hedge.sent");
+  reg_hedge_win_ = &registry.counter("hedge.win");
+  reg_retry_cast_ = &registry.counter("retry.cast");
+  reg_rtt_samples_ = &registry.counter("rtt.samples");
+}
+
 void WorkloadLog::on_issue(KvOp op) {
   const std::lock_guard<std::mutex> lock(mutex_);
   if (op == KvOp::Put) {
@@ -62,6 +71,30 @@ void WorkloadLog::on_timeout(KvOp /*op*/) {
   if (reg_timeout_ != nullptr) reg_timeout_->inc();
 }
 
+void WorkloadLog::on_retry(KvOp /*op*/) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++kv_retries_;
+  if (reg_retry_kv_ != nullptr) reg_retry_kv_->inc();
+}
+
+void WorkloadLog::on_hedge_sent() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++hedges_sent_;
+  if (reg_hedge_sent_ != nullptr) reg_hedge_sent_->inc();
+}
+
+void WorkloadLog::on_hedge_win() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++hedge_wins_;
+  if (reg_hedge_win_ != nullptr) reg_hedge_win_->inc();
+}
+
+void WorkloadLog::on_rtt_sample() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++rtt_samples_;
+  if (reg_rtt_samples_ != nullptr) reg_rtt_samples_->inc();
+}
+
 void WorkloadLog::on_cast_launch() {
   const std::lock_guard<std::mutex> lock(mutex_);
   ++casts_;
@@ -81,6 +114,12 @@ void WorkloadLog::on_cast_forward() {
   const std::lock_guard<std::mutex> lock(mutex_);
   ++cast_forwards_;
   if (reg_cast_forwarded_ != nullptr) reg_cast_forwarded_->inc();
+}
+
+void WorkloadLog::on_cast_redelegate() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++cast_redelegations_;
+  if (reg_retry_cast_ != nullptr) reg_retry_cast_->inc();
 }
 
 WorkloadSummary WorkloadLog::summary() const {
@@ -109,6 +148,11 @@ WorkloadSummary WorkloadLog::summary() const {
   s.cast_delivered = cast_delivered_;
   s.cast_duplicates = cast_duplicates_;
   s.cast_forwards = cast_forwards_;
+  s.kv_retries = kv_retries_;
+  s.hedges_sent = hedges_sent_;
+  s.hedge_wins = hedge_wins_;
+  s.cast_redelegations = cast_redelegations_;
+  s.rtt_samples = rtt_samples_;
   return s;
 }
 

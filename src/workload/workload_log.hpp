@@ -45,6 +45,12 @@ struct WorkloadSummary {
   std::uint64_t cast_delivered = 0;   // first copies across all nodes
   std::uint64_t cast_duplicates = 0;  // extra copies (structurally 0)
   std::uint64_t cast_forwards = 0;    // delegate messages sent
+  // Retry/hedging layer (all zero while the features are off).
+  std::uint64_t kv_retries = 0;         // origin-side retransmissions
+  std::uint64_t hedges_sent = 0;        // hedge copies dispatched
+  std::uint64_t hedge_wins = 0;         // answers carried by a hedge copy
+  std::uint64_t cast_redelegations = 0; // silent cells handed to an alternate
+  std::uint64_t rtt_samples = 0;        // clean samples fed to the estimator
 
   std::uint64_t issued() const { return puts + gets; }
   std::uint64_t answered() const { return put_ok + get_ok; }
@@ -72,15 +78,26 @@ class WorkloadLog {
   /// outlive the log.
   void bind_registry(obs::MetricsRegistry& registry);
 
+  /// Mirrors the retry-layer counters ("retry.kv", "hedge.sent",
+  /// "hedge.win", "retry.cast", "rtt.samples"). Separate from
+  /// bind_registry so a run with the features off keeps the registry —
+  /// and every golden metric dump — byte-identical to the pre-retry tree.
+  void bind_retry_registry(obs::MetricsRegistry& registry);
+
   void on_issue(KvOp op);
   void on_unroutable(KvOp op);
   void on_answer(KvOp op, SimTime rtt, std::uint32_t hops, bool found);
   void on_timeout(KvOp op);
+  void on_retry(KvOp op);
+  void on_hedge_sent();
+  void on_hedge_win();
+  void on_rtt_sample();
 
   void on_cast_launch();
   /// One cast copy reached a node; `first` is false for duplicates.
   void on_cast_receipt(bool first);
   void on_cast_forward();
+  void on_cast_redelegate();
 
   WorkloadSummary summary() const;
 
@@ -93,6 +110,8 @@ class WorkloadLog {
   std::uint64_t hops_total_ = 0, hops_max_ = 0;
   std::uint64_t casts_ = 0, cast_delivered_ = 0, cast_duplicates_ = 0,
                 cast_forwards_ = 0;
+  std::uint64_t kv_retries_ = 0, hedges_sent_ = 0, hedge_wins_ = 0,
+                cast_redelegations_ = 0, rtt_samples_ = 0;
   obs::HistogramMetric rtt_;
   obs::Counter* reg_put_sent_ = nullptr;
   obs::Counter* reg_get_sent_ = nullptr;
@@ -101,6 +120,11 @@ class WorkloadLog {
   obs::Counter* reg_unroutable_ = nullptr;
   obs::Counter* reg_cast_delivered_ = nullptr;
   obs::Counter* reg_cast_forwarded_ = nullptr;
+  obs::Counter* reg_retry_kv_ = nullptr;
+  obs::Counter* reg_hedge_sent_ = nullptr;
+  obs::Counter* reg_hedge_win_ = nullptr;
+  obs::Counter* reg_retry_cast_ = nullptr;
+  obs::Counter* reg_rtt_samples_ = nullptr;
 };
 
 }  // namespace bsvc

@@ -1,0 +1,206 @@
+// The chaos fuzzer (fault/chaos.hpp): case generation is a pure function of
+// (suite seed, index), the invariant oracles accept healthy observations and
+// reject each violation class, and the digest is sensitive to every field it
+// claims to cover.
+#include <gtest/gtest.h>
+
+#include "fault/chaos.hpp"
+#include "sim/event_queue.hpp"
+
+using namespace bsvc;
+
+namespace {
+
+ChaosGenConfig gen_config() {
+  ChaosGenConfig gen;
+  gen.n = 48;
+  gen.delta = kDelta;
+  gen.epoch = 8 * kDelta;
+  gen.horizon = 20 * kDelta;
+  return gen;
+}
+
+bool plans_equal(const FaultPlan& a, const FaultPlan& b) {
+  if (a.seed != b.seed) return false;
+  if (a.partitions.size() != b.partitions.size()) return false;
+  for (std::size_t i = 0; i < a.partitions.size(); ++i) {
+    if (a.partitions[i].window.start != b.partitions[i].window.start ||
+        a.partitions[i].window.end != b.partitions[i].window.end ||
+        a.partitions[i].kind != b.partitions[i].kind ||
+        a.partitions[i].value != b.partitions[i].value) {
+      return false;
+    }
+  }
+  if (a.link_loss.size() != b.link_loss.size()) return false;
+  for (std::size_t i = 0; i < a.link_loss.size(); ++i) {
+    if (a.link_loss[i].drop_probability != b.link_loss[i].drop_probability) return false;
+  }
+  if (a.latency.size() != b.latency.size()) return false;
+  if (a.duplicates.size() != b.duplicates.size()) return false;
+  if (a.reorders.size() != b.reorders.size()) return false;
+  if (a.crashes.size() != b.crashes.size()) return false;
+  for (std::size_t i = 0; i < a.crashes.size(); ++i) {
+    if (a.crashes[i].fraction != b.crashes[i].fraction) return false;
+  }
+  return true;
+}
+
+TEST(ChaosGen, SameSeedAndIndexReproduceTheCase) {
+  const ChaosGenConfig gen = gen_config();
+  for (std::size_t i = 0; i < 32; ++i) {
+    const ChaosCase a = make_chaos_case(gen, 7, i);
+    const ChaosCase b = make_chaos_case(gen, 7, i);
+    EXPECT_EQ(a.seed, b.seed);
+    EXPECT_TRUE(plans_equal(a.plan, b.plan)) << "case " << i;
+    EXPECT_EQ(a.byzantine_fraction, b.byzantine_fraction);
+    EXPECT_EQ(a.adversary_seed, b.adversary_seed);
+    EXPECT_EQ(a.harden, b.harden);
+    EXPECT_EQ(a.retries, b.retries);
+    EXPECT_EQ(a.describe(), b.describe());
+  }
+}
+
+TEST(ChaosGen, DifferentIndicesDiverge) {
+  const ChaosGenConfig gen = gen_config();
+  std::size_t distinct = 0;
+  const ChaosCase first = make_chaos_case(gen, 7, 0);
+  for (std::size_t i = 1; i < 16; ++i) {
+    if (!plans_equal(first.plan, make_chaos_case(gen, 7, i).plan)) ++distinct;
+  }
+  EXPECT_GT(distinct, 12u);  // near-certainly all differ; allow rare clashes
+}
+
+TEST(ChaosGen, WindowsStayInsideEpochHorizon) {
+  const ChaosGenConfig gen = gen_config();
+  for (std::size_t i = 0; i < 64; ++i) {
+    const ChaosCase c = make_chaos_case(gen, 11, i);
+    const auto check = [&](const TimeWindow& w) {
+      EXPECT_GE(w.start, gen.epoch) << "case " << i;
+      EXPECT_LE(w.end, gen.horizon) << "case " << i;
+      EXPECT_LT(w.start, w.end) << "case " << i;
+    };
+    for (const auto& p : c.plan.partitions) check(p.window);
+    for (const auto& l : c.plan.link_loss) check(l.window);
+    for (const auto& l : c.plan.latency) check(l.window);
+    for (const auto& d : c.plan.duplicates) check(d.window);
+    for (const auto& r : c.plan.reorders) check(r.window);
+    for (const auto& cr : c.plan.crashes) check(cr.window);
+  }
+}
+
+TEST(ChaosGen, AdversarialCasesAlwaysRunHardened) {
+  // The unhardened protocol is eclipsable forever by design; the fuzzer must
+  // not demand re-convergence from a defenseless configuration.
+  const ChaosGenConfig gen = gen_config();
+  std::size_t adversarial = 0;
+  for (std::size_t i = 0; i < 200; ++i) {
+    const ChaosCase c = make_chaos_case(gen, 3, i);
+    if (c.has_adversary()) {
+      ++adversarial;
+      EXPECT_TRUE(c.harden) << "case " << i;
+      EXPECT_LE(c.byzantine_fraction, gen.byzantine_max_fraction);
+      EXPECT_GT(c.byzantine_fraction, 0.0);
+    }
+  }
+  EXPECT_GT(adversarial, 0u);  // the 25% arm fires within 200 draws
+}
+
+/// A self-consistent observation every oracle accepts.
+ChaosObservation healthy() {
+  ChaosObservation o;
+  o.sent = 1000;
+  o.duplicated = 10;
+  o.delivered = 900;
+  o.dropped = 80;
+  o.to_dead = 30;
+  o.wl_issued = 100;
+  o.wl_answered = 90;
+  o.wl_timeouts = 8;
+  o.wl_unroutable = 2;
+  o.wl_pending = 0;
+  o.span_opened = 50;
+  o.span_closed = 48;
+  o.span_in_flight = 2;
+  o.span_stray = 0;
+  o.span_overflow = 0;
+  o.n = 48;
+  o.alive = 48;
+  o.inactive_alive = 0;
+  o.empty_leaf_alive = 0;
+  o.missing_leaf_fraction = 0.05;
+  return o;
+}
+
+TEST(ChaosOracles, HealthyObservationPasses) {
+  EXPECT_TRUE(check_chaos_invariants(healthy()).empty());
+}
+
+TEST(ChaosOracles, EachViolationClassIsCaught) {
+  {
+    ChaosObservation o = healthy();
+    o.delivered = o.sent + o.duplicated + 1;  // more outcomes than sends
+    EXPECT_EQ(check_chaos_invariants(o).size(), 1u);
+  }
+  {
+    ChaosObservation o = healthy();
+    o.wl_answered -= 1;  // ledger unbalanced
+    EXPECT_EQ(check_chaos_invariants(o).size(), 1u);
+  }
+  {
+    ChaosObservation o = healthy();
+    o.wl_pending = 3;  // leaked requests
+    EXPECT_EQ(check_chaos_invariants(o).size(), 1u);
+  }
+  {
+    ChaosObservation o = healthy();
+    o.span_stray = 1;
+    EXPECT_EQ(check_chaos_invariants(o).size(), 1u);
+  }
+  {
+    ChaosObservation o = healthy();
+    o.span_in_flight = 7;  // != opened - closed
+    EXPECT_EQ(check_chaos_invariants(o).size(), 1u);
+  }
+  {
+    ChaosObservation o = healthy();
+    o.alive = o.n - 2;  // crash window did not heal
+    EXPECT_EQ(check_chaos_invariants(o).size(), 1u);
+  }
+  {
+    ChaosObservation o = healthy();
+    o.inactive_alive = 1;  // eclipsed forever
+    EXPECT_EQ(check_chaos_invariants(o).size(), 1u);
+  }
+  {
+    ChaosObservation o = healthy();
+    o.empty_leaf_alive = 1;
+    EXPECT_EQ(check_chaos_invariants(o).size(), 1u);
+  }
+  {
+    ChaosObservation o = healthy();
+    o.missing_leaf_fraction = 0.9;  // no re-convergence
+    EXPECT_EQ(check_chaos_invariants(o).size(), 1u);
+  }
+}
+
+TEST(ChaosDigest, SensitiveToEveryCoveredField) {
+  const std::uint64_t base = chaos_digest(healthy());
+  const auto differs = [&](auto mutate) {
+    ChaosObservation o = healthy();
+    mutate(o);
+    return chaos_digest(o) != base;
+  };
+  EXPECT_TRUE(differs([](ChaosObservation& o) { o.sent += 1; }));
+  EXPECT_TRUE(differs([](ChaosObservation& o) { o.dropped += 1; }));
+  EXPECT_TRUE(differs([](ChaosObservation& o) { o.delivered += 1; }));
+  EXPECT_TRUE(differs([](ChaosObservation& o) { o.duplicated += 1; }));
+  EXPECT_TRUE(differs([](ChaosObservation& o) { o.wl_issued += 1; }));
+  EXPECT_TRUE(differs([](ChaosObservation& o) { o.wl_answered += 1; }));
+  EXPECT_TRUE(differs([](ChaosObservation& o) { o.span_opened += 1; }));
+  EXPECT_TRUE(differs([](ChaosObservation& o) { o.alive -= 1; }));
+  EXPECT_TRUE(differs([](ChaosObservation& o) { o.missing_leaf_fraction += 0.001; }));
+  // And it is stable: same observation, same digest.
+  EXPECT_EQ(chaos_digest(healthy()), base);
+}
+
+}  // namespace

@@ -472,6 +472,114 @@ TEST(FaultInteraction, EvictedCrashRecoverNodeIsReadmittedAfterProbe) {
   EXPECT_LT(result.final_metrics.missing_leaf_fraction(), 0.01);
 }
 
+/// Runs a converged network through a 4-cycle latency spike that delays
+/// every answer past the exchange/probe timeouts, at the given suspicion
+/// threshold; returns the number of condemnations.
+std::uint64_t condemned_under_spike(int suspicion_threshold, double* missing_leaf) {
+  ExperimentConfig cfg;
+  cfg.n = 64;
+  cfg.seed = 7;
+  cfg.max_cycles = 24;
+  cfg.stop_at_convergence = false;
+  cfg.bootstrap.evict_unresponsive = true;
+  cfg.bootstrap.tombstone_ttl_cycles = 3;
+  cfg.bootstrap.suspicion_threshold = suspicion_threshold;
+  const SimTime delta = cfg.bootstrap.delta;
+  const SimTime epoch = cfg.warmup_cycles * delta;
+  LatencySpec spike;
+  spike.window = {epoch + 4 * delta, epoch + 10 * delta};
+  spike.mode = LatencySpec::Mode::Spike;
+  // Answers arrive four cycles late: slower than kProbeAttempts silent
+  // probe rounds, so one-shot eviction fires before any echo lands.
+  spike.add = 4 * delta;
+  cfg.fault_plan.latency.push_back(spike);
+  BootstrapExperiment exp(cfg);
+  const auto result = exp.run();
+  if (missing_leaf != nullptr) {
+    *missing_leaf = result.final_metrics.missing_leaf_fraction();
+  }
+  return exp.engine().metrics().counter("bootstrap.condemned").value();
+}
+
+TEST(Suspicion, AccrualKeepsSlowButAlivePeersThatOneShotEvicts) {
+  // Every peer is slow but alive during the spike: one-shot eviction
+  // (threshold 0) condemns after kProbeAttempts silent rounds, while
+  // suspicion accrual lets the late answers decay the level back down —
+  // nobody is condemned and the overlay never degrades.
+  double missing_oneshot = 0.0, missing_accrual = 0.0;
+  const std::uint64_t oneshot = condemned_under_spike(0, &missing_oneshot);
+  const std::uint64_t accrual = condemned_under_spike(24, &missing_accrual);
+  EXPECT_GT(oneshot, 0u);   // the spike is harsh enough to trip one-shot
+  EXPECT_EQ(accrual, 0u);   // ...but accrual absorbs it
+  EXPECT_LT(missing_accrual, 0.01);
+  EXPECT_LE(missing_accrual, missing_oneshot);
+}
+
+TEST(Suspicion, LevelsDecayOnAnswersAndAreObservable) {
+  // A mild spike (answers two cycles late): silent rounds mark suspicion,
+  // the late answers decay it back down, and nobody reaches the threshold.
+  ExperimentConfig cfg;
+  cfg.n = 64;
+  cfg.seed = 7;
+  cfg.max_cycles = 20;
+  cfg.stop_at_convergence = false;
+  cfg.bootstrap.evict_unresponsive = true;
+  cfg.bootstrap.suspicion_threshold = 6;
+  const SimTime delta = cfg.bootstrap.delta;
+  const SimTime epoch = cfg.warmup_cycles * delta;
+  LatencySpec spike;
+  spike.window = {epoch + 4 * delta, epoch + 8 * delta};
+  spike.mode = LatencySpec::Mode::Spike;
+  spike.add = 2 * delta;
+  cfg.fault_plan.latency.push_back(spike);
+  BootstrapExperiment exp(cfg);
+  exp.run();
+  obs::MetricsRegistry& m = exp.engine().metrics();
+  EXPECT_GT(m.counter("suspect.marked").value(), 0u);
+  EXPECT_GT(m.counter("suspect.decayed").value(), 0u);
+  EXPECT_EQ(m.counter("suspect.evicted").value(), 0u);
+}
+
+TEST(BootstrapConfigDeathTest, RejectsTimeoutBelowTransportLatency) {
+  // The transport's min one-way latency is 10: a 5-tick exchange timeout
+  // would fire before any answer can arrive. Setup must refuse it.
+  ExperimentConfig cfg;
+  cfg.n = 8;
+  cfg.bootstrap.evict_unresponsive = true;
+  cfg.bootstrap.exchange_timeout = 5;
+  EXPECT_EXIT({ BootstrapExperiment exp(cfg); }, ::testing::ExitedWithCode(2),
+              "min_latency");
+}
+
+TEST(BootstrapConfigDeathTest, RejectsZeroRetryBudget) {
+  ExperimentConfig cfg;
+  cfg.n = 8;
+  cfg.bootstrap.evict_unresponsive = true;
+  cfg.bootstrap.retry_exchanges = true;
+  cfg.bootstrap.exchange_retry_budget = 0;
+  EXPECT_EXIT({ BootstrapExperiment exp(cfg); }, ::testing::ExitedWithCode(2),
+              "exchange_retry_budget");
+}
+
+TEST(BootstrapConfigDeathTest, RejectsRetryWithoutEviction) {
+  ExperimentConfig cfg;
+  cfg.n = 8;
+  cfg.bootstrap.retry_exchanges = true;
+  EXPECT_EXIT({ BootstrapExperiment exp(cfg); }, ::testing::ExitedWithCode(2),
+              "evict_unresponsive");
+}
+
+TEST(BootstrapConfigDeathTest, RejectsInvertedAdaptiveBounds) {
+  ExperimentConfig cfg;
+  cfg.n = 8;
+  cfg.bootstrap.evict_unresponsive = true;
+  cfg.bootstrap.adaptive_timeout = true;
+  cfg.bootstrap.rtt_min_timeout = 4 * kDelta;
+  cfg.bootstrap.rtt_max_timeout = kDelta;
+  EXPECT_EXIT({ BootstrapExperiment exp(cfg); }, ::testing::ExitedWithCode(2),
+              "adaptive timeout bounds");
+}
+
 // --- scenario config -------------------------------------------------------
 
 TEST(ScenarioConfigTest, ResolvePrefersFileAndReportsErrors) {

@@ -13,11 +13,15 @@ namespace {
 
 /// One converged small network with the workload stack on every node.
 struct WorkloadFixture {
-  explicit WorkloadFixture(ExperimentConfig cfg) {
+  explicit WorkloadFixture(ExperimentConfig cfg, WorkloadParams params = {})
+      : stack(params) {
     cfg.stop_at_convergence = false;
     cfg.node_extension = stack.node_extension();
     exp = std::make_unique<BootstrapExperiment>(cfg);
     stack.log().bind_registry(exp->engine().metrics());
+    if (params.retry || params.hedge_delay > 0 || params.cast_retries > 0) {
+      stack.log().bind_retry_registry(exp->engine().metrics());
+    }
   }
 
   Engine& engine() { return exp->engine(); }
@@ -256,6 +260,226 @@ TEST(Workload, SummariesAreIdenticalAcrossShardCounts) {
     EXPECT_EQ(cov.expected, base_cov.expected) << "K=" << k;
     EXPECT_EQ(cov.reached, base_cov.reached) << "K=" << k;
     EXPECT_EQ(cov.duplicates, base_cov.duplicates) << "K=" << k;
+  }
+}
+
+// --- retry / hedging extension ---------------------------------------------
+
+TEST(WorkloadRetry, RetriesRecoverRequestsAcrossTransientCut) {
+  // A 2-cycle hard cut opens mid-issue: without retries the cross-cut
+  // requests would die at the boundary and time out (the test above proves
+  // exactly that for a permanent cut); with the retry layer every request is
+  // retransmitted past the heal and completes.
+  ExperimentConfig cfg = small_config();
+  cfg.max_cycles = 24;
+  const SimTime delta = cfg.bootstrap.delta;
+  const SimTime epoch = cfg.warmup_cycles * delta;
+  PartitionSpec cut;
+  cut.window = {epoch + 8 * delta, epoch + 10 * delta};
+  cut.kind = PartitionSpec::Kind::Cut;
+  cut.value = static_cast<std::uint32_t>(cfg.n / 2);
+  cfg.fault_plan.partitions.push_back(cut);
+
+  WorkloadParams wp;
+  wp.retry = true;
+  wp.retry_budget = 5;
+  wp.retry_backoff = 1.5;
+  WorkloadFixture fix(cfg, wp);
+  WorkloadDriver driver(fix.stack, [&] {
+    DriverConfig dc;
+    dc.from = epoch + 8 * delta + 100;  // inside the cut
+    dc.to = epoch + 9 * delta;
+    dc.batch = 8;
+    dc.seed = 3;
+    return dc;
+  }());
+  driver.start(fix.engine());
+  fix.exp->run();
+  fix.engine().run_until(fix.engine().now() + 10 * delta);  // retry tail
+  const WorkloadSummary s = fix.stack.log().summary();
+  ASSERT_GT(s.issued(), 0u);
+  EXPECT_GT(s.kv_retries, 0u);  // the cut actually forced retransmissions
+  EXPECT_EQ(s.timeouts, 0u);    // ...and every one of them recovered
+  EXPECT_EQ(s.answered(), s.issued());
+  // Nothing left half-resolved on any node.
+  for (Address a = 0; a < cfg.n; ++a) {
+    EXPECT_EQ(fix.stack.service(fix.engine(), a).pending_requests(), 0u);
+  }
+}
+
+TEST(WorkloadRetry, HedgedGetsFireUnderLatencySpike) {
+  // A latency spike slows every answer past the hedge delay: hedge copies
+  // go out over alternate first hops, and every get still completes.
+  ExperimentConfig cfg = small_config();
+  cfg.max_cycles = 20;
+  const SimTime delta = cfg.bootstrap.delta;
+  const SimTime epoch = cfg.warmup_cycles * delta;
+  LatencySpec spike;
+  spike.window = {epoch + 8 * delta, epoch + 12 * delta};
+  spike.mode = LatencySpec::Mode::Spike;
+  spike.add = delta / 2;
+  cfg.fault_plan.latency.push_back(spike);
+
+  WorkloadParams wp;
+  wp.hedge_delay = delta / 4;
+  WorkloadFixture fix(cfg, wp);
+  WorkloadDriver driver(fix.stack, [&] {
+    DriverConfig dc;
+    dc.from = epoch + 8 * delta + 50;
+    dc.to = epoch + 10 * delta;
+    dc.batch = 8;
+    dc.put_fraction = 0.0;  // gets only: every request can hedge
+    dc.seed = 5;
+    return dc;
+  }());
+  driver.start(fix.engine());
+  fix.exp->run();
+  fix.engine().run_until(fix.engine().now() + 6 * delta);
+  const WorkloadSummary s = fix.stack.log().summary();
+  ASSERT_GT(s.issued(), 0u);
+  EXPECT_GT(s.hedges_sent, 0u);
+  EXPECT_EQ(s.answered(), s.issued());
+  EXPECT_EQ(s.timeouts, 0u);
+}
+
+TEST(WorkloadRetry, CastRedelegationSurvivesForwardLoss) {
+  // A lossy window during a broadcast: with the per-cell ack handshake on,
+  // silent delegates are re-delegated to alternates of the same cell and
+  // the cast still reaches every node.
+  ExperimentConfig cfg = small_config(96, 17);
+  cfg.max_cycles = 24;
+  const SimTime delta = cfg.bootstrap.delta;
+  const SimTime epoch = cfg.warmup_cycles * delta;
+  LinkLossSpec loss;
+  loss.window = {epoch + 12 * delta, epoch + 16 * delta};
+  loss.drop_probability = 0.25;
+  cfg.fault_plan.link_loss.push_back(loss);
+
+  WorkloadParams wp;
+  wp.cast_retries = 4;
+  WorkloadFixture fix(cfg, wp);
+  WorkloadDriver driver(fix.stack, DriverConfig{});
+  // Mid-loss, close enough to the heal that the bounded retry tail (five
+  // transmissions, ack timeout delta/2) reaches past the window end.
+  driver.schedule_cast(fix.engine(), epoch + 14 * delta);
+  fix.exp->run();
+  fix.engine().run_until(fix.engine().now() + 6 * delta);
+  const WorkloadSummary s = fix.stack.log().summary();
+  EXPECT_GT(s.cast_redelegations, 0u);  // losses actually hit forwards
+  const auto cov = driver.verify_casts(fix.engine());
+  EXPECT_EQ(cov.casts, 1u);
+  // Retried delegation recovers full coverage; a lost ack may produce a
+  // duplicate delivery (absorbed and counted, never double-processed).
+  EXPECT_EQ(cov.reached, cov.expected);
+}
+
+/// The churn scenario of run_at_shards with the whole robustness layer on
+/// (adaptive timeouts, retries, hedging, cast acks, bootstrap exchange
+/// retries + suspicion) plus loss and latency windows to exercise it.
+std::pair<WorkloadSummary, WorkloadDriver::CastCoverage> run_retry_at_shards(
+    std::size_t k) {
+  ExperimentConfig cfg = small_config(96, 13);
+  cfg.shards = k;
+  cfg.max_cycles = 22;
+  cfg.bootstrap.evict_unresponsive = true;
+  cfg.bootstrap.tombstone_ttl_cycles = 5;
+  cfg.bootstrap.retry_exchanges = true;
+  cfg.bootstrap.exchange_retry_budget = 2;
+  cfg.bootstrap.adaptive_timeout = true;
+  cfg.bootstrap.rtt_max_timeout = 2 * kDelta;
+  cfg.bootstrap.suspicion_threshold = 3;
+  const SimTime delta = cfg.bootstrap.delta;
+  const SimTime epoch = cfg.warmup_cycles * delta;
+  LinkLossSpec loss;
+  loss.window = {epoch + 4 * delta, epoch + 10 * delta};
+  loss.drop_probability = 0.20;
+  cfg.fault_plan.link_loss.push_back(loss);
+  LatencySpec spike;
+  spike.window = {epoch + 6 * delta, epoch + 9 * delta};
+  spike.mode = LatencySpec::Mode::Spike;
+  spike.add = delta / 3;
+  cfg.fault_plan.latency.push_back(spike);
+
+  WorkloadParams wp;
+  wp.retry = true;
+  wp.retry_budget = 3;
+  wp.adaptive_timeout = true;
+  wp.rtt_max_timeout = 2 * kDelta;
+  wp.hedge_delay = delta / 2;
+  wp.cast_retries = 1;
+  WorkloadFixture fix(cfg, wp);
+  WorkloadDriver driver(fix.stack, [&] {
+    DriverConfig dc;
+    dc.from = epoch + 3 * delta;
+    dc.to = epoch + 12 * delta;
+    dc.batch = 4;
+    dc.seed = 9;
+    return dc;
+  }());
+  driver.start(fix.engine());
+  driver.schedule_cast(fix.engine(), epoch + 8 * delta);  // mid-loss
+  fix.exp->run();
+  fix.engine().run_until(fix.engine().now() + 8 * delta);
+  return {fix.stack.log().summary(), driver.verify_casts(fix.engine())};
+}
+
+TEST(WorkloadRetry, SummariesWithRetriesAndChaosAreIdenticalAcrossShardCounts) {
+  const auto [base, base_cov] = run_retry_at_shards(1);
+  ASSERT_GT(base.issued(), 0u);
+  ASSERT_GT(base.kv_retries + base.hedges_sent, 0u);  // the layer actually ran
+  for (const std::size_t k : {std::size_t{2}, std::size_t{4}}) {
+    const auto [s, cov] = run_retry_at_shards(k);
+    EXPECT_EQ(s.puts, base.puts) << "K=" << k;
+    EXPECT_EQ(s.gets, base.gets) << "K=" << k;
+    EXPECT_EQ(s.put_ok, base.put_ok) << "K=" << k;
+    EXPECT_EQ(s.get_ok, base.get_ok) << "K=" << k;
+    EXPECT_EQ(s.get_found, base.get_found) << "K=" << k;
+    EXPECT_EQ(s.get_miss, base.get_miss) << "K=" << k;
+    EXPECT_EQ(s.timeouts, base.timeouts) << "K=" << k;
+    EXPECT_EQ(s.unroutable, base.unroutable) << "K=" << k;
+    // The new robustness counters are part of the byte-identity contract.
+    EXPECT_EQ(s.kv_retries, base.kv_retries) << "K=" << k;
+    EXPECT_EQ(s.hedges_sent, base.hedges_sent) << "K=" << k;
+    EXPECT_EQ(s.hedge_wins, base.hedge_wins) << "K=" << k;
+    EXPECT_EQ(s.cast_redelegations, base.cast_redelegations) << "K=" << k;
+    EXPECT_EQ(s.rtt_samples, base.rtt_samples) << "K=" << k;
+    EXPECT_EQ(s.rtt_count, base.rtt_count) << "K=" << k;
+    EXPECT_EQ(s.rtt_mean, base.rtt_mean) << "K=" << k;
+    EXPECT_EQ(s.rtt_p99, base.rtt_p99) << "K=" << k;
+    EXPECT_EQ(s.casts, base.casts) << "K=" << k;
+    EXPECT_EQ(s.cast_delivered, base.cast_delivered) << "K=" << k;
+    EXPECT_EQ(s.cast_duplicates, base.cast_duplicates) << "K=" << k;
+    EXPECT_EQ(s.cast_forwards, base.cast_forwards) << "K=" << k;
+    EXPECT_EQ(cov.expected, base_cov.expected) << "K=" << k;
+    EXPECT_EQ(cov.reached, base_cov.reached) << "K=" << k;
+    EXPECT_EQ(cov.duplicates, base_cov.duplicates) << "K=" << k;
+  }
+}
+
+TEST(WorkloadParamsDeathTest, StackRejectsIncoherentRetryConfigs) {
+  const auto build = [](WorkloadParams p) { WorkloadStack stack(p); };
+  {
+    WorkloadParams p;
+    p.retry = true;
+    p.retry_budget = 0;
+    EXPECT_EXIT(build(p), ::testing::ExitedWithCode(2), "retry_budget");
+  }
+  {
+    WorkloadParams p;
+    p.cast_retries = -1;
+    EXPECT_EXIT(build(p), ::testing::ExitedWithCode(2), "cast_retries");
+  }
+  {
+    WorkloadParams p;
+    p.adaptive_timeout = true;
+    p.rtt_min_timeout = 5000;
+    p.rtt_max_timeout = 100;
+    EXPECT_EXIT(build(p), ::testing::ExitedWithCode(2), "rtt_min_timeout");
+  }
+  {
+    WorkloadParams p;
+    p.timeout = 0;
+    EXPECT_EXIT(build(p), ::testing::ExitedWithCode(2), "timeout");
   }
 }
 
