@@ -26,6 +26,58 @@ inline std::uint64_t peak_rss_bytes() {
   return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;
 }
 
+/// Rewinds the kernel's RSS high-water mark (/proc/self/clear_refs, Linux),
+/// so per-phase peaks can be measured inside one process. Returns false when
+/// the kernel interface is unavailable — callers then fall back to the
+/// monotonic getrusage() peak, which over-reports later phases.
+inline bool reset_peak_rss() {
+  std::FILE* f = std::fopen("/proc/self/clear_refs", "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fputs("5\n", f) >= 0;
+  std::fclose(f);
+  return ok;
+}
+
+/// Current RSS high-water mark in bytes: VmHWM from /proc/self/status
+/// (resettable via reset_peak_rss()), falling back to getrusage().
+inline std::uint64_t current_peak_rss_bytes() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f != nullptr) {
+    char line[256];
+    while (std::fgets(line, sizeof(line), f) != nullptr) {
+      unsigned long long kib = 0;
+      if (std::sscanf(line, "VmHWM: %llu kB", &kib) == 1) {
+        std::fclose(f);
+        return static_cast<std::uint64_t>(kib) * 1024;
+      }
+    }
+    std::fclose(f);
+  }
+  return peak_rss_bytes();
+}
+
+/// One tier of the allocation census (see BENCH_scale): whole-run heap
+/// traffic, the steady-state window (setup and early table growth
+/// excluded), and the phase's peak RSS. The steady window is what the CI
+/// budget gate judges; the whole-run figures track total footprint.
+struct AllocTier {
+  std::string label;
+  std::uint64_t heap_allocations = 0;  // operator-new calls over the whole run
+  std::uint64_t exchanges = 0;         // bootstrap exchanges driving them
+  double allocs_per_exchange = 0.0;
+  std::uint64_t steady_heap_allocations = 0;  // allocs after the warm cutoff
+  std::uint64_t steady_exchanges = 0;         // exchanges after the cutoff
+  double steady_allocs_per_exchange = 0.0;
+  std::uint64_t peak_rss_bytes = 0;  // phase peak (VmHWM reset per tier)
+};
+
+/// The census block a bench attaches via BenchReport::set_alloc().
+struct AllocCensus {
+  double budget_allocs_per_exchange = 0.0;  // pinned budget the CI gate enforces
+  bool rss_reset_supported = false;         // per-tier peaks are real, not monotonic
+  std::vector<AllocTier> tiers;
+};
+
 /// Escapes a string for inclusion in a JSON string literal.
 inline std::string json_escape(const std::string& s) {
   std::string out;
@@ -99,6 +151,14 @@ class BenchReport {
   void set_profile(const obs::ProfileSummary& prof) {
     prof_ = prof;
     has_profile_ = true;
+  }
+
+  /// Attaches the allocation census; emitted as the report's "alloc"
+  /// section. run_suite.sh FAILs a census-capable bench whose report lacks
+  /// this section, so benches must call it whenever they counted.
+  void set_alloc(AllocCensus census) {
+    alloc_ = std::move(census);
+    has_alloc_ = true;
   }
 
   /// Writes the JSON file; prints the throughput line to stderr either way.
@@ -185,6 +245,32 @@ class BenchReport {
                    static_cast<unsigned long long>(prof_.trace_events),
                    static_cast<unsigned long long>(prof_.trace_events_dropped));
     }
+    if (has_alloc_) {
+      std::fprintf(f,
+                   "  \"alloc\": {\"budget_allocs_per_exchange\": %.9g, "
+                   "\"rss_reset_supported\": %s, \"tiers\": [",
+                   alloc_.budget_allocs_per_exchange,
+                   alloc_.rss_reset_supported ? "true" : "false");
+      for (std::size_t i = 0; i < alloc_.tiers.size(); ++i) {
+        const auto& t = alloc_.tiers[i];
+        std::fprintf(f,
+                     "%s\n    {\"label\": \"%s\", \"heap_allocations\": %llu, "
+                     "\"exchanges\": %llu, \"allocs_per_exchange\": %.9g, "
+                     "\"steady_heap_allocations\": %llu, "
+                     "\"steady_exchanges\": %llu, "
+                     "\"steady_allocs_per_exchange\": %.9g, "
+                     "\"peak_rss_bytes\": %llu}",
+                     i == 0 ? "" : ",", json_escape(t.label).c_str(),
+                     static_cast<unsigned long long>(t.heap_allocations),
+                     static_cast<unsigned long long>(t.exchanges),
+                     t.allocs_per_exchange,
+                     static_cast<unsigned long long>(t.steady_heap_allocations),
+                     static_cast<unsigned long long>(t.steady_exchanges),
+                     t.steady_allocs_per_exchange,
+                     static_cast<unsigned long long>(t.peak_rss_bytes));
+      }
+      std::fprintf(f, "\n  ]},\n");
+    }
     std::fprintf(f, "  \"runs\": [");
     for (std::size_t i = 0; i < runs_.size(); ++i) {
       const auto& s = runs_[i];
@@ -245,6 +331,8 @@ class BenchReport {
   obs::SpanSummary spans_;
   bool has_profile_ = false;
   obs::ProfileSummary prof_;
+  bool has_alloc_ = false;
+  AllocCensus alloc_;
 };
 
 }  // namespace bsvc::bench

@@ -44,6 +44,11 @@ benches=(
 # archives those next to the JSON reports for offline analysis.
 traced=(fig3_no_failures fig4_message_drop churn)
 
+# Benches that carry an allocation census (the counting allocator +
+# per-tier "alloc" report section). These always emit the census, so a
+# report without it means the bench silently lost the instrumentation.
+census=(scale)
+
 mkdir -p "${out_dir}"
 
 # A failing bench must not abort the suite: run everything, record which
@@ -84,6 +89,15 @@ for bench in "${benches[@]}"; do
     echo "FAIL ${bench}: --spans was passed but the report has no \"spans\" section" >&2
     failed+=("${bench}")
   fi
+  # Census-capable benches must emit their "alloc" section unconditionally;
+  # a report without it previously passed silently, hiding a lost census.
+  for c in "${census[@]}"; do
+    if [[ "${bench}" == "${c}" ]] \
+       && ! grep -q '"alloc"' "${out_dir}/BENCH_${bench}.json" 2>/dev/null; then
+      echo "FAIL ${bench}: census bench report has no \"alloc\" section" >&2
+      failed+=("${bench}")
+    fi
+  done
 done
 
 # Micro benchmarks use google-benchmark's native JSON reporter.

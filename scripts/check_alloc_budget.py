@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Allocation-budget gate over a scale-bench report's census section.
+
+Reads one BENCH_scale.json (any report carrying an "alloc" section) and
+fails when a census tier's steady-state allocs-per-exchange exceeds the
+committed budget. Tiers carrying the steady-window fields
+(steady_allocs_per_exchange / steady_exchanges, setup excluded) are judged
+on those; older reports without them fall back to the whole-run
+allocs_per_exchange. The budget comes from the report itself
+("budget_allocs_per_exchange", written from the bench's pinned constant)
+unless --budget overrides it — the override exists so CI can tighten the
+gate without rebuilding.
+
+Tiers that recorded no exchanges in the judged window are skipped with a
+note: an aborted, zero-cycle, or converged-before-warm-cutoff run must
+fail through its own exit status, not through a meaningless 0/0 ratio
+here.
+
+Usage: scripts/check_alloc_budget.py <report.json> [--budget F]
+
+Exit status: 0 = every tier within budget, 1 = at least one tier over
+budget (or the report lacks the census), 2 = unreadable input.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", type=Path)
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        help="override the report's committed allocs-per-exchange budget",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.report, encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"error: cannot read {args.report}: {err}", file=sys.stderr)
+        return 2
+    if not isinstance(report, dict):
+        print(f"error: {args.report}: expected a JSON object", file=sys.stderr)
+        return 2
+
+    alloc = report.get("alloc")
+    if not isinstance(alloc, dict):
+        print(
+            f"{args.report}: no \"alloc\" census section -- the bench lost its "
+            "counting allocator or the report predates the census",
+            file=sys.stderr,
+        )
+        return 1
+
+    budget = args.budget
+    if budget is None:
+        budget = alloc.get("budget_allocs_per_exchange")
+        if isinstance(budget, bool) or not isinstance(budget, (int, float)) or budget <= 0:
+            print(
+                f"error: {args.report}: census has no usable "
+                f"budget_allocs_per_exchange ({budget!r}) and no --budget given",
+                file=sys.stderr,
+            )
+            return 2
+    budget = float(budget)
+
+    tiers = alloc.get("tiers")
+    if not isinstance(tiers, list) or not tiers:
+        print(f"{args.report}: census has no tiers", file=sys.stderr)
+        return 1
+
+    failed = False
+    for tier in tiers:
+        if not isinstance(tier, dict):
+            print(f"{args.report}: malformed census tier {tier!r}", file=sys.stderr)
+            failed = True
+            continue
+        label = tier.get("label", "?")
+        if "steady_allocs_per_exchange" in tier:
+            window = "steady"
+            exchanges = tier.get("steady_exchanges", 0)
+            ape = tier.get("steady_allocs_per_exchange")
+        else:
+            window = "whole-run"
+            exchanges = tier.get("exchanges", 0)
+            ape = tier.get("allocs_per_exchange")
+        if not isinstance(exchanges, (int, float)) or exchanges <= 0:
+            print(f"{label}: no exchanges recorded -- skipped")
+            continue
+        if isinstance(ape, bool) or not isinstance(ape, (int, float)):
+            print(f"{label}: allocs_per_exchange is not a number: {ape!r}", file=sys.stderr)
+            failed = True
+            continue
+        over = float(ape) > budget
+        verdict = f"OVER BUDGET (> {budget:g})" if over else "OK"
+        print(
+            f"{label}: {float(ape):.2f} {window} allocs/exchange "
+            f"(budget {budget:g}) {verdict}"
+        )
+        failed = failed or over
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,6 +26,14 @@ of the seed, so any movement is a code change, not noise. One-sided keys
 are reported and skipped, like tiers; a zero baseline (e.g. "loss0_base
 timeouts") is skipped rather than divided by.
 
+Memory gating: metrics named "<label> allocs_per_exchange" and
+"<label> peak_rss_bytes" (both lower is better) are gated the same way —
+the scale bench's per-tier allocation census and per-tier RSS peaks. A
+zero or non-positive baseline (a tier that recorded no exchanges, or an
+RSS probe that failed) is skipped with a note rather than divided by, and
+keys present on only one side (a baseline predating the census) are
+skipped, so old and new reports gate against each other cleanly.
+
 Besides throughput and the workload families, nothing else is gated. Any
 other top-level section a report carries — "spans" and "prof" from --spans /
 --profile runs, or sections future benches add — is ignored, so reports
@@ -115,6 +123,12 @@ WORKLOAD_SUFFIXES = (
     (" rtt_p50", False),
     (" rtt_p95", False),
     (" rtt_p99", False),
+    # Memory families (bench/scale's allocation census): steady-state heap
+    # traffic per bootstrap exchange and the per-tier RSS high-water mark.
+    # Lower is better for both; growth past the tolerance is a regression.
+    (" allocs_per_exchange", False),
+    (" steady_allocs_per_exchange", False),
+    (" peak_rss_bytes", False),
 )
 
 

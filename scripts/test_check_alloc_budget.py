@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Tests for the check_alloc_budget.py allocation gate.
+
+Exit-code contract: 0 = within budget/skip, 1 = over budget or census
+missing, 2 = unreadable input. Run directly or via ctest (registered as
+check_alloc_budget_py).
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+SCRIPT = Path(__file__).resolve().parent / "check_alloc_budget.py"
+
+
+def run_gate(report: Path, *extra: str):
+    return subprocess.run(
+        [sys.executable, str(SCRIPT), str(report), *extra],
+        capture_output=True,
+        text=True,
+    )
+
+
+def census_report(budget, tiers):
+    return {
+        "bench": "scale",
+        "events_per_sec": 1000.0,
+        "alloc": {
+            "budget_allocs_per_exchange": budget,
+            "rss_reset_supported": True,
+            "tiers": tiers,
+        },
+    }
+
+
+def tier(label, ape, exchanges=1000):
+    # No steady_* keys: exercises the whole-run fallback for old reports.
+    return {
+        "label": label,
+        "heap_allocations": int(ape * exchanges),
+        "exchanges": exchanges,
+        "allocs_per_exchange": ape,
+        "peak_rss_bytes": 1 << 20,
+    }
+
+
+def steady_tier(label, whole_ape, steady_ape, steady_exchanges=500):
+    t = tier(label, whole_ape)
+    t["steady_heap_allocations"] = int(steady_ape * steady_exchanges)
+    t["steady_exchanges"] = steady_exchanges
+    t["steady_allocs_per_exchange"] = steady_ape
+    return t
+
+
+class CheckAllocBudgetTest(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.root = Path(self._tmp.name)
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    def write(self, payload):
+        path = self.root / "BENCH_scale.json"
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        return path
+
+    def test_within_budget_passes(self):
+        path = self.write(census_report(5.0, [tier("N=1024", 2.5), tier("N=4096", 4.9)]))
+        proc = run_gate(path)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("OK", proc.stdout)
+        self.assertNotIn("OVER BUDGET", proc.stdout)
+
+    def test_over_budget_fails(self):
+        path = self.write(census_report(5.0, [tier("N=1024", 2.5), tier("N=4096", 26.0)]))
+        proc = run_gate(path)
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn("OVER BUDGET", proc.stdout)
+        self.assertIn("N=4096", proc.stdout)
+
+    def test_budget_override_tightens(self):
+        path = self.write(census_report(5.0, [tier("N=1024", 3.0)]))
+        self.assertEqual(run_gate(path).returncode, 0)
+        self.assertEqual(run_gate(path, "--budget", "2.0").returncode, 1)
+
+    def test_steady_window_preferred_over_whole_run(self):
+        # Whole-run ape over budget (setup amortized over few exchanges) but
+        # the steady window within it: the gate judges the steady window.
+        path = self.write(census_report(5.0, [steady_tier("N=1024", 12.6, 3.2)]))
+        proc = run_gate(path)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("steady", proc.stdout)
+
+    def test_steady_window_over_budget_fails(self):
+        path = self.write(census_report(5.0, [steady_tier("N=1024", 12.6, 7.5)]))
+        proc = run_gate(path)
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn("OVER BUDGET", proc.stdout)
+
+    def test_zero_steady_exchanges_skipped(self):
+        # Converged before the warm cutoff: steady window is empty, tier is
+        # skipped rather than judged on the whole-run figure.
+        path = self.write(census_report(
+            5.0, [steady_tier("N=64", 40.0, 0.0, steady_exchanges=0)]))
+        proc = run_gate(path)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("no exchanges recorded -- skipped", proc.stdout)
+
+    def test_missing_census_fails_with_exit_1(self):
+        path = self.write({"bench": "scale", "events_per_sec": 1000.0})
+        proc = run_gate(path)
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn("alloc", proc.stderr)
+        self.assertNotIn("Traceback", proc.stderr)
+
+    def test_zero_exchange_tier_is_skipped(self):
+        path = self.write(census_report(
+            5.0, [tier("N=1024", 3.0), tier("N=4096", 0.0, exchanges=0)]))
+        proc = run_gate(path)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("no exchanges recorded -- skipped", proc.stdout)
+
+    def test_empty_tiers_fail(self):
+        path = self.write(census_report(5.0, []))
+        proc = run_gate(path)
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn("no tiers", proc.stderr)
+
+    def test_unreadable_report_is_clear_error(self):
+        path = self.root / "BENCH_scale.json"
+        path.write_text("{not json", encoding="utf-8")
+        proc = run_gate(path)
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("cannot read", proc.stderr)
+        self.assertNotIn("Traceback", proc.stderr)
+
+    def test_missing_budget_without_override_is_error(self):
+        report = census_report(None, [tier("N=1024", 3.0)])
+        report["alloc"].pop("budget_allocs_per_exchange")
+        path = self.write(report)
+        proc = run_gate(path)
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("budget", proc.stderr)
+        # With an explicit budget the same report gates fine.
+        self.assertEqual(run_gate(path, "--budget", "5").returncode, 0)
+
+
+if __name__ == "__main__":
+    unittest.main()

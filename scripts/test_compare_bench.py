@@ -281,6 +281,57 @@ class CompareBenchTest(unittest.TestCase):
         self.assertIn("REGRESSION", proc.stdout)
         self.assertIn("not positive -- skipped", proc.stdout)
 
+    # --- memory families (allocation census / per-tier RSS) ----------------
+
+    def test_allocs_per_exchange_rise_fails(self):
+        self.write(self.baseline, "BENCH_scale.json",
+                   self.workload_report(1000.0, {"N=1024 allocs_per_exchange": 3.0}))
+        self.write(self.current, "BENCH_scale.json",
+                   self.workload_report(1000.0, {"N=1024 allocs_per_exchange": 30.0}))
+        proc = run_gate(self.baseline, self.current)
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn("BENCH_scale.json[N=1024 allocs_per_exchange]", proc.stdout)
+        self.assertIn("rise", proc.stdout)
+
+    def test_peak_rss_rise_fails_and_drop_passes(self):
+        self.write(self.baseline, "BENCH_scale.json",
+                   self.workload_report(1000.0, {"N=1024 peak_rss_bytes": 100e6,
+                                                 "N=4096 peak_rss_bytes": 400e6}))
+        self.write(self.current, "BENCH_scale.json",
+                   self.workload_report(1000.0, {"N=1024 peak_rss_bytes": 50e6,
+                                                 "N=4096 peak_rss_bytes": 900e6}))
+        proc = run_gate(self.baseline, self.current)
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn("BENCH_scale.json[N=4096 peak_rss_bytes]", proc.stdout)
+        self.assertIn("REGRESSION", proc.stdout)
+        # The halved tier passes: lower is better.
+        n1024_lines = [l for l in proc.stdout.splitlines()
+                       if "[N=1024 peak_rss_bytes]" in l]
+        self.assertTrue(n1024_lines and "OK" in n1024_lines[0], proc.stdout)
+
+    def test_zero_alloc_baseline_is_skipped(self):
+        # A tier whose baseline recorded no exchanges (allocs_per_exchange 0)
+        # must be skipped with a note, not divided by.
+        self.write(self.baseline, "BENCH_scale.json",
+                   self.workload_report(1000.0, {"N=1024 allocs_per_exchange": 0.0}))
+        self.write(self.current, "BENCH_scale.json",
+                   self.workload_report(1000.0, {"N=1024 allocs_per_exchange": 4.0}))
+        proc = run_gate(self.baseline, self.current)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("not positive -- skipped", proc.stdout)
+
+    def test_memory_keys_absent_from_baseline_are_skipped(self):
+        # A baseline predating the census gates cleanly against a current
+        # report that carries the new memory families.
+        self.write(self.baseline, "BENCH_scale.json",
+                   self.workload_report(1000.0, {}))
+        self.write(self.current, "BENCH_scale.json",
+                   self.workload_report(1000.0, {"N=1024 allocs_per_exchange": 4.0,
+                                                 "N=1024 peak_rss_bytes": 100e6}))
+        proc = run_gate(self.baseline, self.current)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("no baseline for this metric yet", proc.stdout)
+
     def test_reports_without_metrics_use_top_level_only(self):
         self.write(self.baseline, "BENCH_a.json", {"events_per_sec": 1000.0})
         self.write(self.current, "BENCH_a.json",

@@ -50,18 +50,24 @@ void ByzantineModel::install(Engine& engine) {
   std::sort(adversaries_.begin(), adversaries_.end());
 
   // Fixed sybil pools: fabricated IDs at colluder addresses, round-robin so
-  // every colluder fronts for a share of the fake identities.
-  pools_.clear();
+  // every colluder fronts for a share of the fake identities. The RNG draw
+  // order (one next_u64 per pooled identity, grouped by adversary) is pinned
+  // by golden replays and must not change with the storage layout.
+  sybil_pool_ = {};
+  pool_base_.clear();
   if (plan_.poison && !adversaries_.empty()) {
     std::size_t rr = 0;
+    std::uint64_t base = 0;
+    Chamt<NodeDescriptor> directory;
     for (const auto a : adversaries_) {
-      DescriptorList pool;
-      pool.reserve(plan_.pool_size);
+      pool_base_.emplace(a, base);
       for (std::size_t i = 0; i < plan_.pool_size; ++i) {
-        pool.push_back({rng_.next_u64(), adversaries_[rr++ % adversaries_.size()]});
+        directory = directory.set(
+            base + i, {rng_.next_u64(), adversaries_[rr++ % adversaries_.size()]});
       }
-      pools_.emplace(a, std::move(pool));
+      base += plan_.pool_size;
     }
+    sybil_pool_ = std::move(directory);
   }
 
   auto& m = engine.metrics();
@@ -212,28 +218,32 @@ FaultModel::TamperVerdict ByzantineModel::tamper(SimTime now, Address from, Addr
       }
       eclipsed_->add(fill);
       changed = true;
-    } else {
-      mutated = std::make_unique<BootstrapMessage>(*boot);
-      if (plan_.poison) {
-        const auto& pool = pools_.at(from);
-        std::uint64_t swapped = 0;
-        // Flat buffer is ring-then-prefix, so this walks the same descriptor
-        // order (and draws the same randomness) as the old two-list sweep.
-        for (auto& d : mutated->mutable_entries()) {
-          if (rng.chance(kPoisonSwapProbability)) {
-            d = pool[static_cast<std::size_t>(rng.below(pool.size()))];
-            ++swapped;
-          }
+    } else if (plan_.poison) {
+      const std::uint64_t base = pool_base_.at(from);
+      const auto entries = boot->all_entries();
+      std::uint64_t swapped = 0;
+      // Flat buffer is ring-then-prefix, so this walks the same descriptor
+      // order (and draws the same randomness) as the old two-list sweep.
+      // The clone is lazy — materialized on the first swap — so a delivery
+      // the dice leave untouched never copies the descriptor set at all;
+      // the swapped-in identities read from the shared sybil directory.
+      for (std::size_t i = 0; i < entries.size(); ++i) {
+        if (rng.chance(kPoisonSwapProbability)) {
+          if (mutated == nullptr) mutated = std::make_unique<BootstrapMessage>(*boot);
+          mutated->mutable_entries()[i] =
+              *sybil_pool_.find(base + rng.below(plan_.pool_size));
+          ++swapped;
         }
-        if (swapped != 0) {
-          poisoned_->add(swapped);
-          changed = true;
-        }
+      }
+      if (swapped != 0) {
+        poisoned_->add(swapped);
+        changed = true;
       }
     }
     if (plan_.spoof) {
       // Keep the truthful (unforgeable) address but claim an ID next to the
       // victim — the classic ID-spoofing wedge into its near-ring.
+      if (mutated == nullptr) mutated = std::make_unique<BootstrapMessage>(*boot);
       mutated->sender.id = near_id(engine_->id_of(to), rng);
       spoofed_->inc();
       changed = true;
@@ -248,12 +258,14 @@ FaultModel::TamperVerdict ByzantineModel::tamper(SimTime now, Address from, Addr
   }
 
   if (news != nullptr && plan_.poison) {
-    const auto& pool = pools_.at(from);
-    auto mutated = std::make_unique<NewscastMessage>(*news);
+    const std::uint64_t base = pool_base_.at(from);
+    std::unique_ptr<NewscastMessage> mutated;  // lazy, like the bootstrap path
     std::uint64_t swapped = 0;
-    for (auto& e : mutated->entries) {
+    for (std::size_t i = 0; i < news->entries.size(); ++i) {
       if (rng.chance(kPoisonSwapProbability)) {
-        e.descriptor = pool[static_cast<std::size_t>(rng.below(pool.size()))];
+        if (mutated == nullptr) mutated = std::make_unique<NewscastMessage>(*news);
+        auto& e = mutated->entries[i];
+        e.descriptor = *sybil_pool_.find(base + rng.below(plan_.pool_size));
         // Freshness forgery: a future timestamp wins every dedupe, so the
         // fake sticks in unhardened views (hardened merges reject it).
         e.timestamp = now + kDelta;

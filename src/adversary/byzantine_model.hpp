@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "adversary/adversary_plan.hpp"
+#include "common/chamt.hpp"
 #include "common/rng.hpp"
 #include "fault/fault_model.hpp"
 #include "id/descriptor.hpp"
@@ -90,9 +91,14 @@ class ByzantineModel : public FaultModel {
   FaultModel* inner_ = nullptr;  // chained benign model (may be null)
   std::vector<Address> adversaries_;
   std::vector<std::uint8_t> adversary_mask_;
-  // Per-adversary fixed sybil pools: fabricated IDs bound to colluder
-  // addresses (see AdversaryPlan::pool_size).
-  std::unordered_map<Address, DescriptorList> pools_;
+  // Fixed sybil pools: fabricated IDs bound to colluder addresses (see
+  // AdversaryPlan::pool_size). One persistent popcount-bitmap directory
+  // (common/chamt.hpp) shared by every adversary instead of a descriptor
+  // vector per adversary: adversary a's i-th fabricated identity lives at
+  // key pool_base_[a] + i, and any snapshot of the directory shares
+  // structure with the installed version rather than deep-copying it.
+  Chamt<NodeDescriptor> sybil_pool_;
+  std::unordered_map<Address, std::uint64_t> pool_base_;
 
   // Metric handles, bound at install().
   obs::Counter* poisoned_ = nullptr;    // adv.poisoned (descriptors swapped)

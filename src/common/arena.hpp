@@ -1,0 +1,101 @@
+// Bump/slab arena for NodeDescriptor storage in struct-of-arrays layout.
+//
+// The arena keeps two parallel slabs — an id lane and an address lane — and
+// hands out 32-bit *blocks* (offset + capacity) instead of owning pointers.
+// Tables built on top (LeafSet, PrefixTable) address their entries through
+// a block handle, so the hot scans (ring-distance ordering, prefix binary
+// search) stream one contiguous 8-byte lane instead of striding over padded
+// 16-byte NodeDescriptor structs, and a whole node's table storage is two
+// allocations for the lifetime of the arena rather than one vector per
+// table per rebuild.
+//
+// Lifetime rules (docs/architecture.md#memory-layout):
+//  - allocate() bumps the tip; blocks are never freed individually.
+//  - grow() extends a block in place iff it is the tip block (the common
+//    case: the prefix table is allocated last and is the only grower);
+//    otherwise the block relocates to a fresh tip allocation and the old
+//    region becomes bump garbage until the next reset().
+//  - reset() rewinds the tip and invalidates every outstanding handle; the
+//    slabs keep their capacity, so a table rebuilt after reset() (the
+//    bootstrap-on-demand restart path) allocates nothing.
+//  - Raw lane pointers obtained via ids()/addrs() are invalidated by any
+//    allocate()/grow() that resizes the slabs — re-fetch them per call,
+//    never cache them across mutations.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "id/node_id.hpp"
+
+namespace bsvc {
+
+class DescriptorArena {
+ public:
+  /// Handle to one contiguous run of descriptor slots. Trivially copyable;
+  /// 8 bytes, valid until the next reset() (or grow() of this block).
+  struct Block {
+    std::uint32_t off = 0;
+    std::uint32_t cap = 0;
+  };
+
+  /// Bump-allocates `cap` slots. The slabs grow geometrically, so repeated
+  /// construction over a reset() arena touches no allocator at all.
+  Block allocate(std::uint32_t cap) {
+    const Block b{tip_, cap};
+    tip_ += cap;
+    if (tip_ > ids_.size()) reserve_slabs(tip_);
+    return b;
+  }
+
+  /// Grows `b` to `new_cap` slots, preserving the first `live` entries.
+  /// In place when `b` is the tip block; otherwise relocates to a fresh tip
+  /// block (the abandoned region is reclaimed at the next reset()).
+  void grow(Block& b, std::uint32_t new_cap, std::uint32_t live) {
+    BSVC_CHECK(new_cap >= b.cap && live <= b.cap);
+    if (b.off + b.cap == tip_) {
+      tip_ = b.off + new_cap;
+      if (tip_ > ids_.size()) reserve_slabs(tip_);
+      b.cap = new_cap;
+      return;
+    }
+    const Block nb = allocate(new_cap);
+    std::memmove(ids_.data() + nb.off, ids_.data() + b.off, live * sizeof(NodeId));
+    std::memmove(addrs_.data() + nb.off, addrs_.data() + b.off, live * sizeof(Address));
+    b = nb;
+  }
+
+  /// Rewinds the bump tip. Every handle handed out so far dangles; the slab
+  /// capacity is retained for the rebuild.
+  void reset() { tip_ = 0; }
+
+  NodeId* ids(Block b) { return ids_.data() + b.off; }
+  const NodeId* ids(Block b) const { return ids_.data() + b.off; }
+  Address* addrs(Block b) { return addrs_.data() + b.off; }
+  const Address* addrs(Block b) const { return addrs_.data() + b.off; }
+
+  /// Slots handed out since the last reset().
+  std::uint32_t tip() const { return tip_; }
+  /// Bytes resident in the slabs (capacity, not tip) — RSS accounting.
+  std::size_t slab_bytes() const {
+    return ids_.capacity() * sizeof(NodeId) + addrs_.capacity() * sizeof(Address);
+  }
+
+ private:
+  void reserve_slabs(std::size_t need) {
+    // Geometric growth with a small floor: one doubling step covers the
+    // typical leaf block + first prefix block without a second resize.
+    std::size_t cap = ids_.capacity() == 0 ? 64 : ids_.capacity();
+    while (cap < need) cap *= 2;
+    ids_.resize(cap);
+    addrs_.resize(cap);
+  }
+
+  std::vector<NodeId> ids_;
+  std::vector<Address> addrs_;
+  std::uint32_t tip_ = 0;
+};
+
+}  // namespace bsvc

@@ -1,0 +1,127 @@
+// Persistent (immutable, structurally shared) map from uint64 keys to
+// values, as a compressed hash-array-mapped trie: every inner node stores a
+// 64-bit occupancy bitmap plus a dense slot vector, and a child's slot index
+// is popcount(bitmap below its bit) — the CHAMT idiom. set() path-copies the
+// O(log64 n) spine and shares every untouched subtree with the previous
+// version, so read-mostly tables (the adversary's sybil descriptor
+// directory) can be snapshotted and handed around without deep copies.
+//
+// Keys are used as-is, six bits per level starting at the LSB; callers with
+// adversarial key distributions should pre-mix them. Values are stored by
+// value and must be copyable.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <variant>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace bsvc {
+
+template <typename V>
+class Chamt {
+  static constexpr unsigned kBits = 6;
+  static constexpr unsigned kMask = (1u << kBits) - 1;
+  static constexpr unsigned kMaxShift = 63;  // 11 levels cover all 64 key bits
+
+  struct Entry {
+    std::uint64_t key;
+    V value;
+  };
+  struct Node;
+  using NodePtr = std::shared_ptr<const Node>;
+  using Slot = std::variant<Entry, NodePtr>;
+  struct Node {
+    std::uint64_t bitmap = 0;
+    std::vector<Slot> slots;  // dense, one per set bitmap bit
+  };
+
+  static unsigned chunk(std::uint64_t key, unsigned shift) {
+    return static_cast<unsigned>((key >> shift) & kMask);
+  }
+  static unsigned slot_index(std::uint64_t bitmap, unsigned ch) {
+    return static_cast<unsigned>(std::popcount(bitmap & ((std::uint64_t{1} << ch) - 1)));
+  }
+
+ public:
+  Chamt() = default;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Pointer to the value for `key`, or nullptr. Valid while any Chamt
+  /// version sharing the subtree is alive.
+  const V* find(std::uint64_t key) const {
+    const Node* node = root_.get();
+    unsigned shift = 0;
+    while (node != nullptr) {
+      const unsigned ch = chunk(key, shift);
+      const std::uint64_t bit = std::uint64_t{1} << ch;
+      if ((node->bitmap & bit) == 0) return nullptr;
+      const Slot& slot = node->slots[slot_index(node->bitmap, ch)];
+      if (const Entry* e = std::get_if<Entry>(&slot)) {
+        return e->key == key ? &e->value : nullptr;
+      }
+      node = std::get<NodePtr>(slot).get();
+      shift += kBits;
+    }
+    return nullptr;
+  }
+
+  /// New version with `key` bound to `value` (insert or overwrite). The old
+  /// version is untouched; unaffected subtrees are shared between the two.
+  [[nodiscard]] Chamt set(std::uint64_t key, V value) const {
+    Chamt next;
+    bool replaced = false;
+    next.root_ = set_in(root_.get(), 0, key, std::move(value), replaced);
+    next.size_ = size_ + (replaced ? 0 : 1);
+    return next;
+  }
+
+ private:
+  static NodePtr set_in(const Node* node, unsigned shift, std::uint64_t key,
+                        V value, bool& replaced) {
+    auto out = std::make_shared<Node>();
+    if (node == nullptr) {
+      out->bitmap = std::uint64_t{1} << chunk(key, shift);
+      out->slots.push_back(Entry{key, std::move(value)});
+      return out;
+    }
+    *out = *node;  // shallow copy: shares child subtrees via shared_ptr
+    const unsigned ch = chunk(key, shift);
+    const std::uint64_t bit = std::uint64_t{1} << ch;
+    const unsigned idx = slot_index(out->bitmap, ch);
+    if ((out->bitmap & bit) == 0) {
+      out->bitmap |= bit;
+      out->slots.insert(out->slots.begin() + idx, Entry{key, std::move(value)});
+      return out;
+    }
+    Slot& slot = out->slots[idx];
+    if (const NodePtr* child = std::get_if<NodePtr>(&slot)) {
+      slot = set_in(child->get(), shift + kBits, key, std::move(value), replaced);
+      return out;
+    }
+    Entry& existing = std::get<Entry>(slot);
+    if (existing.key == key) {
+      existing.value = std::move(value);
+      replaced = true;
+      return out;
+    }
+    // Collision in this chunk: push the resident entry one level down, then
+    // insert the new key into that subtree.
+    BSVC_CHECK(shift < kMaxShift);  // distinct keys must diverge within 64 bits
+    auto sub = std::make_shared<Node>();
+    sub->bitmap = std::uint64_t{1} << chunk(existing.key, shift + kBits);
+    sub->slots.push_back(std::move(existing));
+    slot = set_in(sub.get(), shift + kBits, key, std::move(value), replaced);
+    return out;
+  }
+
+  NodePtr root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace bsvc

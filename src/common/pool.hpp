@@ -1,0 +1,123 @@
+// Thread-local object and buffer recycling for the steady-state hot path.
+//
+// Two facilities, both bounded and both invisible to behavior:
+//
+//  - PooledAlloc<Derived>: a CRTP mixin giving a final payload class
+//    class-scope operator new/delete backed by a thread-local free list of
+//    fixed-size blocks. The simulation's per-message payload objects
+//    (BootstrapMessage, NewscastMessage, ProbeMessage) churn at engine rate;
+//    with the mixin a steady-state exchange reuses a block instead of
+//    touching the global allocator.
+//
+//  - BufferPool<T>: recycles std::vector<T> *capacity* across message
+//    lifetimes. A payload's entry vector is acquired from the pool at
+//    construction and its storage released back at destruction, so the
+//    reserve() in the builder path stops allocating once the pool is warm.
+//
+// Thread-safety model: caches are thread_local. The sharded engine's worker
+// lanes are persistent threads, so each lane warms its own cache once and
+// then runs allocation-free. A block allocated on one thread and freed on
+// another simply migrates between caches — both sides defer to the global
+// operator new/delete on miss/overflow, so ownership is never violated.
+// Vector capacity and block reuse never affect the simulation trajectory:
+// goldens stay bit-identical.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace bsvc {
+
+namespace pool_detail {
+// Per-thread cache bound. Sized to the plausible in-flight message high-water
+// mark at the XL tiers; beyond it the pool degrades gracefully to the global
+// allocator. ~1 MiB of blocks / a few MiB of vector storage per lane.
+inline constexpr std::size_t kMaxCached = 8192;
+}  // namespace pool_detail
+
+/// CRTP allocation mixin: `class M final : public Payload, public
+/// PooledAlloc<M>`. Derived must be final — the free list assumes every
+/// block is exactly sizeof(Derived).
+template <typename Derived>
+class PooledAlloc {
+ public:
+  static void* operator new(std::size_t size) {
+    Cache& c = cache();
+    if (size == sizeof(Derived) && !c.blocks.empty()) {
+      void* p = c.blocks.back();
+      c.blocks.pop_back();
+      return p;
+    }
+    return ::operator new(size);
+  }
+
+  static void operator delete(void* p, std::size_t size) noexcept {
+    Cache& c = cache();
+    if (size == sizeof(Derived) && c.blocks.size() < c.blocks.capacity()) {
+#ifndef NDEBUG
+      // Scribble freed blocks so use-after-free reads trip assertions fast.
+      std::memset(p, 0xDD, sizeof(Derived));
+#endif
+      c.blocks.push_back(p);
+      return;
+    }
+    ::operator delete(p);
+  }
+  static void operator delete(void* p) noexcept {
+    operator delete(p, sizeof(Derived));
+  }
+
+ private:
+  struct Cache {
+    // Reserved up front so the noexcept delete path never allocates (and
+    // never throws); remaining blocks are returned at thread exit.
+    Cache() { blocks.reserve(pool_detail::kMaxCached); }
+    ~Cache() {
+      for (void* p : blocks) ::operator delete(p);
+    }
+    std::vector<void*> blocks;
+  };
+  static Cache& cache() {
+    thread_local Cache c;
+    return c;
+  }
+};
+
+/// Recycles vector storage by element type. acquire() swaps a warmed buffer
+/// (cleared, capacity intact) into `v`; release() donates `v`'s storage back.
+template <typename T>
+class BufferPool {
+ public:
+  static void acquire(std::vector<T>& v) {
+    Cache& c = cache();
+    if (!c.buffers.empty()) {
+      v = std::move(c.buffers.back());
+      c.buffers.pop_back();
+      v.clear();
+    }
+  }
+
+  static void release(std::vector<T>&& v) noexcept {
+    if (v.capacity() == 0) return;
+    Cache& c = cache();
+    if (c.buffers.size() < c.buffers.capacity()) {
+      c.buffers.push_back(std::move(v));
+    }
+    // else: v's destructor frees the storage as usual.
+  }
+
+ private:
+  struct Cache {
+    Cache() { buffers.reserve(pool_detail::kMaxCached); }
+    std::vector<std::vector<T>> buffers;
+  };
+  static Cache& cache() {
+    thread_local Cache c;
+    return c;
+  }
+};
+
+}  // namespace bsvc

@@ -11,6 +11,26 @@ namespace bsvc {
 namespace {
 constexpr std::uint64_t kInitTimer = BootstrapProtocol::kRestartTimer;
 constexpr std::uint64_t kActiveTimer = 2;
+
+// Hot-path scratch shared by every protocol instance on a worker lane.
+// Thread-local (not per-node members): the buffers hold data only alive
+// within one create_message / update_from / select_peer call, the callbacks
+// never re-enter each other, and the sharded engine's lanes are persistent
+// threads — so one warm set per lane replaces hundreds of thousands of
+// per-node vectors without changing a single RNG draw.
+struct BootstrapScratch {
+  DescriptorList union_buf;
+  DescriptorList succ_buf;
+  DescriptorList pred_buf;
+  DescriptorList combined_buf;
+  DescriptorList candidate_buf;  // select_peer's demotion filter
+  std::vector<std::uint8_t> cell_fill_buf;
+};
+
+BootstrapScratch& scratch() {
+  thread_local BootstrapScratch s;
+  return s;
+}
 }  // namespace
 
 std::size_t BootstrapMessage::wire_bytes() const {
@@ -141,8 +161,15 @@ void BootstrapProtocol::on_exchange_timeout(Context& ctx, std::uint64_t seq) {
 }
 
 void BootstrapProtocol::init_tables(Context& /*ctx*/) {
-  leaf_.emplace(self_.id, config_.c);
-  prefix_.emplace(self_.id, config_.digits, config_.k);
+  // Order matters: drop both tables' handles, rewind the arena, then
+  // reconstruct. The leaf block (fixed capacity c) is allocated first and
+  // the prefix block last, so prefix growth always doubles in place at the
+  // arena tip. On a restart the slabs are already sized — no allocation.
+  leaf_.reset();
+  prefix_.reset();
+  arena_.reset();
+  leaf_.emplace(self_.id, config_.c, &arena_);
+  prefix_.emplace(self_.id, config_.digits, config_.k, &arena_);
   const DescriptorList seeds = sampler_->sample(config_.c);
   leaf_->update(seeds);
 }
@@ -250,7 +277,7 @@ void BootstrapProtocol::maintenance_step(Context& ctx) {
   {
     NodeDescriptor lru{0, kNullAddress};
     SimTime oldest = ~SimTime{0};
-    for (const auto& d : leaf_->all()) {
+    for (const auto& d : leaf_->all_view()) {
       const auto it = last_heard_.find(d.addr);
       const SimTime heard = it == last_heard_.end() ? 0 : it->second;
       if (heard < oldest) {
@@ -317,8 +344,8 @@ std::optional<NodeDescriptor> BootstrapProtocol::select_peer(Context& ctx) {
     // active thread stops burning exchanges on a partitioned or dark peer.
     // If every near-half candidate is suspected, fall through to the plain
     // pick — suspicion may be wrong, and gossiping anyway is the recovery.
-    DescriptorList candidates;
-    candidates.reserve(ns + np);
+    DescriptorList& candidates = scratch().candidate_buf;
+    candidates.clear();
     for (std::size_t i = 0; i < ns; ++i) {
       if (!already_probing(succ[i].addr)) candidates.push_back(succ[i]);
     }
@@ -337,7 +364,7 @@ std::unique_ptr<BootstrapMessage> BootstrapProtocol::create_message(NodeId peer_
                                                                     bool is_request) {
   // Union of all locally available information: leaf set, cr fresh samples,
   // the prefix table, and the own descriptor.
-  DescriptorList& un = union_buf_;
+  DescriptorList& un = scratch().union_buf;
   un.clear();
   {
     const auto& succ = leaf_->successors();
@@ -374,8 +401,8 @@ std::unique_ptr<BootstrapMessage> BootstrapProtocol::create_message(NodeId peer_
   // would starve the outermost directional entries wherever the ID
   // distribution is locally lopsided, and the last few leaf entries would
   // never converge.
-  DescriptorList& succ = succ_buf_;
-  DescriptorList& pred = pred_buf_;
+  DescriptorList& succ = scratch().succ_buf;
+  DescriptorList& pred = scratch().pred_buf;
   succ.clear();
   pred.clear();
   for (const auto& d : un) (is_successor(peer_id, d.id) ? succ : pred).push_back(d);
@@ -412,7 +439,8 @@ std::unique_ptr<BootstrapMessage> BootstrapProtocol::create_message(NodeId peer_
   if (config_.send_prefix_part) {
     const int rows = config_.digits.num_digits<NodeId>();
     const int radix = config_.digits.radix();
-    cell_fill_buf_.assign(static_cast<std::size_t>(rows) * static_cast<std::size_t>(radix), 0);
+    std::vector<std::uint8_t>& cell_fill = scratch().cell_fill_buf;
+    cell_fill.assign(static_cast<std::size_t>(rows) * static_cast<std::size_t>(radix), 0);
     const auto consider = [&](const NodeDescriptor& d) {
       // Every candidate is potentially useful for exactly one (i, j) cell of
       // the peer's table; ship up to k per cell (row 0 included — without it
@@ -420,8 +448,8 @@ std::unique_ptr<BootstrapMessage> BootstrapProtocol::create_message(NodeId peer_
       // additional part stays bounded by the size of the full prefix table.
       const int i = common_prefix_digits(peer_id, d.id, config_.digits);
       const int j = digit(d.id, i, config_.digits);
-      auto& fill = cell_fill_buf_[static_cast<std::size_t>(i) * static_cast<std::size_t>(radix) +
-                                  static_cast<std::size_t>(j)];
+      auto& fill = cell_fill[static_cast<std::size_t>(i) * static_cast<std::size_t>(radix) +
+                             static_cast<std::size_t>(j)];
       if (fill >= config_.k) return;
       ++fill;
       msg->append_prefix_entry(d);
@@ -577,7 +605,7 @@ void BootstrapProtocol::update_from(const BootstrapMessage& msg, Address from) {
   // single leaf-set rebuild is cheaper than three. The flat message already
   // holds ring-then-prefix in one buffer, and the scratch vector is reused
   // across deliveries.
-  DescriptorList& combined = combined_buf_;
+  DescriptorList& combined = scratch().combined_buf;
   combined.clear();
   combined.reserve(msg.entry_count() + 1);
   const auto all = msg.all_entries();

@@ -18,6 +18,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/arena.hpp"
+#include "common/pool.hpp"
 #include "common/rtt.hpp"
 #include "common/stats.hpp"
 #include "core/config.hpp"
@@ -44,24 +46,46 @@ struct Tombstone {
 ///
 /// Both parts live in one flat descriptor buffer (ring entries first) split
 /// by an index: CREATEMESSAGE fills the buffer once with a single reserve
-/// and receivers read span views — no per-part vector per message.
-class BootstrapMessage final : public Payload {
+/// and receivers read span views — no per-part vector per message. The
+/// message object and its buffer both recycle through thread-local pools
+/// (common/pool.hpp), so steady-state exchanges touch no allocator.
+class BootstrapMessage final : public Payload, public PooledAlloc<BootstrapMessage> {
  public:
   static constexpr PayloadKind kKind = PayloadKind::Bootstrap;
 
   /// Builder form: the caller fills entries() via append_ring_entry /
   /// append_prefix_entry before publishing (CREATEMESSAGE's path).
   BootstrapMessage(NodeDescriptor sender, bool is_request)
-      : Payload(kKind), sender(sender), is_request(is_request) {}
+      : Payload(kKind), sender(sender), is_request(is_request) {
+    BufferPool<NodeDescriptor>::acquire(entries_);
+  }
 
   /// Assembles from separate lists (codec decode, adversary rewrites, tests).
   BootstrapMessage(NodeDescriptor sender, const DescriptorList& ring,
                    const DescriptorList& prefix, bool is_request)
       : Payload(kKind), sender(sender), is_request(is_request) {
+    BufferPool<NodeDescriptor>::acquire(entries_);
     entries_.reserve(ring.size() + prefix.size());
     entries_.insert(entries_.end(), ring.begin(), ring.end());
     entries_.insert(entries_.end(), prefix.begin(), prefix.end());
     ring_count_ = ring.size();
+  }
+
+  /// Copying (the adversary's rewrite path) lands the clone's buffer in the
+  /// pool too, so a tampered delivery stays allocation-free once warm.
+  BootstrapMessage(const BootstrapMessage& other)
+      : Payload(other),
+        sender(other.sender),
+        tombstones(other.tombstones),
+        is_request(other.is_request),
+        ring_count_(other.ring_count_) {
+    BufferPool<NodeDescriptor>::acquire(entries_);
+    entries_.assign(other.entries_.begin(), other.entries_.end());
+  }
+  BootstrapMessage& operator=(const BootstrapMessage&) = delete;
+
+  ~BootstrapMessage() override {
+    BufferPool<NodeDescriptor>::release(std::move(entries_));
   }
 
   std::size_t wire_bytes() const override;
@@ -113,7 +137,7 @@ class BootstrapMessage final : public Payload {
 /// probe to an address whose echo contradicts the advertised ID exposes a
 /// fabricated ID/address binding (the probe request itself discloses
 /// nothing, so a malicious responder cannot tailor its answer).
-class ProbeMessage final : public Payload {
+class ProbeMessage final : public Payload, public PooledAlloc<ProbeMessage> {
  public:
   static constexpr PayloadKind kKind = PayloadKind::Probe;
 
@@ -226,6 +250,10 @@ class BootstrapProtocol final : public Protocol {
   obs::Counter* ctr_pin_mismatch_ = nullptr;    // bootstrap.pin_mismatch
   SimTime start_delay_;
   NodeDescriptor self_{};
+  // Backs both tables' descriptor storage (SoA lanes; see common/arena.hpp).
+  // Declared before the tables so it outlives them, and reset() on every
+  // (re)initialization — handle invalidation is confined to init_tables.
+  DescriptorArena arena_;
   std::optional<LeafSet> leaf_;
   std::optional<PrefixTable> prefix_;
   bool chain_started_ = false;
@@ -333,13 +361,10 @@ class BootstrapProtocol final : public Protocol {
   std::unordered_map<Address, NodeDescriptor> quarantine_;
   static constexpr std::size_t kQuarantineCap = 64;
   static constexpr std::size_t kProvenanceCap = 4096;
-  // Scratch buffers reused across create_message / update_from calls to
-  // avoid per-message allocations on the hot path.
-  DescriptorList union_buf_;
-  DescriptorList succ_buf_;
-  DescriptorList pred_buf_;
-  DescriptorList combined_buf_;
-  std::vector<std::uint8_t> cell_fill_buf_;
+  // CREATEMESSAGE / update_from scratch lives in thread-local buffers in
+  // bootstrap.cpp (shared by every instance on a worker lane) rather than
+  // per-node members: at 2^18 nodes the per-instance buffers alone were
+  // gigabytes of warm capacity held for data only alive within one call.
 };
 
 }  // namespace bsvc

@@ -159,6 +159,12 @@ class BootstrapExperiment {
   /// The bootstrap protocol instance of a node.
   const BootstrapProtocol& bootstrap_of(Address addr) const;
 
+  /// Live protocol-stat totals (requests/replies/probes sent so far),
+  /// merged across shard lanes. Tests use the request+reply delta across a
+  /// window of simulated time as the exchange count for per-exchange
+  /// allocation budgets.
+  BootstrapStats current_stats() const { return merged_stats(); }
+
   /// Creates one more fully-stacked node (used by churn joins and the merge/
   /// split examples); the caller starts it.
   Address make_node();

@@ -6,35 +6,130 @@
 
 namespace bsvc {
 
-LeafSet::LeafSet(NodeId own, std::size_t capacity) : own_(own), capacity_(capacity) {
+namespace {
+// UPDATELEAFSET staging buffers. Thread-local so the steady-state rebuild
+// allocates nothing once warm; safe because the sharded engine's worker
+// lanes are persistent threads and update() never re-enters itself.
+struct RebuildScratch {
+  std::vector<NodeDescriptor> candidates;
+  std::vector<NodeDescriptor> succ;
+  std::vector<NodeDescriptor> pred;
+};
+
+RebuildScratch& scratch() {
+  thread_local RebuildScratch s;
+  return s;
+}
+}  // namespace
+
+LeafSet::LeafSet(NodeId own, std::size_t capacity)
+    : own_(own),
+      capacity_(capacity),
+      arena_(&own_arena_),
+      block_(arena_->allocate(static_cast<std::uint32_t>(capacity))) {
   BSVC_CHECK(capacity >= 2);
+}
+
+LeafSet::LeafSet(NodeId own, std::size_t capacity, DescriptorArena* arena)
+    : own_(own),
+      capacity_(capacity),
+      arena_(arena),
+      block_(arena_->allocate(static_cast<std::uint32_t>(capacity))) {
+  BSVC_CHECK(capacity >= 2);
+  BSVC_CHECK(arena != nullptr);
+}
+
+void LeafSet::copy_from(const LeafSet& other) {
+  own_ = other.own_;
+  capacity_ = other.capacity_;
+  succ_count_ = other.succ_count_;
+  pred_count_ = other.pred_count_;
+  std::copy_n(other.ids(), other.size(), ids());
+  std::copy_n(other.addrs(), other.size(), addrs());
+}
+
+LeafSet::LeafSet(const LeafSet& other)
+    : own_(other.own_),
+      capacity_(other.capacity_),
+      arena_(&own_arena_),
+      block_(arena_->allocate(static_cast<std::uint32_t>(other.capacity_))) {
+  copy_from(other);
+}
+
+LeafSet& LeafSet::operator=(const LeafSet& other) {
+  if (this == &other) return *this;
+  // Copies always land in the private arena: an externally-backed set's
+  // block capacity is tied to its own `capacity`, not the source's.
+  own_arena_.reset();
+  arena_ = &own_arena_;
+  block_ = arena_->allocate(static_cast<std::uint32_t>(other.capacity_));
+  copy_from(other);
+  return *this;
+}
+
+LeafSet::LeafSet(LeafSet&& other) noexcept
+    : own_(other.own_),
+      capacity_(other.capacity_),
+      own_arena_(std::move(other.own_arena_)),
+      arena_(other.arena_ == &other.own_arena_ ? &own_arena_ : other.arena_),
+      block_(other.block_),
+      succ_count_(other.succ_count_),
+      pred_count_(other.pred_count_) {
+  other.arena_ = &other.own_arena_;
+  other.block_ = {};
+  other.succ_count_ = 0;
+  other.pred_count_ = 0;
+}
+
+LeafSet& LeafSet::operator=(LeafSet&& other) noexcept {
+  if (this == &other) return *this;
+  own_ = other.own_;
+  capacity_ = other.capacity_;
+  own_arena_ = std::move(other.own_arena_);
+  arena_ = other.arena_ == &other.own_arena_ ? &own_arena_ : other.arena_;
+  block_ = other.block_;
+  succ_count_ = other.succ_count_;
+  pred_count_ = other.pred_count_;
+  other.arena_ = &other.own_arena_;
+  other.block_ = {};
+  other.succ_count_ = 0;
+  other.pred_count_ = 0;
+  return *this;
 }
 
 void LeafSet::update(std::span<const NodeDescriptor> incoming) {
   // Merge current content and the parameter set, then rebuild both sides.
-  std::vector<NodeDescriptor> candidates;
-  candidates.reserve(succs_.size() + preds_.size() + incoming.size());
-  candidates.insert(candidates.end(), succs_.begin(), succs_.end());
-  candidates.insert(candidates.end(), preds_.begin(), preds_.end());
+  auto& candidates = scratch().candidates;
+  candidates.clear();
+  const NodeId* id = ids();
+  const Address* addr = addrs();
+  for (std::size_t i = 0; i < size(); ++i) candidates.push_back({id[i], addr[i]});
   for (const auto& d : incoming) {
     if (d.id == own_ || d.addr == kNullAddress) continue;
     candidates.push_back(d);
   }
-  rebuild(std::move(candidates));
+  rebuild(candidates);
 }
 
 bool LeafSet::remove(NodeId id) {
-  const auto erase_from = [id](std::vector<NodeDescriptor>& v) {
-    const auto it = std::find_if(v.begin(), v.end(),
-                                 [id](const NodeDescriptor& d) { return d.id == id; });
-    if (it == v.end()) return false;
-    v.erase(it);
+  NodeId* ids_p = ids();
+  Address* addrs_p = addrs();
+  const std::size_t n = size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (ids_p[i] != id) continue;
+    std::copy(ids_p + i + 1, ids_p + n, ids_p + i);
+    std::copy(addrs_p + i + 1, addrs_p + n, addrs_p + i);
+    if (i < succ_count_) {
+      --succ_count_;
+    } else {
+      --pred_count_;
+    }
     return true;
-  };
-  return erase_from(succs_) || erase_from(preds_);
+  }
+  return false;
 }
 
-void LeafSet::rebuild(std::vector<NodeDescriptor> candidates) {
+void LeafSet::rebuild(std::vector<NodeDescriptor>& candidates) {
   // Dedupe by ID. Sorting by ID first makes the dedupe deterministic.
   std::sort(candidates.begin(), candidates.end(),
             [](const NodeDescriptor& a, const NodeDescriptor& b) { return a.id < b.id; });
@@ -44,7 +139,10 @@ void LeafSet::rebuild(std::vector<NodeDescriptor> candidates) {
                                }),
                    candidates.end());
 
-  std::vector<NodeDescriptor> succ, pred;
+  auto& succ = scratch().succ;
+  auto& pred = scratch().pred;
+  succ.clear();
+  pred.clear();
   for (const auto& d : candidates) {
     (is_successor(own_, d.id) ? succ : pred).push_back(d);
   }
@@ -66,17 +164,25 @@ void LeafSet::rebuild(std::vector<NodeDescriptor> candidates) {
   spare -= extra_s;
   take_p += std::min(pred.size() - take_p, spare);
 
-  succ.resize(take_s);
-  pred.resize(take_p);
-  succs_ = std::move(succ);
-  preds_ = std::move(pred);
+  NodeId* ids_p = ids();
+  Address* addrs_p = addrs();
+  for (std::size_t i = 0; i < take_s; ++i) {
+    ids_p[i] = succ[i].id;
+    addrs_p[i] = succ[i].addr;
+  }
+  for (std::size_t i = 0; i < take_p; ++i) {
+    ids_p[take_s + i] = pred[i].id;
+    addrs_p[take_s + i] = pred[i].addr;
+  }
+  succ_count_ = static_cast<std::uint32_t>(take_s);
+  pred_count_ = static_cast<std::uint32_t>(take_p);
 }
 
 DescriptorList LeafSet::all() const {
   DescriptorList out;
   out.reserve(size());
-  out.insert(out.end(), succs_.begin(), succs_.end());
-  out.insert(out.end(), preds_.begin(), preds_.end());
+  const DescriptorView view = all_view();
+  out.insert(out.end(), view.begin(), view.end());
   return out;
 }
 
@@ -89,11 +195,12 @@ DescriptorList LeafSet::sorted_by_ring_distance() const {
 }
 
 bool LeafSet::contains(NodeId id) const {
-  const auto in = [id](const std::vector<NodeDescriptor>& v) {
-    return std::any_of(v.begin(), v.end(),
-                       [id](const NodeDescriptor& d) { return d.id == id; });
-  };
-  return in(succs_) || in(preds_);
+  const NodeId* ids_p = ids();
+  const std::size_t n = size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (ids_p[i] == id) return true;
+  }
+  return false;
 }
 
 }  // namespace bsvc

@@ -5,12 +5,21 @@
 // ID on the ring of all possible IDs, and keep the c/2 closest in each
 // direction — topping up from the other direction when one side runs short
 // (only relevant when fewer than c other nodes are known to exist).
+//
+// Storage is struct-of-arrays in a DescriptorArena block (successors first,
+// then predecessors): the hot ring-distance scans stream the contiguous
+// NodeId lane, and a steady-state UPDATELEAFSET rebuild allocates nothing —
+// candidates stage through thread-local scratch and the result is written
+// back into the fixed-capacity block. Accessors hand out DescriptorView
+// (values materialized on read); views are invalidated by any mutation.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "id/descriptor.hpp"
 #include "id/ring.hpp"
 
@@ -19,8 +28,18 @@ namespace bsvc {
 class LeafSet {
  public:
   /// `capacity` is the paper's c; it need not be even, the odd slot floats
-  /// to whichever direction has more candidates.
+  /// to whichever direction has more candidates. Self-backed: entries live
+  /// in a private arena.
   LeafSet(NodeId own, std::size_t capacity);
+  /// Entries live in `arena` (not owned; must outlive the set). The block is
+  /// allocated at construction and never grows — capacity is fixed.
+  LeafSet(NodeId own, std::size_t capacity, DescriptorArena* arena);
+
+  LeafSet(const LeafSet& other);
+  LeafSet& operator=(const LeafSet& other);
+  LeafSet(LeafSet&& other) noexcept;
+  LeafSet& operator=(LeafSet&& other) noexcept;
+  ~LeafSet() = default;
 
   /// UPDATELEAFSET: tries to improve the set with the given descriptors.
   /// Descriptors equal to the own ID and null addresses are ignored.
@@ -31,9 +50,13 @@ class LeafSet {
   bool remove(NodeId id);
 
   /// Successors sorted by increasing successor-direction distance.
-  const std::vector<NodeDescriptor>& successors() const { return succs_; }
+  DescriptorView successors() const { return {ids(), addrs(), succ_count_}; }
   /// Predecessors sorted by increasing predecessor-direction distance.
-  const std::vector<NodeDescriptor>& predecessors() const { return preds_; }
+  DescriptorView predecessors() const {
+    return {ids() + succ_count_, addrs() + succ_count_, pred_count_};
+  }
+  /// All entries (successors then predecessors; no duplicates), zero-copy.
+  DescriptorView all_view() const { return {ids(), addrs(), size()}; }
 
   /// All entries (successors then predecessors; no duplicates).
   DescriptorList all() const;
@@ -43,18 +66,27 @@ class LeafSet {
   DescriptorList sorted_by_ring_distance() const;
 
   bool contains(NodeId id) const;
-  std::size_t size() const { return succs_.size() + preds_.size(); }
+  std::size_t size() const { return succ_count_ + pred_count_; }
   bool empty() const { return size() == 0; }
   std::size_t capacity() const { return capacity_; }
   NodeId own_id() const { return own_; }
 
  private:
-  void rebuild(std::vector<NodeDescriptor> candidates);
+  void rebuild(std::vector<NodeDescriptor>& candidates);
+  void copy_from(const LeafSet& other);
+
+  const NodeId* ids() const { return arena_->ids(block_); }
+  const Address* addrs() const { return arena_->addrs(block_); }
+  NodeId* ids() { return arena_->ids(block_); }
+  Address* addrs() { return arena_->addrs(block_); }
 
   NodeId own_;
   std::size_t capacity_;
-  std::vector<NodeDescriptor> succs_;
-  std::vector<NodeDescriptor> preds_;
+  DescriptorArena own_arena_;  // backs the block when no external arena given
+  DescriptorArena* arena_;
+  DescriptorArena::Block block_;
+  std::uint32_t succ_count_ = 0;
+  std::uint32_t pred_count_ = 0;
 };
 
 }  // namespace bsvc

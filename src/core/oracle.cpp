@@ -72,7 +72,7 @@ ConvergenceMetrics ConvergenceOracle::measure(bool check_liveness) const {
     // Leaf: two-pointer match of the actual per-direction lists (sorted by
     // directed distance) against the perfect contiguous rank spans.
     const NodeId p = members[rank].id;
-    const auto count_matches = [&](const std::vector<NodeDescriptor>& actual, bool succ_dir,
+    const auto count_matches = [&](DescriptorView actual, bool succ_dir,
                                    std::uint32_t perfect_count) {
       std::uint64_t matches = 0;
       std::size_t ai = 0;

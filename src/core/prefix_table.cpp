@@ -6,14 +6,85 @@
 
 namespace bsvc {
 
-namespace {
-bool id_less(const NodeDescriptor& d, NodeId id) { return d.id < id; }
-}  // namespace
-
 PrefixTable::PrefixTable(NodeId own, DigitConfig digits, int k)
-    : own_(own), digits_(digits), k_(k), rows_(digits.num_digits<NodeId>()) {
+    : own_(own),
+      digits_(digits),
+      k_(k),
+      rows_(digits.num_digits<NodeId>()),
+      arena_(&own_arena_) {
   digits_.validate<NodeId>();
   BSVC_CHECK(k_ >= 1);
+}
+
+PrefixTable::PrefixTable(NodeId own, DigitConfig digits, int k, DescriptorArena* arena)
+    : own_(own),
+      digits_(digits),
+      k_(k),
+      rows_(digits.num_digits<NodeId>()),
+      arena_(arena) {
+  digits_.validate<NodeId>();
+  BSVC_CHECK(k_ >= 1);
+  BSVC_CHECK(arena != nullptr);
+}
+
+void PrefixTable::copy_from(const PrefixTable& other) {
+  own_ = other.own_;
+  digits_ = other.digits_;
+  k_ = other.k_;
+  rows_ = other.rows_;
+  size_ = other.size_;
+  std::copy_n(other.ids(), other.size_, ids());
+  std::copy_n(other.addrs(), other.size_, addrs());
+}
+
+PrefixTable::PrefixTable(const PrefixTable& other)
+    : own_(other.own_),
+      digits_(other.digits_),
+      k_(other.k_),
+      rows_(other.rows_),
+      arena_(&own_arena_),
+      block_(arena_->allocate(other.block_.cap)) {
+  copy_from(other);
+}
+
+PrefixTable& PrefixTable::operator=(const PrefixTable& other) {
+  if (this == &other) return *this;
+  // Copies always land in the private arena (see LeafSet::operator=).
+  own_arena_.reset();
+  arena_ = &own_arena_;
+  block_ = arena_->allocate(other.block_.cap);
+  copy_from(other);
+  return *this;
+}
+
+PrefixTable::PrefixTable(PrefixTable&& other) noexcept
+    : own_(other.own_),
+      digits_(other.digits_),
+      k_(other.k_),
+      rows_(other.rows_),
+      own_arena_(std::move(other.own_arena_)),
+      arena_(other.arena_ == &other.own_arena_ ? &own_arena_ : other.arena_),
+      block_(other.block_),
+      size_(other.size_) {
+  other.arena_ = &other.own_arena_;
+  other.block_ = {};
+  other.size_ = 0;
+}
+
+PrefixTable& PrefixTable::operator=(PrefixTable&& other) noexcept {
+  if (this == &other) return *this;
+  own_ = other.own_;
+  digits_ = other.digits_;
+  k_ = other.k_;
+  rows_ = other.rows_;
+  own_arena_ = std::move(other.own_arena_);
+  arena_ = other.arena_ == &other.own_arena_ ? &own_arena_ : other.arena_;
+  block_ = other.block_;
+  size_ = other.size_;
+  other.arena_ = &other.own_arena_;
+  other.block_ = {};
+  other.size_ = 0;
+  return *this;
 }
 
 PrefixTable::Cell PrefixTable::cell_of(NodeId id) const {
@@ -22,17 +93,31 @@ PrefixTable::Cell PrefixTable::cell_of(NodeId id) const {
   return {row, digit(id, row, digits_)};
 }
 
+void PrefixTable::ensure_capacity(std::uint32_t need) {
+  if (need <= block_.cap) return;
+  std::uint32_t new_cap = block_.cap == 0 ? 16 : block_.cap * 2;
+  while (new_cap < need) new_cap *= 2;
+  arena_->grow(block_, new_cap, size_);
+}
+
 bool PrefixTable::insert(const NodeDescriptor& d) {
   if (d.id == own_ || d.addr == kNullAddress) return false;
   const Cell c = cell_of(d.id);
   const auto [first, last] = cell_range(c.row, c.col);
   if (last - first >= static_cast<std::size_t>(k_)) return false;
   // Position within the (sorted) cell range; also detects duplicates.
-  const auto it = std::lower_bound(entries_.begin() + static_cast<std::ptrdiff_t>(first),
-                                   entries_.begin() + static_cast<std::ptrdiff_t>(last), d.id,
-                                   id_less);
-  if (it != entries_.begin() + static_cast<std::ptrdiff_t>(last) && it->id == d.id) return false;
-  entries_.insert(it, d);
+  const NodeId* ids_p = ids();
+  const std::size_t pos = static_cast<std::size_t>(
+      std::lower_bound(ids_p + first, ids_p + last, d.id) - ids_p);
+  if (pos != last && ids_p[pos] == d.id) return false;
+  ensure_capacity(size_ + 1);
+  NodeId* mut_ids = ids();
+  Address* mut_addrs = addrs();
+  std::copy_backward(mut_ids + pos, mut_ids + size_, mut_ids + size_ + 1);
+  std::copy_backward(mut_addrs + pos, mut_addrs + size_, mut_addrs + size_ + 1);
+  mut_ids[pos] = d.id;
+  mut_addrs[pos] = d.addr;
+  ++size_;
   return true;
 }
 
@@ -45,9 +130,14 @@ std::size_t PrefixTable::insert_all(const DescriptorList& ds) {
 }
 
 bool PrefixTable::remove(NodeId id) {
-  const auto it = std::lower_bound(entries_.begin(), entries_.end(), id, id_less);
-  if (it == entries_.end() || it->id != id) return false;
-  entries_.erase(it);
+  NodeId* ids_p = ids();
+  const std::size_t pos =
+      static_cast<std::size_t>(std::lower_bound(ids_p, ids_p + size_, id) - ids_p);
+  if (pos == size_ || ids_p[pos] != id) return false;
+  Address* addrs_p = addrs();
+  std::copy(ids_p + pos + 1, ids_p + size_, ids_p + pos);
+  std::copy(addrs_p + pos + 1, addrs_p + size_, addrs_p + pos);
+  --size_;
   return true;
 }
 
@@ -58,13 +148,19 @@ std::size_t PrefixTable::cell_count(int row, int col) const {
 
 DescriptorList PrefixTable::cell(int row, int col) const {
   const auto [first, last] = cell_range(row, col);
-  return DescriptorList(entries_.begin() + static_cast<std::ptrdiff_t>(first),
-                        entries_.begin() + static_cast<std::ptrdiff_t>(last));
+  DescriptorList out;
+  out.reserve(last - first);
+  const NodeId* ids_p = ids();
+  const Address* addrs_p = addrs();
+  for (std::size_t i = first; i < last; ++i) out.push_back({ids_p[i], addrs_p[i]});
+  return out;
 }
 
 bool PrefixTable::contains(NodeId id) const {
-  const auto it = std::lower_bound(entries_.begin(), entries_.end(), id, id_less);
-  return it != entries_.end() && it->id == id;
+  const NodeId* ids_p = ids();
+  const std::size_t pos =
+      static_cast<std::size_t>(std::lower_bound(ids_p, ids_p + size_, id) - ids_p);
+  return pos != size_ && ids_p[pos] == id;
 }
 
 std::pair<std::size_t, std::size_t> PrefixTable::cell_range(int row, int col) const {
@@ -74,12 +170,15 @@ std::pair<std::size_t, std::size_t> PrefixTable::cell_range(int row, int col) co
   BSVC_CHECK_MSG(col != digit(own_, row, digits_), "queried the own-digit column");
   const NodeId lo = prefix_range_lo(own_, row, col, digits_);
   const NodeId hi = prefix_range_hi(own_, row, col, digits_);
-  const auto first = std::lower_bound(entries_.begin(), entries_.end(), lo, id_less);
+  const NodeId* ids_p = ids();
+  const std::size_t first =
+      static_cast<std::size_t>(std::lower_bound(ids_p, ids_p + size_, lo) - ids_p);
   // hi == 0 means the range runs to the top of the ID space.
-  const auto last = hi == 0 ? entries_.end()
-                            : std::lower_bound(first, entries_.end(), hi, id_less);
-  return {static_cast<std::size_t>(first - entries_.begin()),
-          static_cast<std::size_t>(last - entries_.begin())};
+  const std::size_t last =
+      hi == 0 ? size_
+              : static_cast<std::size_t>(
+                    std::lower_bound(ids_p + first, ids_p + size_, hi) - ids_p);
+  return {first, last};
 }
 
 }  // namespace bsvc

@@ -5,14 +5,23 @@
 // to k descriptors. Cell (i, j) therefore covers exactly the IDs in the
 // half-open interval [prefix_range_lo, prefix_range_hi): the first i digits
 // equal the own ID's, digit i equals j (≠ own digit i). Those intervals are
-// disjoint, so storing all entries in one ID-sorted vector keeps every cell
-// contiguous; cell lookups are two binary searches and memory stays compact
-// (12 bytes/entry), which is what makes 2^18-node simulations affordable.
+// disjoint, so storing all entries in one ID-sorted run keeps every cell
+// contiguous; cell lookups are two binary searches and memory stays compact.
+//
+// Storage is struct-of-arrays in a DescriptorArena block: the binary
+// searches walk a dense NodeId lane (8 bytes/element, no interleaved
+// addresses), and in steady state an insert is a memmove within the block —
+// growth doubles the block at the arena tip without touching the allocator
+// once the slabs are warm. entries() hands out a DescriptorView; views are
+// invalidated by any mutation.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "core/config.hpp"
 #include "id/descriptor.hpp"
 #include "id/digits.hpp"
@@ -27,7 +36,16 @@ class PrefixTable {
     int col = 0;  // first differing digit j
   };
 
+  /// Self-backed: entries live in a private arena.
   PrefixTable(NodeId own, DigitConfig digits, int k);
+  /// Entries live in `arena` (not owned; must outlive the table).
+  PrefixTable(NodeId own, DigitConfig digits, int k, DescriptorArena* arena);
+
+  PrefixTable(const PrefixTable& other);
+  PrefixTable& operator=(const PrefixTable& other);
+  PrefixTable(PrefixTable&& other) noexcept;
+  PrefixTable& operator=(PrefixTable&& other) noexcept;
+  ~PrefixTable() = default;
 
   /// The cell a foreign ID falls into. Precondition: id != own ID.
   Cell cell_of(NodeId id) const;
@@ -51,10 +69,10 @@ class PrefixTable {
 
   /// All entries, sorted by ID. This is the view CREATEMESSAGE unions into
   /// its candidate set.
-  const std::vector<NodeDescriptor>& entries() const { return entries_; }
+  DescriptorView entries() const { return {ids(), addrs(), size_}; }
 
   /// Total number of filled entries.
-  std::size_t filled() const { return entries_.size(); }
+  std::size_t filled() const { return size_; }
 
   bool contains(NodeId id) const;
 
@@ -64,14 +82,24 @@ class PrefixTable {
   int rows() const { return rows_; }
 
  private:
-  /// [first, last) iterator range of a cell in entries_.
+  /// [first, last) index range of a cell in the sorted run.
   std::pair<std::size_t, std::size_t> cell_range(int row, int col) const;
+  void ensure_capacity(std::uint32_t need);
+  void copy_from(const PrefixTable& other);
+
+  const NodeId* ids() const { return arena_->ids(block_); }
+  const Address* addrs() const { return arena_->addrs(block_); }
+  NodeId* ids() { return arena_->ids(block_); }
+  Address* addrs() { return arena_->addrs(block_); }
 
   NodeId own_;
   DigitConfig digits_;
   int k_;
   int rows_;
-  std::vector<NodeDescriptor> entries_;  // sorted by id
+  DescriptorArena own_arena_;  // backs the block when no external arena given
+  DescriptorArena* arena_;
+  DescriptorArena::Block block_;  // sorted-by-id run of size_ entries
+  std::uint32_t size_ = 0;
 };
 
 }  // namespace bsvc

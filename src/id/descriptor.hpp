@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <iterator>
 #include <vector>
 
 #include "id/node_id.hpp"
@@ -28,5 +29,64 @@ inline constexpr std::size_t kDescriptorWireBytes = 14;
 
 /// A set of descriptors as carried by one protocol message.
 using DescriptorList = std::vector<NodeDescriptor>;
+
+/// Non-owning view over descriptors stored struct-of-arrays: one contiguous
+/// NodeId lane and one parallel Address lane (see common/arena.hpp).
+/// Iteration and indexing materialize NodeDescriptor values on the fly, so
+/// table consumers keep the AoS-shaped API while the storage underneath
+/// streams dense 8-byte lanes. The view is invalidated by whatever
+/// invalidates the lanes (arena grow/reset, table mutation).
+class DescriptorView {
+ public:
+  class iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = NodeDescriptor;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const NodeDescriptor*;
+    using reference = NodeDescriptor;  // proxy reference: values materialize on read
+
+    iterator() = default;
+    iterator(const NodeId* ids, const Address* addrs) : ids_(ids), addrs_(addrs) {}
+
+    NodeDescriptor operator*() const { return {*ids_, *addrs_}; }
+    iterator& operator++() {
+      ++ids_;
+      ++addrs_;
+      return *this;
+    }
+    iterator operator++(int) {
+      iterator tmp = *this;
+      ++*this;
+      return tmp;
+    }
+    friend bool operator==(const iterator&, const iterator&) = default;
+
+   private:
+    const NodeId* ids_ = nullptr;
+    const Address* addrs_ = nullptr;
+  };
+
+  DescriptorView() = default;
+  DescriptorView(const NodeId* ids, const Address* addrs, std::size_t count)
+      : ids_(ids), addrs_(addrs), count_(count) {}
+
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  NodeDescriptor operator[](std::size_t i) const { return {ids_[i], addrs_[i]}; }
+  NodeDescriptor front() const { return (*this)[0]; }
+  NodeDescriptor back() const { return (*this)[count_ - 1]; }
+
+  const NodeId* ids() const { return ids_; }
+  const Address* addrs() const { return addrs_; }
+
+  iterator begin() const { return {ids_, addrs_}; }
+  iterator end() const { return {ids_ + count_, addrs_ + count_}; }
+
+ private:
+  const NodeId* ids_ = nullptr;
+  const Address* addrs_ = nullptr;
+  std::size_t count_ = 0;
+};
 
 }  // namespace bsvc

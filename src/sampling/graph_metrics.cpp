@@ -9,7 +9,10 @@
 
 namespace bsvc {
 
-UnionFind::UnionFind(std::size_t n) : parent_(n) {
+UnionFind::UnionFind(std::size_t n) { reset(n); }
+
+void UnionFind::reset(std::size_t n) {
+  parent_.resize(n);
   for (std::size_t i = 0; i < n; ++i) parent_[i] = static_cast<std::uint32_t>(i);
 }
 
@@ -33,6 +36,25 @@ std::size_t UnionFind::count_components(const std::vector<std::uint32_t>& member
   return roots.size();
 }
 
+namespace {
+/// Scratch for measure_view_graph. The probe runs every sampled cycle from
+/// the barrier context, so per-node adjacency lists as vector<vector> cost
+/// O(alive) heap allocations per sample — enough to dominate the whole
+/// simulation's allocation census. A flat CSR adjacency with capacity-
+/// retaining scratch makes warm samples allocation-free.
+struct ViewGraphScratch {
+  std::vector<std::uint64_t> indegree;
+  std::vector<std::uint32_t> degree;    // undirected degree (duplicate edges kept)
+  std::vector<std::uint32_t> offset;    // CSR offsets, size n+1
+  std::vector<std::uint32_t> cursor;    // per-node fill position
+  std::vector<Address> edges;           // flat adjacency
+  std::vector<std::uint32_t> uniq_len;  // unique-prefix length once clustered
+  std::vector<std::uint32_t> stamp;     // neighbour-set membership marks
+  std::uint32_t epoch = 0;
+  UnionFind uf{0};
+};
+}  // namespace
+
 ViewGraphStats measure_view_graph(const Engine& engine, SlotRef<NewscastProtocol> slot,
                                   std::size_t clustering_sample) {
   ViewGraphStats stats;
@@ -40,14 +62,18 @@ ViewGraphStats measure_view_graph(const Engine& engine, SlotRef<NewscastProtocol
   stats.alive_nodes = alive.size();
   if (alive.empty()) return stats;
 
-  std::vector<std::uint64_t> indegree(engine.node_count(), 0);
+  const std::size_t n_nodes = engine.node_count();
+  thread_local ViewGraphScratch g;
+  g.indegree.assign(n_nodes, 0);
+  g.degree.assign(n_nodes, 0);
+  g.uf.reset(n_nodes);
+
   std::uint64_t total_entries = 0;
   std::uint64_t dead_entries = 0;
 
-  UnionFind uf(engine.node_count());
-  // Undirected adjacency restricted to alive endpoints, for clustering.
-  std::vector<std::vector<Address>> adj(engine.node_count());
-
+  // Pass 1: in-degrees, dead-entry census, undirected degrees for the CSR
+  // adjacency (each alive edge contributes to both endpoints, duplicates
+  // included — same multiset as the old per-node push_back lists).
   for (const auto addr : alive) {
     const auto& nc = slot.of(engine, addr);
     for (const auto& entry : nc.view()) {
@@ -57,44 +83,77 @@ ViewGraphStats measure_view_graph(const Engine& engine, SlotRef<NewscastProtocol
         ++dead_entries;
         continue;
       }
-      ++indegree[peer];
-      uf.unite(addr, peer);
-      adj[addr].push_back(peer);
-      adj[peer].push_back(addr);
+      ++g.indegree[peer];
+      ++g.degree[addr];
+      ++g.degree[peer];
+    }
+  }
+
+  g.offset.resize(n_nodes + 1);
+  g.offset[0] = 0;
+  for (std::size_t i = 0; i < n_nodes; ++i) g.offset[i + 1] = g.offset[i] + g.degree[i];
+  g.edges.resize(g.offset[n_nodes]);
+  g.cursor.assign(g.offset.begin(), g.offset.end() - 1);
+
+  // Pass 2: fill the adjacency and union components, in the exact order the
+  // old code pushed edges and united endpoints.
+  for (const auto addr : alive) {
+    const auto& nc = slot.of(engine, addr);
+    for (const auto& entry : nc.view()) {
+      const Address peer = entry.descriptor.addr;
+      if (!engine.is_alive(peer)) continue;
+      g.uf.unite(addr, peer);
+      g.edges[g.cursor[addr]++] = peer;
+      g.edges[g.cursor[peer]++] = addr;
     }
   }
 
   Accumulator acc;
   for (const auto addr : alive) {
-    acc.add(static_cast<double>(indegree[addr]));
-    stats.indegree_max = std::max(stats.indegree_max, indegree[addr]);
+    acc.add(static_cast<double>(g.indegree[addr]));
+    stats.indegree_max = std::max(stats.indegree_max, g.indegree[addr]);
   }
   stats.indegree_mean = acc.mean();
   stats.indegree_stddev = acc.stddev();
   stats.dead_entry_fraction =
       total_entries == 0 ? 0.0
                          : static_cast<double>(dead_entries) / static_cast<double>(total_entries);
-  stats.components = uf.count_components(alive);
+  stats.components = g.uf.count_components(alive);
 
   // Clustering over the first `clustering_sample` alive nodes (alive order is
-  // deterministic, which keeps runs reproducible).
+  // deterministic, which keeps runs reproducible). Matches the old
+  // vector<vector> version's in-place behaviour exactly: a sampled node's
+  // list is sorted and deduplicated (uniq_len records the unique prefix), so
+  // a later sample walking an earlier sample's list sees it deduplicated
+  // while unsampled neighbours keep their duplicate edges.
+  constexpr std::uint32_t kNotClustered = 0xFFFFFFFFu;
+  g.uniq_len.assign(n_nodes, kNotClustered);
+  g.stamp.assign(n_nodes, 0);
+  g.epoch = 0;
   const auto sample_n = std::min(clustering_sample, alive.size());
   double cluster_sum = 0.0;
   std::size_t cluster_cnt = 0;
   for (std::size_t s = 0; s < sample_n; ++s) {
-    auto& neigh = adj[alive[s]];
-    std::sort(neigh.begin(), neigh.end());
-    neigh.erase(std::unique(neigh.begin(), neigh.end()), neigh.end());
-    if (neigh.size() < 2) continue;
+    const Address a = alive[s];
+    const auto begin = g.edges.begin() + g.offset[a];
+    const auto end = g.edges.begin() + g.offset[a + 1];
+    std::sort(begin, end);
+    const auto ulen = static_cast<std::uint32_t>(std::unique(begin, end) - begin);
+    g.uniq_len[a] = ulen;
+    if (ulen < 2) continue;
+    ++g.epoch;
+    for (std::uint32_t i = 0; i < ulen; ++i) g.stamp[begin[i]] = g.epoch;
     std::size_t links = 0;
-    std::unordered_set<Address> nset(neigh.begin(), neigh.end());
-    for (const auto u : neigh) {
-      for (const auto v : adj[u]) {
-        if (v != alive[s] && nset.count(v) > 0) ++links;
+    for (std::uint32_t i = 0; i < ulen; ++i) {
+      const Address u = begin[i];
+      const std::uint32_t extent =
+          g.uniq_len[u] != kNotClustered ? g.uniq_len[u] : g.offset[u + 1] - g.offset[u];
+      for (std::uint32_t j = 0; j < extent; ++j) {
+        const Address v = g.edges[g.offset[u] + j];
+        if (v != a && g.stamp[v] == g.epoch) ++links;
       }
     }
-    const double possible = static_cast<double>(neigh.size()) *
-                            static_cast<double>(neigh.size() - 1);
+    const double possible = static_cast<double>(ulen) * static_cast<double>(ulen - 1);
     cluster_sum += static_cast<double>(links) / possible;
     ++cluster_cnt;
   }

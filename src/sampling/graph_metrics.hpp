@@ -43,6 +43,9 @@ ViewGraphStats measure_view_graph(const Engine& engine, SlotRef<NewscastProtocol
 class UnionFind {
  public:
   explicit UnionFind(std::size_t n);
+  /// Re-initializes to n singleton sets, reusing the parent array's
+  /// capacity — lets periodic probes run allocation-free once warm.
+  void reset(std::size_t n);
   std::size_t find(std::size_t x);
   void unite(std::size_t a, std::size_t b);
   /// Number of distinct components among the given members.

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 
+#include "common/pool.hpp"
 #include "sampling/peer_sampler.hpp"
 #include "sim/engine.hpp"
 #include "sim/protocol.hpp"
@@ -23,8 +24,10 @@ struct TimestampedDescriptor {
   SimTime timestamp = 0;
 };
 
-/// View exchange message (request or answer).
-class NewscastMessage final : public Payload {
+/// View exchange message (request or answer). Object and entry buffer both
+/// recycle through thread-local pools (common/pool.hpp): a steady-state
+/// exchange reuses the storage of an already-retired message.
+class NewscastMessage final : public Payload, public PooledAlloc<NewscastMessage> {
  public:
   static constexpr PayloadKind kKind = PayloadKind::Newscast;
 
@@ -32,8 +35,23 @@ class NewscastMessage final : public Payload {
       : Payload(kKind), entries(std::move(entries)), is_request(is_request) {}
 
   /// Builder form: the sender reserves and fills `entries` in place before
-  /// publishing (one allocation for the whole message body).
-  explicit NewscastMessage(bool is_request) : Payload(kKind), is_request(is_request) {}
+  /// publishing (the warmed pool buffer makes that reserve a no-op).
+  explicit NewscastMessage(bool is_request) : Payload(kKind), is_request(is_request) {
+    BufferPool<TimestampedDescriptor>::acquire(entries);
+  }
+
+  /// The adversary's poison path clones messages; route the clone's buffer
+  /// through the pool like the builder's.
+  NewscastMessage(const NewscastMessage& other)
+      : Payload(other), is_request(other.is_request) {
+    BufferPool<TimestampedDescriptor>::acquire(entries);
+    entries.assign(other.entries.begin(), other.entries.end());
+  }
+  NewscastMessage& operator=(const NewscastMessage&) = delete;
+
+  ~NewscastMessage() override {
+    BufferPool<TimestampedDescriptor>::release(std::move(entries));
+  }
 
   std::size_t wire_bytes() const override {
     // count u16 + per entry: descriptor (14) + coarse timestamp u32 + 1 flag.

@@ -1,0 +1,109 @@
+#include "common/chamt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace bsvc {
+namespace {
+
+TEST(Chamt, EmptyFindsNothing) {
+  Chamt<int> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_EQ(m.find(0), nullptr);
+  EXPECT_EQ(m.find(42), nullptr);
+}
+
+TEST(Chamt, InsertAndFindManyKeys) {
+  Chamt<std::uint64_t> m;
+  constexpr std::uint64_t kN = 2000;
+  for (std::uint64_t k = 0; k < kN; ++k) m = m.set(k * 2654435761u, k);
+  EXPECT_EQ(m.size(), kN);
+  for (std::uint64_t k = 0; k < kN; ++k) {
+    const auto* v = m.find(k * 2654435761u);
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(*v, k);
+  }
+  EXPECT_EQ(m.find(kN * 2654435761u), nullptr);
+}
+
+TEST(Chamt, OverwriteKeepsSize) {
+  Chamt<int> m;
+  m = m.set(7, 1);
+  m = m.set(7, 2);
+  EXPECT_EQ(m.size(), 1u);
+  ASSERT_NE(m.find(7), nullptr);
+  EXPECT_EQ(*m.find(7), 2);
+}
+
+TEST(Chamt, ChunkCollisionsPushEntriesDown) {
+  // All these keys share chunk 1 at every 6-bit level they touch.
+  Chamt<int> m;
+  const std::vector<std::uint64_t> keys{1, 1 + (1ull << 6), 1 + (1ull << 12),
+                                        1 + (1ull << 6) + (1ull << 12)};
+  int v = 0;
+  for (const auto k : keys) m = m.set(k, v++);
+  EXPECT_EQ(m.size(), keys.size());
+  v = 0;
+  for (const auto k : keys) {
+    ASSERT_NE(m.find(k), nullptr) << k;
+    EXPECT_EQ(*m.find(k), v++);
+  }
+}
+
+TEST(Chamt, TopBitKeysDivergeAtLastLevel) {
+  Chamt<int> m;
+  m = m.set(0, 1);
+  m = m.set(std::uint64_t{1} << 63, 2);
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_EQ(*m.find(0), 1);
+  EXPECT_EQ(*m.find(std::uint64_t{1} << 63), 2);
+}
+
+TEST(Chamt, OldVersionSurvivesNewWrites) {
+  Chamt<int> v1;
+  for (std::uint64_t k = 0; k < 100; ++k) v1 = v1.set(k, static_cast<int>(k));
+  const Chamt<int> frozen = v1;
+
+  Chamt<int> v2 = frozen;
+  for (std::uint64_t k = 0; k < 100; ++k) v2 = v2.set(k, -1);
+  v2 = v2.set(1000, 99);
+
+  // The frozen snapshot still reads the original bindings.
+  EXPECT_EQ(frozen.size(), 100u);
+  for (std::uint64_t k = 0; k < 100; ++k) EXPECT_EQ(*frozen.find(k), static_cast<int>(k));
+  EXPECT_EQ(frozen.find(1000), nullptr);
+  EXPECT_EQ(v2.size(), 101u);
+  EXPECT_EQ(*v2.find(5), -1);
+}
+
+TEST(Chamt, SnapshotsShareUntouchedSubtrees) {
+  Chamt<int> v1;
+  for (std::uint64_t k = 0; k < 512; ++k) v1 = v1.set(k, static_cast<int>(k));
+  // Touch one key; every other entry must be the same object, not a copy —
+  // find() returns stable addresses into shared subtrees.
+  const Chamt<int> v2 = v1.set(3, -3);
+  std::size_t shared = 0;
+  for (std::uint64_t k = 0; k < 512; ++k) {
+    if (k == 3) continue;
+    if (v1.find(k) == v2.find(k)) ++shared;
+  }
+  // The path-copied spine clones only O(log n) nodes; the overwhelming
+  // majority of entries stay physically shared.
+  EXPECT_GT(shared, 400u);
+  EXPECT_NE(v1.find(3), v2.find(3));
+}
+
+TEST(Chamt, CopyIsCheapHandleNotDeepCopy) {
+  Chamt<int> m;
+  for (std::uint64_t k = 0; k < 256; ++k) m = m.set(k, 1);
+  const Chamt<int> copy = m;
+  for (std::uint64_t k = 0; k < 256; ++k) {
+    EXPECT_EQ(m.find(k), copy.find(k));  // same physical entries
+  }
+}
+
+}  // namespace
+}  // namespace bsvc

@@ -1,0 +1,214 @@
+// Property test: the SoA/arena-backed LeafSet and PrefixTable must hold
+// element-identical contents, in identical iteration order, to the seed
+// struct-of-descriptors semantics under any interleaving of insert, evict
+// and merge operations. The reference tables below reimplement the original
+// AoS algorithms verbatim (vectors of NodeDescriptor, same sort keys, same
+// spare/top-up arithmetic); both implementations are then driven with the
+// same seeded random operation sequences and compared after every step.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/leaf_set.hpp"
+#include "core/prefix_table.hpp"
+#include "id/digits.hpp"
+#include "id/ring.hpp"
+#include "tests/test_util.hpp"
+
+namespace bsvc {
+namespace {
+
+// --- Reference (seed) implementations ------------------------------------
+
+class RefLeafSet {
+ public:
+  RefLeafSet(NodeId own, std::size_t capacity) : own_(own), capacity_(capacity) {}
+
+  void update(const std::vector<NodeDescriptor>& incoming) {
+    std::vector<NodeDescriptor> candidates = succ_;
+    candidates.insert(candidates.end(), pred_.begin(), pred_.end());
+    for (const auto& d : incoming) {
+      if (d.id == own_ || d.addr == kNullAddress) continue;
+      candidates.push_back(d);
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const NodeDescriptor& a, const NodeDescriptor& b) { return a.id < b.id; });
+    candidates.erase(std::unique(candidates.begin(), candidates.end(),
+                                 [](const NodeDescriptor& a, const NodeDescriptor& b) {
+                                   return a.id == b.id;
+                                 }),
+                     candidates.end());
+
+    std::vector<NodeDescriptor> succ;
+    std::vector<NodeDescriptor> pred;
+    for (const auto& d : candidates) (is_successor(own_, d.id) ? succ : pred).push_back(d);
+    std::sort(succ.begin(), succ.end(),
+              [this](const NodeDescriptor& a, const NodeDescriptor& b) {
+                return successor_distance(own_, a.id) < successor_distance(own_, b.id);
+              });
+    std::sort(pred.begin(), pred.end(),
+              [this](const NodeDescriptor& a, const NodeDescriptor& b) {
+                return predecessor_distance(own_, a.id) < predecessor_distance(own_, b.id);
+              });
+
+    const std::size_t half = capacity_ / 2;
+    std::size_t take_s = std::min(succ.size(), half);
+    std::size_t take_p = std::min(pred.size(), half);
+    std::size_t spare = capacity_ - take_s - take_p;
+    const std::size_t extra_s = std::min(succ.size() - take_s, spare);
+    take_s += extra_s;
+    spare -= extra_s;
+    take_p += std::min(pred.size() - take_p, spare);
+
+    succ.resize(take_s);
+    pred.resize(take_p);
+    succ_ = std::move(succ);
+    pred_ = std::move(pred);
+  }
+
+  bool remove(NodeId id) {
+    for (auto* side : {&succ_, &pred_}) {
+      for (auto it = side->begin(); it != side->end(); ++it) {
+        if (it->id == id) {
+          side->erase(it);
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  const std::vector<NodeDescriptor>& successors() const { return succ_; }
+  const std::vector<NodeDescriptor>& predecessors() const { return pred_; }
+
+ private:
+  NodeId own_;
+  std::size_t capacity_;
+  std::vector<NodeDescriptor> succ_;
+  std::vector<NodeDescriptor> pred_;
+};
+
+class RefPrefixTable {
+ public:
+  RefPrefixTable(NodeId own, DigitConfig digits, int k)
+      : own_(own), digits_(digits), k_(k) {}
+
+  bool insert(const NodeDescriptor& d) {
+    if (d.id == own_ || d.addr == kNullAddress) return false;
+    const int row = common_prefix_digits(own_, d.id, digits_);
+    const int col = digit(d.id, row, digits_);
+    const NodeId lo = prefix_range_lo(own_, row, col, digits_);
+    const NodeId hi = prefix_range_hi(own_, row, col, digits_);
+    const auto by_id = [](const NodeDescriptor& a, NodeId id) { return a.id < id; };
+    const auto first = std::lower_bound(entries_.begin(), entries_.end(), lo, by_id);
+    const auto last =
+        hi == 0 ? entries_.end() : std::lower_bound(first, entries_.end(), hi, by_id);
+    if (last - first >= k_) return false;
+    const auto pos = std::lower_bound(first, last, d.id, by_id);
+    if (pos != last && pos->id == d.id) return false;
+    entries_.insert(pos, d);
+    return true;
+  }
+
+  bool remove(NodeId id) {
+    const auto pos = std::lower_bound(
+        entries_.begin(), entries_.end(), id,
+        [](const NodeDescriptor& a, NodeId key) { return a.id < key; });
+    if (pos == entries_.end() || pos->id != id) return false;
+    entries_.erase(pos);
+    return true;
+  }
+
+  const std::vector<NodeDescriptor>& entries() const { return entries_; }
+
+ private:
+  NodeId own_;
+  DigitConfig digits_;
+  int k_;
+  std::vector<NodeDescriptor> entries_;
+};
+
+// --- Comparison helpers ----------------------------------------------------
+
+void expect_same(DescriptorView actual, const std::vector<NodeDescriptor>& expected,
+                 const char* what, std::size_t step) {
+  ASSERT_EQ(actual.size(), expected.size()) << what << " size at step " << step;
+  std::size_t i = 0;
+  // Walk the view's own iteration order — this pins order, not just contents.
+  for (const auto& d : actual) {
+    EXPECT_EQ(d.id, expected[i].id) << what << "[" << i << "].id at step " << step;
+    EXPECT_EQ(d.addr, expected[i].addr) << what << "[" << i << "].addr at step " << step;
+    ++i;
+  }
+}
+
+// --- Drivers ---------------------------------------------------------------
+
+TEST(SoaEquivalence, LeafSetMatchesSeedSemanticsUnderRandomOps) {
+  for (const std::uint64_t seed : {1ull, 7ull, 1234ull}) {
+    Rng rng(seed);
+    const NodeId own = rng.next_u64();
+    const std::size_t c = 2 + rng.below(19);  // odd capacities exercise the float slot
+    LeafSet ls(own, c);
+    RefLeafSet ref(own, c);
+    const auto pool = test::random_descriptors(200, seed * 31 + 1);
+
+    for (std::size_t step = 0; step < 300; ++step) {
+      const auto op = rng.below(10);
+      if (op < 6) {  // merge a random batch (UPDATELEAFSET)
+        std::vector<NodeDescriptor> batch;
+        const auto n = 1 + rng.below(25);
+        for (std::uint64_t i = 0; i < n; ++i) batch.push_back(pool[rng.below(pool.size())]);
+        if (rng.chance(0.1)) batch.push_back({own, 1});            // self: ignored
+        if (rng.chance(0.1)) batch.push_back({123, kNullAddress});  // null: ignored
+        ls.update(batch);
+        ref.update(batch);
+      } else if (op < 9) {  // evict (dead-peer removal), present or not
+        const NodeId victim = rng.chance(0.7) && !ref.successors().empty()
+                                  ? ref.successors()[rng.below(ref.successors().size())].id
+                                  : pool[rng.below(pool.size())].id;
+        EXPECT_EQ(ls.remove(victim), ref.remove(victim)) << "step " << step;
+      } else {  // copy round-trip: the copied set must carry identical state
+        const LeafSet snapshot = ls;
+        ls = snapshot;
+      }
+      expect_same(ls.successors(), ref.successors(), "successors", step);
+      expect_same(ls.predecessors(), ref.predecessors(), "predecessors", step);
+    }
+  }
+}
+
+TEST(SoaEquivalence, PrefixTableMatchesSeedSemanticsUnderRandomOps) {
+  const DigitConfig digits{};  // repo default (b = 4)
+  for (const std::uint64_t seed : {2ull, 11ull, 4321ull}) {
+    Rng rng(seed);
+    const NodeId own = rng.next_u64();
+    const int k = 1 + static_cast<int>(rng.below(4));
+    PrefixTable pt(own, digits, k);
+    RefPrefixTable ref(own, digits, k);
+    const auto pool = test::random_descriptors(300, seed * 17 + 5);
+
+    for (std::size_t step = 0; step < 600; ++step) {
+      const auto op = rng.below(10);
+      if (op < 7) {  // UPDATEPREFIXTABLE for one descriptor
+        const auto& d = pool[rng.below(pool.size())];
+        EXPECT_EQ(pt.insert(d), ref.insert(d)) << "step " << step;
+      } else if (op < 9) {  // dead-peer removal, present or not
+        const NodeId victim = rng.chance(0.7) && !ref.entries().empty()
+                                  ? ref.entries()[rng.below(ref.entries().size())].id
+                                  : pool[rng.below(pool.size())].id;
+        EXPECT_EQ(pt.remove(victim), ref.remove(victim)) << "step " << step;
+      } else {  // copy round-trip
+        const PrefixTable snapshot = pt;
+        pt = snapshot;
+      }
+      expect_same(pt.entries(), ref.entries(), "entries", step);
+      EXPECT_EQ(pt.filled(), ref.entries().size()) << "step " << step;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bsvc
